@@ -1,0 +1,65 @@
+//! Conclusion ¶2 ablation — Algorithms 1–2 vs the Ref. [43] FWHT sandwich.
+//!
+//! The paper: "Ref. [43] requires two applications of fast Walsh–Hadamard
+//! transform (forward and inverse) and a diagonal Hamiltonian operation to
+//! simulate one layer of QAOA mixer, whereas Algorithms 1, 2 apply the
+//! mixer in one step … In addition, [their FWHT] requires one additional
+//! copy of the input state vector, whereas Algorithms 1, 2 applies the
+//! mixer in place."
+//!
+//! Three implementations of the same unitary `e^{-iβΣX}`:
+//! * Algorithm 2 (one in-place butterfly pass per qubit);
+//! * FWHT sandwich, in place (2 transforms + diagonal);
+//! * FWHT sandwich with the extra state copy (Ref. [43] as written).
+
+use qokit_bench::{bench_n, fast_mode, fmt_time, print_table, time_median};
+use qokit_statevec::fwht::{apply_x_mixer_fwht_copying, apply_x_mixer_fwht_inplace};
+use qokit_statevec::su2::apply_uniform_mat2;
+use qokit_statevec::{Backend, Mat2, StateVec};
+
+fn main() {
+    let max_n = bench_n(if fast_mode() { 14 } else { 22 });
+    let reps = if fast_mode() { 1 } else { 5 };
+    let beta = -0.44;
+
+    for backend in [Backend::Serial, Backend::Rayon] {
+        let mut rows = Vec::new();
+        let mut n = 10;
+        while n <= max_n {
+            let mut state = StateVec::uniform_superposition(n);
+            let t_alg2 = time_median(reps, || {
+                apply_uniform_mat2(state.amplitudes_mut(), &Mat2::rx(beta), backend);
+            });
+            let t_sandwich = time_median(reps, || {
+                apply_x_mixer_fwht_inplace(state.amplitudes_mut(), beta, backend);
+            });
+            let t_copying = time_median(reps, || {
+                apply_x_mixer_fwht_copying(state.amplitudes_mut(), beta, backend);
+            });
+            rows.push(vec![
+                n.to_string(),
+                fmt_time(t_alg2),
+                fmt_time(t_sandwich),
+                fmt_time(t_copying),
+                format!("{:.2}x", t_sandwich / t_alg2),
+                format!("{:.2}x", t_copying / t_alg2),
+            ]);
+            n += 2;
+        }
+        print_table(
+            &format!("X mixer: Algorithm 2 vs FWHT sandwich ({backend:?})"),
+            &[
+                "n",
+                "Algorithm 2",
+                "FWHT in-place",
+                "FWHT + copy",
+                "sandwich/alg2",
+                "copy/alg2",
+            ],
+            &rows,
+        );
+    }
+    println!(
+        "\n(the sandwich does 2n butterfly passes + 1 diagonal vs Algorithm 2's n passes —\n expect ≈2x, worse with the extra copy; memory: Algorithm 2 allocates nothing)"
+    );
+}

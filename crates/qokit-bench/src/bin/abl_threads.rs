@@ -1,0 +1,52 @@
+//! Parallel-scaling ablation — one QAOA layer vs worker count.
+//!
+//! The paper's kernels are data-parallel sweeps; this measures how they
+//! scale with rayon thread-pool size on this machine (the CPU analogue of
+//! the paper's GPU-parallelism claim). Each pool size runs the identical
+//! phase+mixer layer.
+
+use qokit_bench::{bench_n, fast_mode, fmt_time, print_table, time_median};
+use qokit_core::Mixer;
+use qokit_costvec::{precompute_fwht, CostVec};
+use qokit_statevec::{Backend, StateVec};
+use qokit_terms::labs::labs_terms;
+
+fn main() {
+    let n = bench_n(if fast_mode() { 14 } else { 20 });
+    let reps = if fast_mode() { 1 } else { 5 };
+    let poly = labs_terms(n);
+    let costs = CostVec::F64(precompute_fwht(&poly, Backend::Rayon));
+    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+
+    let mut pool_sizes = vec![1usize, 2, 4, 8];
+    pool_sizes.retain(|&t| t <= 2 * hw);
+
+    let mut rows = Vec::new();
+    let mut t1 = None;
+    for &threads in &pool_sizes {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let mut state = StateVec::uniform_superposition(n);
+        let t = pool.install(|| {
+            time_median(reps, || {
+                costs.apply_phase(state.amplitudes_mut(), 0.2, Backend::Rayon);
+                Mixer::X.apply(state.amplitudes_mut(), -0.5, Backend::Rayon);
+            })
+        });
+        let t1v = *t1.get_or_insert(t);
+        rows.push(vec![
+            threads.to_string(),
+            fmt_time(t),
+            format!("{:.2}x", t1v / t),
+            format!("{:.0}%", 100.0 * t1v / (t * threads as f64)),
+        ]);
+    }
+    print_table(
+        &format!("Layer time vs rayon threads, LABS n = {n} (machine has {hw} hw threads)"),
+        &["threads", "layer", "speedup", "efficiency"],
+        &rows,
+    );
+    println!("\n(memory-bound butterfly sweeps: expect near-linear scaling up to the physical\n core count, then saturation — the same profile the paper exploits on GPUs)");
+}

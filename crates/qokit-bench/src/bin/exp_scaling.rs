@@ -1,0 +1,72 @@
+//! §I / Ref. [6] companion experiment — the *kind of study the simulator
+//! exists for*: scaling of QAOA's ground-state overlap with problem size
+//! on LABS.
+//!
+//! For fixed depth p and a fixed linear-ramp schedule, measure the
+//! ground-state overlap `P_gs(n)` for growing n, fit `P_gs ∝ 2^{-c·n}`,
+//! and compare against random guessing (`#ground / 2^n`). The fitted
+//! exponent c < 1 is the whole story of the QAOA-speedup analysis the
+//! paper's companion (arXiv:2308.02342) runs at n ≤ 40 on 1,024 GPUs —
+//! here at laptop sizes, same code path. Also prints the time-to-solution
+//! proxy `1/P_gs` per depth.
+
+use qokit_bench::{bench_n, fast_mode, print_table};
+use qokit_core::{FurSimulator, QaoaSimulator, SimOptions};
+use qokit_optim::schedules::linear_ramp;
+use qokit_statevec::Backend;
+use qokit_terms::labs::labs_terms;
+
+fn main() {
+    let max_n = bench_n(if fast_mode() { 12 } else { 18 });
+    let p = 12;
+    let dt = 0.35;
+    let (gammas, betas) = linear_ramp(p, dt);
+
+    let mut rows = Vec::new();
+    let mut series: Vec<(usize, f64)> = Vec::new();
+    let mut n = 8;
+    while n <= max_n {
+        let poly = labs_terms(n);
+        let sim = FurSimulator::with_options(
+            &poly,
+            SimOptions {
+                backend: Backend::Rayon,
+                quantize_u16: true,
+                ..SimOptions::default()
+            },
+        );
+        let r = sim.simulate_qaoa(&gammas, &betas);
+        let overlap = sim.get_overlap(&r);
+        let n_ground = sim.cost_diagonal().ground_state_indices(1e-9).len();
+        let random = n_ground as f64 / (1u64 << n) as f64;
+        series.push((n, overlap));
+        rows.push(vec![
+            n.to_string(),
+            n_ground.to_string(),
+            format!("{overlap:.3e}"),
+            format!("{random:.3e}"),
+            format!("{:.1}x", overlap / random),
+            format!("{:.1e}", 1.0 / overlap),
+        ]);
+        n += 1;
+    }
+
+    print_table(
+        &format!("QAOA overlap scaling on LABS (p = {p}, linear ramp dt = {dt})"),
+        &["n", "#ground", "P_gs", "random", "gain", "1/P_gs"],
+        &rows,
+    );
+
+    // Least-squares fit of log2 P_gs = a − c·n.
+    let m = series.len() as f64;
+    let sx: f64 = series.iter().map(|&(n, _)| n as f64).sum();
+    let sy: f64 = series.iter().map(|&(_, p)| p.log2()).sum();
+    let sxx: f64 = series.iter().map(|&(n, _)| (n * n) as f64).sum();
+    let sxy: f64 = series.iter().map(|&(n, p)| n as f64 * p.log2()).sum();
+    let c = -(m * sxy - sx * sy) / (m * sxx - sx * sx);
+    println!(
+        "\nfitted P_gs ~ 2^(-{c:.3}·n): QAOA's scaling exponent at this fixed schedule.\n\
+         (Random guessing scales as 2^(-n) up to ground-space degeneracy; c < 1 is the\n\
+         advantage the paper's companion study quantifies at n ≤ 40.)"
+    );
+}

@@ -1,0 +1,51 @@
+//! §VI analysis — gate-count arithmetic behind the paper's fusion
+//! argument: LABS at n = 31 has ≈75n terms and compiles to ≈160n gates per
+//! phase layer; after F=2 fusion a few·n gates remain; QOKit executes only
+//! the n mixer passes (+1 diagonal pass). Expected gate-count speedup
+//! "in the range 4–160×".
+//!
+//! All numbers here are exact counts — no timing.
+
+use qokit_bench::print_table;
+use qokit_gates::LayerAnalysis;
+use qokit_terms::labs::labs_terms;
+
+fn main() {
+    let mut rows = Vec::new();
+    for n in [10usize, 15, 20, 25, 31] {
+        let a = LayerAnalysis::analyze(&labs_terms(n));
+        rows.push(vec![
+            n.to_string(),
+            a.terms.to_string(),
+            format!("{:.1}", a.terms_per_n()),
+            a.phase_decomposed.total.to_string(),
+            format!("{:.1}", a.decomposed_gates_per_n()),
+            a.phase_cancelled.total.to_string(),
+            a.phase_native.total.to_string(),
+            a.fused_layer_gates.to_string(),
+            a.qokit_effective_gates.to_string(),
+            format!("{:.0}x", a.expected_speedup_over_gates()),
+        ]);
+    }
+    print_table(
+        "Gate-count analysis (§VI), LABS phase operator per layer",
+        &[
+            "n",
+            "|T|",
+            "|T|/n",
+            "dec. gates",
+            "gates/n",
+            "CX-cancel",
+            "native",
+            "fused+mixer",
+            "QOKit eff.",
+            "exp. speedup",
+        ],
+        &rows,
+    );
+    println!(
+        "\npaper at n = 31: |T| ≈ 75n = 2325, ≈160n ≈ 4960 gates (CX-sharing compilation).\n\
+         Our per-term ladders give the raw count; the CX-cancel column shows the shared-\n\
+         prefix reduction; 'QOKit eff.' is the n mixer passes + 1 diagonal pass."
+    );
+}

@@ -1,0 +1,199 @@
+//! Measurement sampling and evolution observation.
+//!
+//! QAOA's output is ultimately a *sample*: the paper's premise is that
+//! measuring `|γβ⟩` yields high-quality solutions with high probability.
+//! This module draws bitstring samples from a simulated state (inverse-CDF
+//! over the probability vector) and provides a per-layer observer hook so
+//! studies can record energy/overlap trajectories without re-simulating
+//! prefixes — the pattern behind depth-scaling analyses like the paper's
+//! Ref. [6].
+
+use crate::simulator::{FurSimulator, QaoaSimulator, SimResult};
+use qokit_statevec::StateVec;
+use rand::Rng;
+
+/// Draws `shots` bitstring samples from the measurement distribution of a
+/// state. `O(2^n + shots·log 2^n)` via a cumulative table + binary search.
+pub fn sample_bitstrings<R: Rng>(state: &StateVec, shots: usize, rng: &mut R) -> Vec<u64> {
+    let mut cdf = Vec::with_capacity(state.dim());
+    let mut acc = 0.0f64;
+    for a in state.amplitudes() {
+        acc += a.norm_sqr();
+        cdf.push(acc);
+    }
+    let total = acc.max(f64::MIN_POSITIVE);
+    (0..shots)
+        .map(|_| {
+            let u: f64 = rng.gen::<f64>() * total;
+            // First index with cdf[i] >= u.
+            let mut lo = 0usize;
+            let mut hi = cdf.len() - 1;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if cdf[mid] < u {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo as u64
+        })
+        .collect()
+}
+
+/// Empirical best-cost estimate from samples: the minimum cost observed
+/// over `shots` draws — the quantity a hardware run reports.
+pub fn best_sampled_cost<R: Rng>(
+    sim: &FurSimulator,
+    result: &SimResult,
+    shots: usize,
+    rng: &mut R,
+) -> f64 {
+    let samples = sample_bitstrings(result.state(), shots, rng);
+    samples
+        .into_iter()
+        .map(|x| sim.cost_diagonal().value(x as usize))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Per-layer snapshot handed to [`evolve_with_observer`] callbacks.
+#[derive(Clone, Copy, Debug)]
+pub struct LayerSnapshot {
+    /// 1-based layer index just applied.
+    pub layer: usize,
+    /// Objective `⟨ψ|Ĉ|ψ⟩` after this layer.
+    pub energy: f64,
+    /// Ground-state overlap after this layer.
+    pub overlap: f64,
+}
+
+/// Runs the QAOA evolution, invoking `observer` after every layer with
+/// the running energy and overlap. One simulation instead of `p` prefix
+/// simulations — `O(p·2^n)` instead of `O(p²·2^n)`.
+pub fn evolve_with_observer<F>(
+    sim: &FurSimulator,
+    gammas: &[f64],
+    betas: &[f64],
+    mut observer: F,
+) -> SimResult
+where
+    F: FnMut(LayerSnapshot),
+{
+    assert_eq!(gammas.len(), betas.len(), "gamma/beta length mismatch");
+    let mut state = sim.initial_state();
+    for (l, (&g, &b)) in gammas.iter().zip(betas.iter()).enumerate() {
+        sim.evolve_in_place(&mut state, &[g], &[b]);
+        let energy = sim
+            .cost_diagonal()
+            .expectation(state.amplitudes(), sim.options().backend);
+        let overlap = sim.cost_diagonal().overlap(state.amplitudes());
+        observer(LayerSnapshot {
+            layer: l + 1,
+            energy,
+            overlap,
+        });
+    }
+    SimResult::new(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::SimOptions;
+    use qokit_statevec::Backend;
+    use qokit_terms::labs::labs_terms;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sim(n: usize) -> FurSimulator {
+        FurSimulator::with_options(
+            &labs_terms(n),
+            SimOptions {
+                backend: Backend::Serial,
+                ..SimOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn basis_state_samples_are_deterministic() {
+        let s = StateVec::basis_state(5, 19);
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples = sample_bitstrings(&s, 50, &mut rng);
+        assert!(samples.iter().all(|&x| x == 19));
+    }
+
+    #[test]
+    fn uniform_samples_cover_support() {
+        let s = StateVec::uniform_superposition(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples = sample_bitstrings(&s, 4000, &mut rng);
+        let mut counts = [0usize; 16];
+        for &x in &samples {
+            counts[x as usize] += 1;
+        }
+        // Every outcome appears; frequencies within a loose band of 1/16.
+        for (x, &c) in counts.iter().enumerate() {
+            assert!(c > 100 && c < 450, "x = {x}: count {c}");
+        }
+    }
+
+    #[test]
+    fn dicke_samples_have_fixed_weight() {
+        let s = StateVec::dicke_state(8, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        for x in sample_bitstrings(&s, 300, &mut rng) {
+            assert_eq!(x.count_ones(), 3);
+        }
+    }
+
+    #[test]
+    fn best_sampled_cost_bounded_by_extrema() {
+        let sim = sim(8);
+        let r = sim.simulate_qaoa(&[0.2], &[-0.5]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let best = best_sampled_cost(&sim, &r, 200, &mut rng);
+        let (lo, hi) = sim.cost_diagonal().extrema();
+        assert!(best >= lo && best <= hi);
+    }
+
+    #[test]
+    fn more_shots_never_worse() {
+        let sim = sim(8);
+        let r = sim.simulate_qaoa(&[0.2, 0.15], &[-0.5, -0.2]);
+        let best_few = best_sampled_cost(&sim, &r, 10, &mut StdRng::seed_from_u64(5));
+        let best_many = best_sampled_cost(&sim, &r, 2000, &mut StdRng::seed_from_u64(5));
+        assert!(best_many <= best_few);
+    }
+
+    #[test]
+    fn observer_sees_every_layer_and_final_state_matches() {
+        let sim = sim(7);
+        let (g, b) = (vec![0.2, 0.1, 0.15], vec![-0.6, -0.4, -0.2]);
+        let mut layers = Vec::new();
+        let observed = evolve_with_observer(&sim, &g, &b, |snap| layers.push(snap));
+        assert_eq!(layers.len(), 3);
+        assert_eq!(layers.last().unwrap().layer, 3);
+        let direct = sim.simulate_qaoa(&g, &b);
+        assert!(observed.state().max_abs_diff(direct.state()) < 1e-12);
+        assert!(
+            (layers.last().unwrap().energy - sim.get_expectation(&direct)).abs() < 1e-10,
+            "final snapshot must equal the direct result"
+        );
+        for s in &layers {
+            assert!((0.0..=1.0 + 1e-12).contains(&s.overlap));
+        }
+    }
+
+    #[test]
+    fn observer_prefixes_match_separate_runs() {
+        let sim = sim(6);
+        let (g, b) = (vec![0.3, 0.25], vec![-0.5, -0.35]);
+        let mut energies = Vec::new();
+        let _ = evolve_with_observer(&sim, &g, &b, |snap| energies.push(snap.energy));
+        for p in 1..=2 {
+            let r = sim.simulate_qaoa(&g[..p], &b[..p]);
+            assert!((energies[p - 1] - sim.get_expectation(&r)).abs() < 1e-10, "p = {p}");
+        }
+    }
+}

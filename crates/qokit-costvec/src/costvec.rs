@@ -1,0 +1,369 @@
+//! The stored cost diagonal `⃗C` and its two representations.
+//!
+//! The paper stores the precomputed diagonal either as `f64` (default) or —
+//! when the cost values are integers of known range, as for LABS where
+//! `max f < 2^16` for `n < 65` (§V-B) — as `u16`, which cuts the memory
+//! overhead of the cost vector to 2 bytes against 16 bytes per `complex128`
+//! amplitude: the "+12.5 %" figure of the introduction.
+
+use crate::precompute::{precompute, PrecomputeMethod};
+use qokit_statevec::diag;
+use qokit_statevec::exec::Backend;
+use qokit_statevec::C64;
+use qokit_terms::SpinPolynomial;
+
+/// Error cases for `u16` quantization.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QuantizeError {
+    /// A value is not an integer multiple of the step after shifting
+    /// (exact mode only).
+    NotIntegral {
+        /// Offending vector index.
+        index: usize,
+        /// Offending value.
+        value: f64,
+    },
+    /// The value range does not fit `u16` at the requested step.
+    RangeTooWide {
+        /// Observed `max − min`.
+        span: f64,
+        /// Largest span representable: `step · 65535`.
+        representable: f64,
+    },
+}
+
+impl std::fmt::Display for QuantizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantizeError::NotIntegral { index, value } => {
+                write!(f, "cost[{index}] = {value} is not on the quantization grid")
+            }
+            QuantizeError::RangeTooWide { span, representable } => {
+                write!(f, "cost span {span} exceeds u16-representable {representable}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantizeError {}
+
+/// The precomputed cost diagonal, in either representation.
+#[derive(Clone, Debug)]
+pub enum CostVec {
+    /// Full-precision values.
+    F64(Vec<f64>),
+    /// Quantized values: `c_x = offset + step·data[x]`.
+    U16 {
+        /// Quantized levels.
+        data: Vec<u16>,
+        /// Value of level 0.
+        offset: f64,
+        /// Grid step between adjacent levels.
+        step: f64,
+    },
+}
+
+impl CostVec {
+    /// Precomputes the diagonal for a polynomial (`f64` representation).
+    pub fn from_polynomial(poly: &SpinPolynomial, method: PrecomputeMethod, backend: Backend) -> Self {
+        CostVec::F64(precompute(poly, method, backend))
+    }
+
+    /// Exact `u16` quantization on the integer grid `offset + step·k`:
+    /// every value must already be of that form (the LABS case with
+    /// `step = 1`). Fails loudly rather than rounding.
+    pub fn quantize_exact(costs: &[f64], step: f64) -> Result<Self, QuantizeError> {
+        assert!(step > 0.0, "quantization step must be positive");
+        let min = costs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = costs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = max - min;
+        let representable = step * u16::MAX as f64;
+        if span > representable + 1e-9 {
+            return Err(QuantizeError::RangeTooWide { span, representable });
+        }
+        let mut data = Vec::with_capacity(costs.len());
+        for (index, &value) in costs.iter().enumerate() {
+            let level = (value - min) / step;
+            let rounded = level.round();
+            if (level - rounded).abs() > 1e-6 {
+                return Err(QuantizeError::NotIntegral { index, value });
+            }
+            data.push(rounded as u16);
+        }
+        Ok(CostVec::U16 {
+            data,
+            offset: min,
+            step,
+        })
+    }
+
+    /// Lossy `u16` quantization onto a uniform 65536-level grid spanning
+    /// `[min, max]`. Returns the vector and the worst-case absolute
+    /// rounding error (`≤ step/2`).
+    pub fn quantize_lossy(costs: &[f64]) -> (Self, f64) {
+        let min = costs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = costs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = (max - min).max(f64::MIN_POSITIVE);
+        let step = span / u16::MAX as f64;
+        let mut worst = 0.0f64;
+        let data = costs
+            .iter()
+            .map(|&v| {
+                let level = ((v - min) / step).round().min(u16::MAX as f64);
+                let err = (min + step * level - v).abs();
+                worst = worst.max(err);
+                level as u16
+            })
+            .collect();
+        (
+            CostVec::U16 {
+                data,
+                offset: min,
+                step,
+            },
+            worst,
+        )
+    }
+
+    /// Number of entries (`2^n`).
+    pub fn len(&self) -> usize {
+        match self {
+            CostVec::F64(v) => v.len(),
+            CostVec::U16 { data, .. } => data.len(),
+        }
+    }
+
+    /// `true` when empty (never for a real cost vector).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of qubits `n` (`len = 2^n`).
+    pub fn n_qubits(&self) -> usize {
+        debug_assert!(self.len().is_power_of_two());
+        self.len().trailing_zeros() as usize
+    }
+
+    /// The cost value at index `x`.
+    #[inline]
+    pub fn value(&self, x: usize) -> f64 {
+        match self {
+            CostVec::F64(v) => v[x],
+            CostVec::U16 { data, offset, step } => offset + step * data[x] as f64,
+        }
+    }
+
+    /// Materializes the full-precision vector (allocates for `U16`).
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        match self {
+            CostVec::F64(v) => v.clone(),
+            CostVec::U16 { data, offset, step } => data
+                .iter()
+                .map(|&q| offset + step * q as f64)
+                .collect(),
+        }
+    }
+
+    /// Applies the QAOA phase operator `ψ_x ← e^{-iγ c_x} ψ_x` in place —
+    /// the paper's single elementwise product per layer.
+    pub fn apply_phase(&self, amps: &mut [C64], gamma: f64, backend: Backend) {
+        match self {
+            CostVec::F64(v) => diag::apply_phase(amps, v, gamma, backend),
+            CostVec::U16 { data, offset, step } => match backend {
+                Backend::Serial => diag::apply_phase_u16_serial(amps, data, *offset, *step, gamma),
+                Backend::Rayon => diag::apply_phase_u16_rayon(amps, data, *offset, *step, gamma),
+            },
+        }
+    }
+
+    /// The QAOA objective `⟨ψ|Ĉ|ψ⟩ = Σ c_x |ψ_x|²` — the paper's single
+    /// inner product.
+    pub fn expectation(&self, amps: &[C64], backend: Backend) -> f64 {
+        match self {
+            CostVec::F64(v) => diag::expectation(amps, v, backend),
+            CostVec::U16 { data, offset, step } => {
+                diag::expectation_u16(amps, data, *offset, *step, backend)
+            }
+        }
+    }
+
+    /// Minimum and maximum cost values.
+    pub fn extrema(&self) -> (f64, f64) {
+        match self {
+            CostVec::F64(v) => v.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &c| {
+                (lo.min(c), hi.max(c))
+            }),
+            CostVec::U16 { data, offset, step } => {
+                let (lo, hi) = data
+                    .iter()
+                    .fold((u16::MAX, 0u16), |(lo, hi), &q| (lo.min(q), hi.max(q)));
+                (offset + step * lo as f64, offset + step * hi as f64)
+            }
+        }
+    }
+
+    /// Indices of all minimum-cost (ground) states, within tolerance `tol`.
+    pub fn ground_state_indices(&self, tol: f64) -> Vec<usize> {
+        let (min, _) = self.extrema();
+        (0..self.len())
+            .filter(|&x| self.value(x) <= min + tol)
+            .collect()
+    }
+
+    /// Ground-state overlap `Σ_{x: c_x = min} |ψ_x|²` — QOKit's
+    /// `get_overlap`.
+    pub fn overlap(&self, amps: &[C64]) -> f64 {
+        let ground = self.ground_state_indices(1e-9);
+        diag::probability_mass(amps, &ground)
+    }
+
+    /// Bytes held by the stored representation.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            CostVec::F64(v) => v.len() * std::mem::size_of::<f64>(),
+            CostVec::U16 { data, .. } => data.len() * std::mem::size_of::<u16>(),
+        }
+    }
+
+    /// Memory overhead of this cost vector relative to the `complex128`
+    /// state vector it accompanies — the paper's 12.5 % claim is
+    /// `overhead_vs_state() == 0.125` for the `U16` representation.
+    pub fn overhead_vs_state(&self) -> f64 {
+        let state_bytes = self.len() * qokit_statevec::AMP_BYTES;
+        self.memory_bytes() as f64 / state_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qokit_statevec::StateVec;
+    use qokit_terms::labs::labs_terms;
+    use qokit_terms::maxcut::maxcut_polynomial;
+    use qokit_terms::Graph;
+
+    fn labs_costvec(n: usize) -> CostVec {
+        CostVec::from_polynomial(&labs_terms(n), PrecomputeMethod::Fwht, Backend::Serial)
+    }
+
+    #[test]
+    fn exact_quantization_roundtrips_labs() {
+        let cv = labs_costvec(10);
+        let f64s = cv.to_f64_vec();
+        // LABS paper costs are integers on a step-1/2 grid? They are
+        // integers: weights are 1 and 2 with ±1 products.
+        let q = CostVec::quantize_exact(&f64s, 1.0).expect("LABS costs are integral");
+        for (x, &v) in f64s.iter().enumerate() {
+            assert_eq!(q.value(x), v, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn exact_quantization_rejects_non_integral() {
+        let err = CostVec::quantize_exact(&[0.0, 0.5, 1.0], 1.0).unwrap_err();
+        assert!(matches!(err, QuantizeError::NotIntegral { index: 1, .. }));
+    }
+
+    #[test]
+    fn exact_quantization_rejects_wide_range() {
+        let err = CostVec::quantize_exact(&[0.0, 70000.0], 1.0).unwrap_err();
+        assert!(matches!(err, QuantizeError::RangeTooWide { .. }));
+    }
+
+    #[test]
+    fn lossy_quantization_error_bound() {
+        let costs: Vec<f64> = (0..256).map(|i| (i as f64 * 0.1).sin() * 3.0).collect();
+        let (q, worst) = CostVec::quantize_lossy(&costs);
+        let step = match &q {
+            CostVec::U16 { step, .. } => *step,
+            _ => unreachable!(),
+        };
+        assert!(worst <= step / 2.0 + 1e-12);
+        for (x, &v) in costs.iter().enumerate() {
+            assert!((q.value(x) - v).abs() <= worst + 1e-12);
+        }
+    }
+
+    #[test]
+    fn memory_overhead_figures() {
+        let cv = labs_costvec(8);
+        // f64 representation: 8/16 = 50 % of the state vector.
+        assert!((cv.overhead_vs_state() - 0.5).abs() < 1e-12);
+        let q = CostVec::quantize_exact(&cv.to_f64_vec(), 1.0).unwrap();
+        // u16 representation: 2/16 = 12.5 % — the paper's headline figure.
+        assert!((q.overhead_vs_state() - 0.125).abs() < 1e-12);
+        assert_eq!(q.memory_bytes(), 2 * 256);
+    }
+
+    #[test]
+    fn phase_and_expectation_agree_across_representations() {
+        let n = 9;
+        let cv = labs_costvec(n);
+        let q = CostVec::quantize_exact(&cv.to_f64_vec(), 1.0).unwrap();
+        let mut a = StateVec::uniform_superposition(n);
+        let mut b = a.clone();
+        cv.apply_phase(a.amplitudes_mut(), 0.37, Backend::Serial);
+        q.apply_phase(b.amplitudes_mut(), 0.37, Backend::Rayon);
+        assert!(a.max_abs_diff(&b) < 1e-10);
+        let ea = cv.expectation(a.amplitudes(), Backend::Serial);
+        let eb = q.expectation(b.amplitudes(), Backend::Rayon);
+        assert!((ea - eb).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_state_expectation_is_mean_cost() {
+        let n = 8;
+        let cv = labs_costvec(n);
+        let s = StateVec::uniform_superposition(n);
+        let mean = cv.to_f64_vec().iter().sum::<f64>() / cv.len() as f64;
+        assert!((cv.expectation(s.amplitudes(), Backend::Serial) - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ground_states_match_brute_force() {
+        let g = Graph::ring(6, 1.0);
+        let poly = maxcut_polynomial(&g);
+        let cv = CostVec::from_polynomial(&poly, PrecomputeMethod::Direct, Backend::Serial);
+        let (fmin, args) = poly.brute_force_minimum();
+        let (lo, _) = cv.extrema();
+        assert!((lo - fmin).abs() < 1e-12);
+        let ground: Vec<u64> = cv.ground_state_indices(1e-9).iter().map(|&x| x as u64).collect();
+        assert_eq!(ground, args);
+    }
+
+    #[test]
+    fn overlap_of_ground_basis_state_is_one() {
+        let g = Graph::ring(6, 1.0);
+        let cv = CostVec::from_polynomial(
+            &maxcut_polynomial(&g),
+            PrecomputeMethod::Direct,
+            Backend::Serial,
+        );
+        let ground = cv.ground_state_indices(1e-9)[0];
+        let s = StateVec::basis_state(6, ground);
+        assert!((cv.overlap(s.amplitudes()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_of_uniform_state_counts_ground_states() {
+        let n = 6;
+        let g = Graph::ring(n, 1.0);
+        let cv = CostVec::from_polynomial(
+            &maxcut_polynomial(&g),
+            PrecomputeMethod::Direct,
+            Backend::Serial,
+        );
+        let s = StateVec::uniform_superposition(n);
+        let k = cv.ground_state_indices(1e-9).len() as f64;
+        assert!((cv.overlap(s.amplitudes()) - k / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extrema_consistent_between_representations() {
+        let cv = labs_costvec(9);
+        let q = CostVec::quantize_exact(&cv.to_f64_vec(), 1.0).unwrap();
+        let (a, b) = cv.extrema();
+        let (c, d) = q.extrema();
+        assert!((a - c).abs() < 1e-9 && (b - d).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,31 @@
+//! # qokit-costvec
+//!
+//! Cost-vector precomputation for the QOKit reproduction (§III-A and §V-B
+//! of *Fast Simulation of High-Depth QAOA Circuits*): evaluating the
+//! diagonal problem Hamiltonian `Ĉ` on all `2^n` bitstrings once, storing
+//! it as `f64` or quantized `u16`, and applying it as phase operator or
+//! objective with a single vector pass.
+//!
+//! ```
+//! use qokit_costvec::{CostVec, PrecomputeMethod};
+//! use qokit_statevec::{Backend, StateVec};
+//! use qokit_terms::labs::labs_terms;
+//!
+//! let poly = labs_terms(10);
+//! let costs = CostVec::from_polynomial(&poly, PrecomputeMethod::Fwht, Backend::Serial);
+//! let mut state = StateVec::uniform_superposition(10);
+//! costs.apply_phase(state.amplitudes_mut(), 0.1, Backend::Serial);
+//! let energy = costs.expectation(state.amplitudes(), Backend::Serial);
+//! assert!(energy.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod costvec;
+pub mod precompute;
+
+pub use costvec::{CostVec, QuantizeError};
+pub use precompute::{
+    fill_direct_slice, precompute, precompute_direct, precompute_from_fn, precompute_fwht,
+    PrecomputeMethod,
+};

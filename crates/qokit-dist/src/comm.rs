@@ -1,0 +1,324 @@
+//! Simulated MPI communicator (§III-C substitution).
+//!
+//! The paper runs on K GPUs connected by Cray MPICH; here K "ranks" are
+//! OS threads exchanging owned buffers over channels. The collective that
+//! matters is `MPI_Alltoall`: rank `r` splits its slice into K subchunks
+//! and sends subchunk `j` to rank `j`, receiving subchunk `r` of every
+//! peer — the `V_abc → V_bac` transpose of Algorithm 4. Byte counters let
+//! the benchmarks report communication volume exactly.
+//!
+//! SPMD discipline: every rank calls the same collectives in the same
+//! order (enforced by construction — the worker closure is shared), so
+//! per-sender FIFO channel ordering is enough to match messages to
+//! collectives without sequence tags.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use qokit_statevec::C64;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+/// Bytes moved between ranks, per rank (local self-copies excluded, like
+/// MPI counts).
+#[derive(Clone, Debug, Default)]
+pub struct CommStats {
+    /// Bytes each rank sent to peers.
+    pub bytes_sent_per_rank: Vec<u64>,
+    /// Number of all-to-all collectives executed.
+    pub alltoall_calls: u64,
+}
+
+impl CommStats {
+    /// Total bytes on the wire across all ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent_per_rank.iter().sum()
+    }
+}
+
+struct Mailboxes {
+    /// data_tx[dst] delivers `(src, payload)` to rank `dst`.
+    data_tx: Vec<Sender<(usize, Vec<C64>)>>,
+    scalar_tx: Vec<Sender<(usize, f64)>>,
+}
+
+/// Per-rank communicator handle passed to the SPMD worker closure.
+pub struct RankCtx {
+    rank: usize,
+    size: usize,
+    mail: Arc<Mailboxes>,
+    data_rx: Receiver<(usize, Vec<C64>)>,
+    scalar_rx: Receiver<(usize, f64)>,
+    barrier: Arc<Barrier>,
+    bytes_sent: Arc<Vec<AtomicU64>>,
+    alltoall_calls: Arc<AtomicU64>,
+}
+
+impl RankCtx {
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks K.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Synchronizes all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// In-place `MPI_Alltoall` on a local slice: subchunk `j` goes to rank
+    /// `j`; subchunk `s` is replaced by the data received from rank `s`.
+    ///
+    /// # Panics
+    /// If the slice length is not divisible by the rank count.
+    pub fn alltoall(&self, local: &mut [C64]) {
+        let k = self.size;
+        assert!(
+            local.len() % k == 0 && local.len() / k > 0,
+            "slice length {} not divisible into {k} subchunks",
+            local.len()
+        );
+        let sub = local.len() / k;
+        if k == 1 {
+            return; // single rank: transpose is the identity
+        }
+        for dst in 0..k {
+            if dst == self.rank {
+                continue; // own subchunk stays in place
+            }
+            let payload = local[dst * sub..(dst + 1) * sub].to_vec();
+            self.bytes_sent[self.rank]
+                .fetch_add((payload.len() * std::mem::size_of::<C64>()) as u64, Ordering::Relaxed);
+            self.mail.data_tx[dst]
+                .send((self.rank, payload))
+                .expect("peer rank hung up");
+        }
+        for _ in 0..k - 1 {
+            let (src, payload) = self.data_rx.recv().expect("peer rank hung up");
+            local[src * sub..(src + 1) * sub].copy_from_slice(&payload);
+        }
+        if self.rank == 0 {
+            self.alltoall_calls.fetch_add(1, Ordering::Relaxed);
+        }
+        // The collective completes on all ranks before anyone proceeds —
+        // matching MPI_Alltoall's completion semantics.
+        self.barrier();
+    }
+
+    /// All-reduce of one scalar with a binary operation (every rank gets
+    /// the reduction of all contributions, applied in rank order).
+    pub fn allreduce(&self, value: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
+        if self.size == 1 {
+            return value;
+        }
+        for dst in 0..self.size {
+            if dst != self.rank {
+                self.mail.scalar_tx[dst]
+                    .send((self.rank, value))
+                    .expect("peer rank hung up");
+            }
+        }
+        let mut received: Vec<(usize, f64)> = vec![(self.rank, value)];
+        for _ in 0..self.size - 1 {
+            received.push(self.scalar_rx.recv().expect("peer rank hung up"));
+        }
+        // Rank-order reduction keeps the result bit-identical on all ranks.
+        received.sort_by_key(|&(src, _)| src);
+        let mut acc = received[0].1;
+        for &(_, v) in &received[1..] {
+            acc = op(acc, v);
+        }
+        self.barrier();
+        acc
+    }
+
+    /// Sum all-reduce.
+    pub fn allreduce_sum(&self, value: f64) -> f64 {
+        self.allreduce(value, |a, b| a + b)
+    }
+
+    /// Min all-reduce.
+    pub fn allreduce_min(&self, value: f64) -> f64 {
+        self.allreduce(value, f64::min)
+    }
+}
+
+/// Runs `worker` on `size` rank threads (SPMD) and returns each rank's
+/// result in rank order, together with communication statistics.
+///
+/// # Panics
+/// If `size` is zero or a worker panics.
+pub fn spmd<T, F>(size: usize, worker: F) -> (Vec<T>, CommStats)
+where
+    T: Send,
+    F: Fn(&RankCtx) -> T + Sync,
+{
+    assert!(size > 0, "need at least one rank");
+    let mut data_tx = Vec::with_capacity(size);
+    let mut data_rx = Vec::with_capacity(size);
+    let mut scalar_tx = Vec::with_capacity(size);
+    let mut scalar_rx = Vec::with_capacity(size);
+    for _ in 0..size {
+        let (tx, rx) = unbounded();
+        data_tx.push(tx);
+        data_rx.push(rx);
+        let (tx, rx) = unbounded();
+        scalar_tx.push(tx);
+        scalar_rx.push(rx);
+    }
+    let mail = Arc::new(Mailboxes { data_tx, scalar_tx });
+    let barrier = Arc::new(Barrier::new(size));
+    let bytes_sent: Arc<Vec<AtomicU64>> =
+        Arc::new((0..size).map(|_| AtomicU64::new(0)).collect());
+    let alltoall_calls = Arc::new(AtomicU64::new(0));
+
+    let mut results: Vec<Option<T>> = (0..size).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(size);
+        for (rank, (drx, srx)) in data_rx.into_iter().zip(scalar_rx).enumerate() {
+            let ctx = RankCtx {
+                rank,
+                size,
+                mail: Arc::clone(&mail),
+                data_rx: drx,
+                scalar_rx: srx,
+                barrier: Arc::clone(&barrier),
+                bytes_sent: Arc::clone(&bytes_sent),
+                alltoall_calls: Arc::clone(&alltoall_calls),
+            };
+            let worker = &worker;
+            handles.push(scope.spawn(move |_| worker(&ctx)));
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            results[rank] = Some(h.join().expect("rank thread panicked"));
+        }
+    })
+    .expect("SPMD scope failed");
+
+    let stats = CommStats {
+        bytes_sent_per_rank: bytes_sent.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+        alltoall_calls: alltoall_calls.load(Ordering::Relaxed),
+    };
+    (results.into_iter().map(Option::unwrap).collect(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_alltoall_is_identity() {
+        let (results, stats) = spmd(1, |ctx| {
+            let mut v = vec![C64::from_re(1.0), C64::from_re(2.0)];
+            ctx.alltoall(&mut v);
+            v
+        });
+        assert_eq!(results[0][1], C64::from_re(2.0));
+        assert_eq!(stats.total_bytes(), 0);
+    }
+
+    #[test]
+    fn alltoall_transposes_rank_and_block() {
+        // Rank r starts with blocks [r*K+0, …, r*K+(K-1)] (block j tagged
+        // with j); after alltoall rank r must hold block r of every peer:
+        // value s*K+r at block s.
+        let k = 4;
+        let sub = 3;
+        let (results, stats) = spmd(k, |ctx| {
+            let r = ctx.rank();
+            let mut v: Vec<C64> = (0..k * sub)
+                .map(|i| C64::from_re((r * k + i / sub) as f64))
+                .collect();
+            ctx.alltoall(&mut v);
+            v
+        });
+        for (r, v) in results.iter().enumerate() {
+            for s in 0..k {
+                for e in 0..sub {
+                    assert_eq!(
+                        v[s * sub + e],
+                        C64::from_re((s * k + r) as f64),
+                        "rank {r}, block {s}"
+                    );
+                }
+            }
+        }
+        // Each rank sends (K-1) subchunks of `sub` C64s.
+        let expected = (k * (k - 1) * sub * 16) as u64;
+        assert_eq!(stats.total_bytes(), expected);
+        assert_eq!(stats.alltoall_calls, 1);
+    }
+
+    #[test]
+    fn alltoall_twice_restores() {
+        let k = 4;
+        let sub = 2;
+        let (results, _) = spmd(k, |ctx| {
+            let orig: Vec<C64> = (0..k * sub)
+                .map(|i| C64::new(ctx.rank() as f64, i as f64))
+                .collect();
+            let mut v = orig.clone();
+            ctx.alltoall(&mut v);
+            ctx.alltoall(&mut v);
+            (orig, v)
+        });
+        for (orig, v) in results {
+            assert_eq!(orig, v);
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_and_min() {
+        let (results, _) = spmd(5, |ctx| {
+            let v = ctx.rank() as f64 + 1.0;
+            (ctx.allreduce_sum(v), ctx.allreduce_min(v))
+        });
+        for (sum, min) in results {
+            assert_eq!(sum, 15.0);
+            assert_eq!(min, 1.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_is_deterministic_across_ranks() {
+        let (results, _) = spmd(7, |ctx| {
+            ctx.allreduce_sum(0.1 * (ctx.rank() as f64 + 1.0))
+        });
+        for w in results.windows(2) {
+            assert_eq!(w[0].to_bits(), w[1].to_bits(), "must be bit-identical");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn alltoall_rejects_indivisible_slice() {
+        // The length assertion fires inside a rank thread; spmd surfaces it
+        // as a join failure.
+        let (_, _) = spmd(3, |ctx| {
+            let mut v = vec![C64::ZERO; 4];
+            ctx.alltoall(&mut v);
+        });
+    }
+
+    #[test]
+    fn consecutive_collectives_do_not_cross_talk() {
+        let k = 3;
+        let (results, _) = spmd(k, |ctx| {
+            let mut a: Vec<C64> = (0..k).map(|i| C64::from_re((ctx.rank() * k + i) as f64)).collect();
+            let mut b: Vec<C64> = (0..k).map(|i| C64::from_re(100.0 + (ctx.rank() * k + i) as f64)).collect();
+            ctx.alltoall(&mut a);
+            ctx.alltoall(&mut b);
+            let s = ctx.allreduce_sum(1.0);
+            (a, b, s)
+        });
+        for (r, (a, b, s)) in results.iter().enumerate() {
+            assert_eq!(*s, k as f64);
+            for j in 0..k {
+                assert_eq!(a[j], C64::from_re((j * k + r) as f64));
+                assert_eq!(b[j], C64::from_re(100.0 + (j * k + r) as f64));
+            }
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! Distributed QAOA simulation — Algorithm 4 of the paper on the simulated
+//! communicator of [`crate::comm`].
+//!
+//! Each of K ranks owns a `2^{n-k}`-amplitude slice (fixing the top `k`
+//! qubits to the rank id). Precomputation and the phase operator are local
+//! (the paper's locality argument); only the mixer needs the two all-to-all
+//! transposes. Within a rank all kernels run serially — one rank models one
+//! GPU, and rank-internal parallelism is the GPU's job, not the host's.
+
+use crate::comm::{spmd, CommStats};
+use qokit_costvec::fill_direct_slice;
+use qokit_statevec::diag::{apply_phase_serial, expectation_serial};
+use qokit_statevec::su2::apply_mat2_serial;
+use qokit_statevec::{C64, Mat2, StateVec};
+use qokit_terms::SpinPolynomial;
+
+/// Construction errors for the distributed simulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DistError {
+    /// The rank count must be a power of two (ranks = fixed qubits).
+    RanksNotPowerOfTwo(usize),
+    /// Algorithm 4 requires `2k ≤ n` so every all-to-all subchunk holds at
+    /// least one amplitude.
+    TooManyRanks {
+        /// Qubits in the simulation.
+        n: usize,
+        /// Requested rank count.
+        ranks: usize,
+    },
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::RanksNotPowerOfTwo(k) => write!(f, "rank count {k} is not a power of two"),
+            DistError::TooManyRanks { n, ranks } => write!(
+                f,
+                "{ranks} ranks need 2·log2({ranks}) ≤ {n} qubits (paper's 2k ≤ n constraint)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// Result of a distributed simulation: outputs are computed with
+/// distributed reductions, and the state is gathered (QOKit's
+/// `mpi_gather=True` default) so downstream code sees an ordinary vector.
+#[derive(Clone, Debug)]
+pub struct DistResult {
+    /// The gathered state vector.
+    pub state: StateVec,
+    /// `⟨ψ|Ĉ|ψ⟩`, reduced across ranks.
+    pub expectation: f64,
+    /// Ground-state overlap, reduced across ranks.
+    pub overlap: f64,
+    /// Global minimum cost.
+    pub min_cost: f64,
+    /// Communication statistics of the whole run.
+    pub comm: CommStats,
+}
+
+/// Distributed QAOA simulator (transverse-field mixer).
+#[derive(Clone, Debug)]
+pub struct DistSimulator {
+    poly: SpinPolynomial,
+    n: usize,
+    n_ranks: usize,
+    k_bits: usize,
+}
+
+impl DistSimulator {
+    /// Builds a simulator over `n_ranks` simulated GPUs.
+    pub fn new(poly: SpinPolynomial, n_ranks: usize) -> Result<Self, DistError> {
+        if !n_ranks.is_power_of_two() {
+            return Err(DistError::RanksNotPowerOfTwo(n_ranks));
+        }
+        let n = poly.n_vars();
+        let k_bits = n_ranks.trailing_zeros() as usize;
+        if 2 * k_bits > n {
+            return Err(DistError::TooManyRanks { n, ranks: n_ranks });
+        }
+        Ok(DistSimulator {
+            poly,
+            n,
+            n_ranks,
+            k_bits,
+        })
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Number of ranks K.
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// Amplitudes per rank (`2^{n-k}`).
+    pub fn slice_len(&self) -> usize {
+        1usize << (self.n - self.k_bits)
+    }
+
+    /// Runs the full distributed QAOA pipeline: per-rank precompute (no
+    /// communication), `p` layers of local phase + Algorithm-4 mixer, and
+    /// distributed reductions for the outputs.
+    ///
+    /// # Panics
+    /// If `gammas.len() != betas.len()`.
+    pub fn simulate_qaoa(&self, gammas: &[f64], betas: &[f64]) -> DistResult {
+        self.simulate_qaoa_impl(gammas, betas, false)
+    }
+
+    /// As [`simulate_qaoa`](Self::simulate_qaoa), but each rank stores its
+    /// cost slice as `u16` (§V-B: the paper's 1,024-GPU runs store the
+    /// diagonal as a `2^n` vector of `uint16`). The quantization grid is
+    /// agreed globally with a min all-reduce so every rank decodes
+    /// identically; non-integral costs fall back to `f64` silently.
+    pub fn simulate_qaoa_quantized(&self, gammas: &[f64], betas: &[f64]) -> DistResult {
+        self.simulate_qaoa_impl(gammas, betas, true)
+    }
+
+    fn simulate_qaoa_impl(&self, gammas: &[f64], betas: &[f64], quantize: bool) -> DistResult {
+        assert_eq!(gammas.len(), betas.len(), "gamma/beta length mismatch");
+        let kb = self.k_bits;
+        let local_n = self.n - kb;
+        let slice_len = 1usize << local_n;
+        let amp0 = 1.0 / (1u64 << self.n) as f64;
+        let poly = &self.poly;
+
+        let (per_rank, comm) = spmd(self.n_ranks, |ctx| {
+            // §III-A locality: the rank's cost slice is computed from the
+            // terms alone — zero communication.
+            let start = (ctx.rank() << local_n) as u64;
+            let mut costs = vec![0.0f64; slice_len];
+            fill_direct_slice(poly, start, &mut costs);
+
+            // §V-B: quantize the slice onto a globally agreed integer grid
+            // (offset = global min, step 1). Costs one scalar all-reduce
+            // and one local integrality check — still no bulk traffic.
+            let quantized: Option<(Vec<u16>, f64)> = if quantize {
+                let local_min = costs.iter().copied().fold(f64::INFINITY, f64::min);
+                let local_max = costs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let gmin = ctx.allreduce_min(local_min);
+                let gmax = -ctx.allreduce_min(-local_max);
+                let integral = costs
+                    .iter()
+                    .all(|&c| (c - gmin - (c - gmin).round()).abs() < 1e-6);
+                let fits = gmax - gmin <= u16::MAX as f64;
+                // Every rank computes `fits` identically (global extrema),
+                // but integrality is local: agree with a min-reduce.
+                let ok = ctx.allreduce_min(if integral && fits { 1.0 } else { 0.0 }) > 0.5;
+                if ok {
+                    let q = costs.iter().map(|&c| (c - gmin).round() as u16).collect();
+                    Some((q, gmin))
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            if let Some((q, offset)) = &quantized {
+                // Keep only the 2-byte representation alive (the point of
+                // §V-B); decode on the fly below.
+                costs = Vec::new();
+                let mut amps = vec![C64::from_re(amp0.sqrt()); slice_len];
+                for (&gamma, &beta) in gammas.iter().zip(betas.iter()) {
+                    qokit_statevec::diag::apply_phase_u16_serial(&mut amps, q, *offset, 1.0, gamma);
+                    self.apply_mixer_alg4(ctx, &mut amps, beta);
+                }
+                let local_exp =
+                    qokit_statevec::diag::expectation_u16(&amps, q, *offset, 1.0, qokit_statevec::Backend::Serial);
+                let expectation = ctx.allreduce_sum(local_exp);
+                let local_min = q.iter().copied().min().unwrap_or(0) as f64 + offset;
+                let min_cost = ctx.allreduce_min(local_min);
+                let local_overlap: f64 = amps
+                    .iter()
+                    .zip(q.iter())
+                    .filter(|(_, &qq)| qq as f64 + offset <= min_cost + 1e-9)
+                    .map(|(a, _)| a.norm_sqr())
+                    .sum();
+                let overlap = ctx.allreduce_sum(local_overlap);
+                return (amps, expectation, overlap, min_cost);
+            }
+
+            let mut amps = vec![C64::from_re(amp0.sqrt()); slice_len];
+            for (&gamma, &beta) in gammas.iter().zip(betas.iter()) {
+                apply_phase_serial(&mut amps, &costs, gamma);
+                self.apply_mixer_alg4(ctx, &mut amps, beta);
+            }
+
+            // Distributed outputs.
+            let local_exp = expectation_serial(&amps, &costs);
+            let expectation = ctx.allreduce_sum(local_exp);
+            let local_min = costs.iter().copied().fold(f64::INFINITY, f64::min);
+            let min_cost = ctx.allreduce_min(local_min);
+            let local_overlap: f64 = amps
+                .iter()
+                .zip(costs.iter())
+                .filter(|(_, &c)| c <= min_cost + 1e-9)
+                .map(|(a, _)| a.norm_sqr())
+                .sum();
+            let overlap = ctx.allreduce_sum(local_overlap);
+            (amps, expectation, overlap, min_cost)
+        });
+
+        // Gather (QOKit's mpi_gather=True): concatenate rank slices.
+        let (expectation, overlap, min_cost) = (per_rank[0].1, per_rank[0].2, per_rank[0].3);
+        let mut full = Vec::with_capacity(1usize << self.n);
+        for (amps, _, _, _) in &per_rank {
+            full.extend_from_slice(amps);
+        }
+        DistResult {
+            state: StateVec::from_amplitudes(full),
+            expectation,
+            overlap,
+            min_cost,
+            comm,
+        }
+    }
+
+    /// Algorithm 4: mixer gates on local qubits, transpose, gates on the
+    /// (now local) former-global qubits, transpose back.
+    fn apply_mixer_alg4(&self, ctx: &crate::comm::RankCtx, amps: &mut [C64], beta: f64) {
+        let kb = self.k_bits;
+        let local_n = self.n - kb;
+        let u = Mat2::rx(beta);
+        for q in 0..local_n {
+            apply_mat2_serial(amps, q, &u);
+        }
+        if kb == 0 {
+            return;
+        }
+        ctx.alltoall(amps);
+        // After V_abc → V_bac, original qubit i ∈ [n−k, n) lives at local
+        // bit position i − k (the paper's "d ← i − log2 K").
+        for q in local_n - kb..local_n {
+            apply_mat2_serial(amps, q, &u);
+        }
+        ctx.alltoall(amps);
+    }
+
+    /// Times one QAOA layer (phase + Algorithm-4 mixer) end to end,
+    /// returning wall seconds and the communication stats — the measured
+    /// half of the Fig. 5 reproduction.
+    pub fn time_one_layer(&self, gamma: f64, beta: f64) -> (f64, CommStats) {
+        let kb = self.k_bits;
+        let local_n = self.n - kb;
+        let slice_len = 1usize << local_n;
+        let amp0 = (1.0 / (1u64 << self.n) as f64).sqrt();
+        let poly = &self.poly;
+        let start_t = std::time::Instant::now();
+        let (_, comm) = spmd(self.n_ranks, |ctx| {
+            let start = (ctx.rank() << local_n) as u64;
+            let mut costs = vec![0.0f64; slice_len];
+            fill_direct_slice(poly, start, &mut costs);
+            let mut amps = vec![C64::from_re(amp0); slice_len];
+            ctx.barrier();
+            apply_phase_serial(&mut amps, &costs, gamma);
+            self.apply_mixer_alg4(ctx, &mut amps, beta);
+        });
+        (start_t.elapsed().as_secs_f64(), comm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qokit_core::{FurSimulator, QaoaSimulator, SimOptions};
+    use qokit_statevec::Backend;
+    use qokit_terms::labs::labs_terms;
+    use qokit_terms::maxcut::maxcut_polynomial;
+    use qokit_terms::Graph;
+
+    fn reference_sim(poly: &SpinPolynomial) -> FurSimulator {
+        FurSimulator::with_options(
+            poly,
+            SimOptions {
+                backend: Backend::Serial,
+                ..SimOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn matches_single_node_for_all_rank_counts() {
+        let poly = labs_terms(8);
+        let reference = reference_sim(&poly);
+        let gammas = [0.21, 0.43];
+        let betas = [0.65, 0.32];
+        let ref_result = reference.simulate_qaoa(&gammas, &betas);
+        for ranks in [1usize, 2, 4, 16] {
+            let dist = DistSimulator::new(poly.clone(), ranks).unwrap();
+            let r = dist.simulate_qaoa(&gammas, &betas);
+            assert!(
+                r.state.max_abs_diff(ref_result.state()) < 1e-11,
+                "K = {ranks}"
+            );
+            assert!((r.expectation - reference.get_expectation(&ref_result)).abs() < 1e-9);
+            assert!((r.overlap - reference.get_overlap(&ref_result)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn maxcut_distributed_agrees() {
+        let poly = maxcut_polynomial(&Graph::ring(6, 1.0));
+        let reference = reference_sim(&poly);
+        let ref_result = reference.simulate_qaoa(&[0.3], &[0.8]);
+        let dist = DistSimulator::new(poly, 8).unwrap();
+        let r = dist.simulate_qaoa(&[0.3], &[0.8]);
+        assert!(r.state.max_abs_diff(ref_result.state()) < 1e-11);
+        assert!((r.min_cost + 6.0).abs() < 1e-12, "ring-6 best cut is 6");
+    }
+
+    #[test]
+    fn communication_volume_formula() {
+        // Per mixer: 2 alltoalls; each rank ships slice·(K−1)/K amplitudes
+        // of 16 bytes per alltoall.
+        let poly = labs_terms(10);
+        let ranks = 4usize;
+        let dist = DistSimulator::new(poly, ranks).unwrap();
+        let p = 3;
+        let r = dist.simulate_qaoa(&[0.1; 3], &[0.2; 3]);
+        let slice = dist.slice_len();
+        let expected_per_rank = (2 * p * (slice / ranks) * (ranks - 1) * 16) as u64;
+        for (rank, &b) in r.comm.bytes_sent_per_rank.iter().enumerate() {
+            assert_eq!(b, expected_per_rank, "rank {rank}");
+        }
+        assert_eq!(r.comm.alltoall_calls, 2 * p as u64);
+    }
+
+    #[test]
+    fn single_rank_needs_no_communication() {
+        let poly = labs_terms(6);
+        let dist = DistSimulator::new(poly, 1).unwrap();
+        let r = dist.simulate_qaoa(&[0.4], &[0.7]);
+        assert_eq!(r.comm.total_bytes(), 0);
+        assert!((r.state.norm_sqr() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_invalid_rank_counts() {
+        let poly = labs_terms(6);
+        assert_eq!(
+            DistSimulator::new(poly.clone(), 3).unwrap_err(),
+            DistError::RanksNotPowerOfTwo(3)
+        );
+        // n = 6 allows at most k = 3 (2k ≤ n → K ≤ 8).
+        assert!(DistSimulator::new(poly.clone(), 8).is_ok());
+        assert_eq!(
+            DistSimulator::new(poly, 16).unwrap_err(),
+            DistError::TooManyRanks { n: 6, ranks: 16 }
+        );
+    }
+
+    #[test]
+    fn deep_circuit_stays_normalized() {
+        let poly = labs_terms(7);
+        let dist = DistSimulator::new(poly, 2).unwrap();
+        let p = 12;
+        let g: Vec<f64> = (0..p).map(|i| 0.03 * i as f64).collect();
+        let b: Vec<f64> = (0..p).map(|i| 0.6 - 0.03 * i as f64).collect();
+        let r = dist.simulate_qaoa(&g, &b);
+        assert!((r.state.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_one_layer_reports_comm() {
+        let poly = labs_terms(8);
+        let dist = DistSimulator::new(poly, 4).unwrap();
+        let (secs, comm) = dist.time_one_layer(0.2, 0.5);
+        assert!(secs > 0.0);
+        assert_eq!(comm.alltoall_calls, 2);
+        assert!(comm.total_bytes() > 0);
+    }
+
+    #[test]
+    fn quantized_distributed_matches_f64_distributed() {
+        // §V-B: the u16 diagonal must not change the physics. LABS costs
+        // are integers, so quantization is exact.
+        let poly = labs_terms(9);
+        let dist = DistSimulator::new(poly, 4).unwrap();
+        let (g, b) = ([0.3, 0.15], [-0.55, -0.2]);
+        let plain = dist.simulate_qaoa(&g, &b);
+        let quant = dist.simulate_qaoa_quantized(&g, &b);
+        assert!(plain.state.max_abs_diff(&quant.state) < 1e-10);
+        assert!((plain.expectation - quant.expectation).abs() < 1e-9);
+        assert!((plain.overlap - quant.overlap).abs() < 1e-9);
+        assert!((plain.min_cost - quant.min_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantized_falls_back_for_non_integral_costs() {
+        // Weighted MaxCut with weight 0.3 is off the integer grid: the
+        // quantized path must silently produce the same result as f64.
+        let poly = qokit_terms::maxcut::all_to_all_terms(8, 0.3);
+        let dist = DistSimulator::new(poly, 2).unwrap();
+        let plain = dist.simulate_qaoa(&[0.4], &[-0.6]);
+        let quant = dist.simulate_qaoa_quantized(&[0.4], &[-0.6]);
+        assert!(plain.state.max_abs_diff(&quant.state) < 1e-10);
+        assert!((plain.expectation - quant.expectation).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantized_matches_single_node_reference() {
+        let poly = labs_terms(8);
+        let reference = reference_sim(&poly);
+        let ref_r = reference.simulate_qaoa(&[0.25], &[-0.45]);
+        let dist = DistSimulator::new(poly, 8).unwrap();
+        let r = dist.simulate_qaoa_quantized(&[0.25], &[-0.45]);
+        assert!(r.state.max_abs_diff(ref_r.state()) < 1e-10);
+    }
+}

@@ -1,0 +1,161 @@
+//! Gate-count analytics reproducing the arithmetic of the paper's §VI:
+//! LABS at `n = 31` has ≈75n terms, compiles to ≈160n gates per phase
+//! layer, fuses to a few-n gates — versus the `n` mixer gates that remain
+//! after diagonal precomputation.
+
+use crate::circuit::GateCounts;
+use crate::compile::{compile_mixer, compile_phase, CompiledMixer, PhaseStyle};
+use crate::fusion::fuse_2q;
+use qokit_terms::SpinPolynomial;
+
+/// Per-layer gate-cost summary for one cost polynomial.
+#[derive(Clone, Debug)]
+pub struct LayerAnalysis {
+    /// Number of qubits.
+    pub n: usize,
+    /// Number of polynomial terms `|T|` (non-constant).
+    pub terms: usize,
+    /// Gate counts of one decomposed (CX+RZ) phase layer.
+    pub phase_decomposed: GateCounts,
+    /// Gate counts of the decomposed layer after peephole CX cancellation
+    /// (adjacent parity ladders share CXs — closer to the CX-sharing
+    /// compilation behind the paper's ≈160n figure).
+    pub phase_cancelled: GateCounts,
+    /// Gate counts of one native-diagonal phase layer.
+    pub phase_native: GateCounts,
+    /// Gates in one decomposed phase+mixer layer after F=2 fusion.
+    pub fused_layer_gates: usize,
+    /// Mixer gates per layer (n for the X mixer).
+    pub mixer_gates: usize,
+    /// Gates per layer the precomputed-diagonal simulator executes: just
+    /// the mixer butterflies (the phase operator is one elementwise pass,
+    /// counted as a single "gate-equivalent" here).
+    pub qokit_effective_gates: usize,
+}
+
+impl LayerAnalysis {
+    /// Analyzes one QAOA layer for the polynomial.
+    pub fn analyze(poly: &SpinPolynomial) -> Self {
+        let n = poly.n_vars();
+        let terms = poly.terms().iter().filter(|t| !t.is_constant()).count();
+        let gamma = 0.5; // any non-degenerate angle; counts are angle-free
+        let beta = 0.3;
+        let raw_decomposed = compile_phase(poly, gamma, PhaseStyle::DecomposedCx);
+        let decomposed = {
+            let mut c = crate::circuit::Circuit::new(n);
+            c.extend(raw_decomposed.iter().cloned());
+            c.counts()
+        };
+        let cancelled = {
+            let mut c = crate::circuit::Circuit::new(n);
+            c.extend(crate::compile::peephole_cancel(&raw_decomposed));
+            c.counts()
+        };
+        let native = {
+            let mut c = crate::circuit::Circuit::new(n);
+            c.extend(compile_phase(poly, gamma, PhaseStyle::NativeDiagonal));
+            c.counts()
+        };
+        let fused_layer_gates = {
+            let mut gates = compile_phase(poly, gamma, PhaseStyle::DecomposedCx);
+            gates.extend(compile_mixer(n, beta, CompiledMixer::X));
+            fuse_2q(&gates).len()
+        };
+        LayerAnalysis {
+            n,
+            terms,
+            phase_decomposed: decomposed,
+            phase_cancelled: cancelled,
+            phase_native: native,
+            fused_layer_gates,
+            mixer_gates: n,
+            qokit_effective_gates: n + 1,
+        }
+    }
+
+    /// Terms per qubit (`|T|/n` — the paper's "≈75n terms" normalization).
+    pub fn terms_per_n(&self) -> f64 {
+        self.terms as f64 / self.n as f64
+    }
+
+    /// Decomposed gates per qubit ("≈160n gates").
+    pub fn decomposed_gates_per_n(&self) -> f64 {
+        self.phase_decomposed.total as f64 / self.n as f64
+    }
+
+    /// The §VI fusion speed-up estimate: decomposed gate count divided by
+    /// the QOKit effective gate count — "a speedup in the range 4–160×"
+    /// argument territory.
+    pub fn expected_speedup_over_gates(&self) -> f64 {
+        self.phase_decomposed.total as f64 / self.qokit_effective_gates as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qokit_terms::labs::labs_terms;
+    use qokit_terms::maxcut::maxcut_polynomial;
+    use qokit_terms::Graph;
+
+    #[test]
+    fn labs_n31_matches_paper_scale() {
+        let a = LayerAnalysis::analyze(&labs_terms(31));
+        // Paper: "the LABS cost function has ≈75n terms" — our exact
+        // expansion gives the same order (tens of n).
+        assert!(
+            a.terms_per_n() > 50.0 && a.terms_per_n() < 110.0,
+            "terms/n = {}",
+            a.terms_per_n()
+        );
+        // Paper: "≈160n gates after compilation" (with CX sharing between
+        // ladders). Our per-term ladders give ≈490n raw; the peephole
+        // cancellation recovers part of the sharing. Same order throughout.
+        assert!(
+            a.decomposed_gates_per_n() > 100.0 && a.decomposed_gates_per_n() < 700.0,
+            "gates/n = {}",
+            a.decomposed_gates_per_n()
+        );
+        assert!(a.phase_cancelled.total < a.phase_decomposed.total);
+        // The native-diagonal mode needs exactly one gate per term.
+        assert_eq!(a.phase_native.total, a.terms);
+        // Fusion helps but cannot reach the n-gate floor of QOKit.
+        assert!(a.fused_layer_gates < a.phase_decomposed.total);
+        assert!(a.fused_layer_gates > a.qokit_effective_gates);
+    }
+
+    #[test]
+    fn decomposed_counts_formula() {
+        // Each degree-k term: 2(k−1) CX + 1 RZ.
+        let poly = labs_terms(10);
+        let a = LayerAnalysis::analyze(&poly);
+        // Degree 1 and 2 terms compile to a single native RZ/RZZ; higher
+        // degrees use a 2(k−1)-CX parity ladder around one RZ.
+        let expect: usize = poly
+            .terms()
+            .iter()
+            .map(|t| match t.degree() {
+                0 => 0,
+                1 | 2 => 1,
+                k => 2 * (k as usize - 1) + 1,
+            })
+            .sum();
+        assert_eq!(a.phase_decomposed.total, expect);
+    }
+
+    #[test]
+    fn maxcut_phase_is_all_rzz() {
+        let poly = maxcut_polynomial(&Graph::ring(8, 1.0));
+        let a = LayerAnalysis::analyze(&poly);
+        assert_eq!(a.phase_decomposed.two_qubit, 8);
+        assert_eq!(a.phase_decomposed.total, 8);
+        assert_eq!(a.terms, 8);
+    }
+
+    #[test]
+    fn speedup_estimate_grows_with_n() {
+        let small = LayerAnalysis::analyze(&labs_terms(10));
+        let large = LayerAnalysis::analyze(&labs_terms(20));
+        assert!(large.expected_speedup_over_gates() > small.expected_speedup_over_gates());
+    }
+}

@@ -1,0 +1,129 @@
+//! Circuit-depth analytics (ASAP scheduling).
+//!
+//! The paper's §V-A notes that "deep circuits have optimal contraction
+//! order that produces contraction width equal to n" and §VI reasons
+//! about per-layer gate counts; depth is the companion metric — how many
+//! sequential time steps the compiled circuit needs when commuting gates
+//! on disjoint qubits run in parallel. LABS phase operators are not just
+//! gate-heavy but *deep*, because their terms overlap heavily.
+
+use crate::gate::Gate;
+
+/// Depth of a gate list under ASAP (as-soon-as-possible) scheduling: each
+/// gate starts at `1 + max(finish time of its qubits)`; gates on disjoint
+/// qubits share a time step. Global phases are free.
+pub fn circuit_depth(gates: &[Gate]) -> usize {
+    let mut qubit_depth = std::collections::HashMap::<usize, usize>::new();
+    let mut depth = 0usize;
+    for g in gates {
+        let support = g.support();
+        if support == 0 {
+            continue;
+        }
+        let mut start = 0usize;
+        let mut m = support;
+        while m != 0 {
+            let q = m.trailing_zeros() as usize;
+            start = start.max(qubit_depth.get(&q).copied().unwrap_or(0));
+            m &= m - 1;
+        }
+        let finish = start + 1;
+        let mut m = support;
+        while m != 0 {
+            let q = m.trailing_zeros() as usize;
+            qubit_depth.insert(q, finish);
+            m &= m - 1;
+        }
+        depth = depth.max(finish);
+    }
+    depth
+}
+
+/// Depth and gate count of one compiled QAOA phase+mixer layer — the §VI
+/// metrics side by side.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LayerDepth {
+    /// ASAP depth of the layer.
+    pub depth: usize,
+    /// Gate count of the layer (excluding global phases).
+    pub gates: usize,
+}
+
+/// Computes [`LayerDepth`] for one phase+mixer layer of a polynomial.
+pub fn layer_depth(
+    poly: &qokit_terms::SpinPolynomial,
+    style: crate::compile::PhaseStyle,
+) -> LayerDepth {
+    let mut gates = crate::compile::compile_phase(poly, 0.5, style);
+    gates.extend(crate::compile::compile_mixer(
+        poly.n_vars(),
+        0.3,
+        crate::compile::CompiledMixer::X,
+    ));
+    LayerDepth {
+        depth: circuit_depth(&gates),
+        gates: gates.iter().filter(|g| g.support() != 0).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::PhaseStyle;
+
+    #[test]
+    fn disjoint_gates_share_a_step() {
+        let gates = [Gate::H(0), Gate::H(1), Gate::H(2)];
+        assert_eq!(circuit_depth(&gates), 1);
+    }
+
+    #[test]
+    fn sequential_gates_stack() {
+        let gates = [Gate::H(0), Gate::Rz(0, 0.1), Gate::H(0)];
+        assert_eq!(circuit_depth(&gates), 3);
+    }
+
+    #[test]
+    fn two_qubit_gates_serialize_on_shared_qubits() {
+        let gates = [Gate::Cx(0, 1), Gate::Cx(1, 2), Gate::Cx(2, 3)];
+        assert_eq!(circuit_depth(&gates), 3);
+        let parallel = [Gate::Cx(0, 1), Gate::Cx(2, 3)];
+        assert_eq!(circuit_depth(&parallel), 1);
+    }
+
+    #[test]
+    fn global_phase_is_free() {
+        let gates = [Gate::GlobalPhase(0.3)];
+        assert_eq!(circuit_depth(&gates), 0);
+    }
+
+    #[test]
+    fn ladder_depth_formula() {
+        // A degree-4 parity ladder has depth 7 on its own.
+        let poly = qokit_terms::SpinPolynomial::new(
+            4,
+            vec![qokit_terms::Term::new(1.0, &[0, 1, 2, 3])],
+        );
+        let gates = crate::compile::compile_phase(&poly, 0.5, PhaseStyle::DecomposedCx);
+        assert_eq!(circuit_depth(&gates), 7);
+    }
+
+    #[test]
+    fn labs_layers_are_deep() {
+        // The motivation for high-depth-aware simulation: even one LABS
+        // phase layer has depth far beyond the n of a mixer column.
+        let poly = qokit_terms::labs::labs_terms(12);
+        let dec = layer_depth(&poly, PhaseStyle::DecomposedCx);
+        assert!(dec.depth > 12 * 4, "depth = {}", dec.depth);
+        // Native diagonal gates still serialize on overlapping supports.
+        let nat = layer_depth(&poly, PhaseStyle::NativeDiagonal);
+        assert!(nat.depth > 12, "depth = {}", nat.depth);
+        assert!(nat.depth < dec.depth);
+    }
+
+    #[test]
+    fn mixer_column_has_depth_one() {
+        let gates = crate::compile::compile_mixer(8, 0.3, crate::compile::CompiledMixer::X);
+        assert_eq!(circuit_depth(&gates), 1);
+    }
+}

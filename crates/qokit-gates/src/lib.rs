@@ -1,0 +1,35 @@
+//! # qokit-gates
+//!
+//! Gate-based state-vector baseline for the QOKit reproduction — the
+//! stand-in for the simulators the paper compares against (Qiskit,
+//! OpenQAOA, cuStateVec in gate mode): a QAOA program compiled into a gate
+//! list with one full state sweep per gate, with optional native
+//! multi-qubit diagonal gates and greedy F=2 gate fusion (§VI).
+//!
+//! ```
+//! use qokit_gates::{GateSimulator, GateSimOptions};
+//! use qokit_terms::labs::labs_terms;
+//!
+//! let sim = GateSimulator::new(labs_terms(8), GateSimOptions::default());
+//! let state = sim.simulate_qaoa(&[0.1], &[0.5]);
+//! let energy = sim.expectation(&state);
+//! assert!(energy.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod compile;
+pub mod counts;
+pub mod depth;
+pub mod fusion;
+pub mod gate;
+pub mod sim;
+
+pub use circuit::{Circuit, GateCounts};
+pub use compile::{compile_mixer, compile_phase, compile_qaoa, CompiledMixer, PhaseStyle};
+pub use counts::LayerAnalysis;
+pub use depth::{circuit_depth, layer_depth, LayerDepth};
+pub use fusion::fuse_2q;
+pub use gate::Gate;
+pub use sim::{GateSimOptions, GateSimulator};

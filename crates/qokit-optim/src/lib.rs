@@ -1,0 +1,45 @@
+//! # qokit-optim
+//!
+//! Classical parameter-optimization substrate for QAOA — the "Optimizer"
+//! box of Fig. 1 in *Fast Simulation of High-Depth QAOA Circuits*. The
+//! simulator exists to make the objective `⟨γβ|Ĉ|γβ⟩` cheap to evaluate
+//! inside loops like these: Nelder–Mead, SPSA, grid/random search, plus the
+//! linear-ramp (TQA) initialization and INTERP depth-extension heuristics
+//! used for high-depth parameter setting.
+//!
+//! ```
+//! use qokit_optim::{NelderMead, schedules};
+//!
+//! let (g, b) = schedules::linear_ramp(4, 0.8);
+//! let x0 = schedules::pack(&g, &b);
+//! let nm = NelderMead { max_evals: 3000, ..NelderMead::default() };
+//! let result = nm.minimize(
+//!     |x| x.iter().map(|v| (v - 0.4) * (v - 0.4)).sum::<f64>(),
+//!     &x0,
+//! );
+//! assert!(result.best_f < 1e-3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod nelder_mead;
+pub mod schedules;
+pub mod search;
+pub mod spsa;
+
+pub use nelder_mead::NelderMead;
+pub use search::{grid_search_2d, random_search};
+pub use spsa::Spsa;
+
+/// Outcome of a minimization run.
+#[derive(Clone, Debug)]
+pub struct OptimizeResult {
+    /// Best parameter vector found.
+    pub best_x: Vec<f64>,
+    /// Objective value at `best_x`.
+    pub best_f: f64,
+    /// Number of objective evaluations consumed.
+    pub n_evals: usize,
+    /// Best-so-far objective after each evaluation (monotone non-increasing).
+    pub history: Vec<f64>,
+}

@@ -1,0 +1,143 @@
+//! QAOA parameter schedules: linear-ramp (trotterized-quantum-annealing)
+//! initialization and the INTERP depth-extension heuristic.
+//!
+//! QOKit ships "optimized parameters … for a set of commonly studied
+//! problems"; high-depth studies (the regime this simulator targets) start
+//! from annealing-inspired ramps and extend them layer by layer rather than
+//! optimizing 2p parameters from scratch.
+
+/// Linear-ramp (TQA-style) schedule of depth `p` and total time `dt·p`:
+/// `γ_l` ramps up from ~0 to ~`dt` while `|β_l|` ramps down from ~`dt` to
+/// ~0, sampled at layer midpoints.
+///
+/// Sign convention: this crate's consumers apply the phase as `e^{-iγĈ}`
+/// and the mixer as `e^{-iβΣX}`. Trotterizing the annealing Hamiltonian
+/// `H(s) = −(1−s)·ΣX + s·Ĉ` (whose ground state at `s = 0` is `|+⟩^{⊗n}`)
+/// therefore yields **negative** mixer angles: `β_l = −(1−f_l)·dt`. With
+/// both angles positive the schedule would anneal toward the *maximum*
+/// of `Ĉ`.
+pub fn linear_ramp(p: usize, dt: f64) -> (Vec<f64>, Vec<f64>) {
+    assert!(p > 0, "schedule needs at least one layer");
+    let mut gammas = Vec::with_capacity(p);
+    let mut betas = Vec::with_capacity(p);
+    for l in 0..p {
+        let f = (l as f64 + 0.5) / p as f64;
+        gammas.push(f * dt);
+        betas.push(-(1.0 - f) * dt);
+    }
+    (gammas, betas)
+}
+
+/// INTERP (Zhou et al.): linearly interpolates an optimized depth-`p`
+/// schedule into a depth-`p+1` starting point. Endpoint values are carried
+/// over; interior values blend neighbours with weights `i/p`.
+pub fn interp_extend(params: &[f64]) -> Vec<f64> {
+    let p = params.len();
+    assert!(p > 0, "cannot extend an empty schedule");
+    let mut out = Vec::with_capacity(p + 1);
+    for i in 0..=p {
+        let v = if i == 0 {
+            params[0]
+        } else if i == p {
+            params[p - 1]
+        } else {
+            let w = i as f64 / p as f64;
+            w * params[i - 1] + (1.0 - w) * params[i]
+        };
+        out.push(v);
+    }
+    out
+}
+
+/// Packs `(γ, β)` into the flat `[γ…, β…]` layout optimizers work on.
+pub fn pack(gammas: &[f64], betas: &[f64]) -> Vec<f64> {
+    assert_eq!(gammas.len(), betas.len(), "gamma/beta length mismatch");
+    let mut x = Vec::with_capacity(gammas.len() * 2);
+    x.extend_from_slice(gammas);
+    x.extend_from_slice(betas);
+    x
+}
+
+/// Splits a flat `[γ…, β…]` vector back into `(γ, β)`.
+///
+/// # Panics
+/// If the length is odd.
+pub fn unpack(x: &[f64]) -> (&[f64], &[f64]) {
+    assert!(x.len() % 2 == 0, "packed parameter vector must be even-length");
+    x.split_at(x.len() / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_is_monotone_and_bounded() {
+        let (g, b) = linear_ramp(8, 0.75);
+        assert_eq!(g.len(), 8);
+        for w in g.windows(2) {
+            assert!(w[1] > w[0], "γ ramps up");
+        }
+        for w in b.windows(2) {
+            assert!(w[1] > w[0], "β ramps toward 0 from below");
+        }
+        for (gi, bi) in g.iter().zip(b.iter()) {
+            assert!(*gi > 0.0 && *gi < 0.75);
+            assert!(*bi < 0.0 && *bi > -0.75, "mixer angles are negative");
+            assert!((gi - bi - 0.75).abs() < 1e-12, "γ + |β| = dt at every layer");
+        }
+    }
+
+    #[test]
+    fn ramp_p1_is_midpoint() {
+        let (g, b) = linear_ramp(1, 1.0);
+        assert_eq!(g, vec![0.5]);
+        assert_eq!(b, vec![-0.5]);
+    }
+
+    #[test]
+    fn interp_preserves_endpoints_and_monotonicity() {
+        let params = vec![0.1, 0.3, 0.5, 0.7];
+        let ext = interp_extend(&params);
+        assert_eq!(ext.len(), 5);
+        assert_eq!(ext[0], 0.1);
+        assert_eq!(ext[4], 0.7);
+        for w in ext.windows(2) {
+            assert!(w[1] >= w[0], "monotone input stays monotone");
+        }
+    }
+
+    #[test]
+    fn interp_of_constant_is_constant() {
+        let ext = interp_extend(&[0.4, 0.4, 0.4]);
+        assert!(ext.iter().all(|&v| (v - 0.4).abs() < 1e-12));
+    }
+
+    #[test]
+    fn interp_of_linear_ramp_stays_on_the_ramp_interior() {
+        // The interpolation of an affine sequence is affine with the same
+        // endpoints.
+        let params: Vec<f64> = (0..5).map(|i| 0.1 + 0.2 * i as f64).collect();
+        let ext = interp_extend(&params);
+        for w in ext.windows(2) {
+            let d = w[1] - w[0];
+            assert!(d >= 0.0 && d <= 0.2 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let g = vec![0.1, 0.2];
+        let b = vec![0.3, 0.4];
+        let x = pack(&g, &b);
+        let (g2, b2) = unpack(&x);
+        assert_eq!(g2, &g[..]);
+        assert_eq!(b2, &b[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "even-length")]
+    fn unpack_rejects_odd() {
+        let _ = unpack(&[1.0, 2.0, 3.0]);
+    }
+}

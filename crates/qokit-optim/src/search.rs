@@ -1,0 +1,128 @@
+//! Grid and random search — the standard ways to seed or sanity-check the
+//! local optimizers on the `p = 1` QAOA landscape.
+
+use crate::OptimizeResult;
+use rand::Rng;
+
+/// Exhaustive search over a uniform 2-D grid `[lo0, hi0] × [lo1, hi1]`
+/// (inclusive endpoints), e.g. the `(γ, β)` plane at `p = 1`.
+pub fn grid_search_2d<F>(
+    mut f: F,
+    (lo0, hi0): (f64, f64),
+    (lo1, hi1): (f64, f64),
+    steps: usize,
+) -> OptimizeResult
+where
+    F: FnMut(f64, f64) -> f64,
+{
+    assert!(steps >= 2, "grid needs at least 2 points per axis");
+    let mut best_f = f64::INFINITY;
+    let mut best_x = vec![lo0, lo1];
+    let mut history = Vec::with_capacity(steps * steps);
+    for i in 0..steps {
+        let x0 = lo0 + (hi0 - lo0) * i as f64 / (steps - 1) as f64;
+        for j in 0..steps {
+            let x1 = lo1 + (hi1 - lo1) * j as f64 / (steps - 1) as f64;
+            let v = f(x0, x1);
+            if v < best_f {
+                best_f = v;
+                best_x = vec![x0, x1];
+            }
+            history.push(best_f);
+        }
+    }
+    OptimizeResult {
+        best_x,
+        best_f,
+        n_evals: steps * steps,
+        history,
+    }
+}
+
+/// Uniform random search inside a box (per-coordinate `[lo, hi)` bounds).
+pub fn random_search<F, R>(
+    mut f: F,
+    bounds: &[(f64, f64)],
+    samples: usize,
+    rng: &mut R,
+) -> OptimizeResult
+where
+    F: FnMut(&[f64]) -> f64,
+    R: Rng,
+{
+    assert!(!bounds.is_empty(), "need at least one dimension");
+    let mut best_f = f64::INFINITY;
+    let mut best_x = bounds.iter().map(|&(lo, _)| lo).collect::<Vec<_>>();
+    let mut history = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let x: Vec<f64> = bounds.iter().map(|&(lo, hi)| rng.gen_range(lo..hi)).collect();
+        let v = f(&x);
+        if v < best_f {
+            best_f = v;
+            best_x = x;
+        }
+        history.push(best_f);
+    }
+    OptimizeResult {
+        best_x,
+        best_f,
+        n_evals: samples,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_finds_quadratic_minimum_on_grid() {
+        let r = grid_search_2d(
+            |x, y| (x - 0.5) * (x - 0.5) + (y + 0.5) * (y + 0.5),
+            (-1.0, 1.0),
+            (-1.0, 1.0),
+            21, // grid spacing 0.1 — 0.5 and −0.5 are grid points
+        );
+        assert!((r.best_x[0] - 0.5).abs() < 1e-12);
+        assert!((r.best_x[1] + 0.5).abs() < 1e-12);
+        assert_eq!(r.n_evals, 441);
+    }
+
+    #[test]
+    fn grid_covers_endpoints() {
+        let mut seen = Vec::new();
+        let _ = grid_search_2d(
+            |x, y| {
+                seen.push((x, y));
+                0.0
+            },
+            (0.0, 1.0),
+            (2.0, 3.0),
+            2,
+        );
+        assert!(seen.contains(&(0.0, 2.0)));
+        assert!(seen.contains(&(1.0, 3.0)));
+    }
+
+    #[test]
+    fn random_search_improves_with_samples() {
+        let f = |x: &[f64]| x[0] * x[0] + x[1] * x[1];
+        let mut rng = StdRng::seed_from_u64(1);
+        let few = random_search(f, &[(-2.0, 2.0), (-2.0, 2.0)], 10, &mut rng);
+        let mut rng = StdRng::seed_from_u64(1);
+        let many = random_search(f, &[(-2.0, 2.0), (-2.0, 2.0)], 1000, &mut rng);
+        assert!(many.best_f <= few.best_f);
+        assert!(many.best_f < 0.05);
+    }
+
+    #[test]
+    fn histories_are_monotone() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = random_search(|x| x[0].sin(), &[(0.0, 6.28)], 50, &mut rng);
+        for w in r.history.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! SPSA (simultaneous perturbation stochastic approximation) — a common
+//! QAOA tuner when objective evaluations are noisy or expensive: two
+//! evaluations per iteration regardless of dimension.
+
+use crate::OptimizeResult;
+use rand::Rng;
+
+/// SPSA configuration (standard Spall gain sequences
+/// `a_k = a/(k+1+A)^α`, `c_k = c/(k+1)^γ`).
+#[derive(Clone, Debug)]
+pub struct Spsa {
+    /// Number of iterations (2 evaluations each).
+    pub iterations: usize,
+    /// Step-size numerator `a`.
+    pub a: f64,
+    /// Perturbation-size numerator `c`.
+    pub c: f64,
+    /// Stability constant `A`.
+    pub big_a: f64,
+    /// Step decay exponent `α`.
+    pub alpha: f64,
+    /// Perturbation decay exponent `γ`.
+    pub gamma: f64,
+}
+
+impl Default for Spsa {
+    fn default() -> Self {
+        Spsa {
+            iterations: 200,
+            a: 0.2,
+            c: 0.1,
+            big_a: 10.0,
+            alpha: 0.602,
+            gamma: 0.101,
+        }
+    }
+}
+
+impl Spsa {
+    /// Minimizes `f` starting from `x0`, drawing ±1 perturbations from
+    /// `rng`. Returns the best parameters *seen* (not the final iterate),
+    /// which is the robust choice for noisy objectives.
+    pub fn minimize<F, R>(&self, mut f: F, x0: &[f64], rng: &mut R) -> OptimizeResult
+    where
+        F: FnMut(&[f64]) -> f64,
+        R: Rng,
+    {
+        let dim = x0.len();
+        assert!(dim > 0, "cannot optimize a zero-dimensional parameter");
+        let mut x = x0.to_vec();
+        let mut best_x = x.clone();
+        let mut best_f = f(&x);
+        let mut n_evals = 1usize;
+        let mut history = vec![best_f];
+
+        for k in 0..self.iterations {
+            let ak = self.a / (k as f64 + 1.0 + self.big_a).powf(self.alpha);
+            let ck = self.c / (k as f64 + 1.0).powf(self.gamma);
+            let delta: Vec<f64> = (0..dim)
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
+            let xp: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi + ck * d).collect();
+            let xm: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi - ck * d).collect();
+            let fp = f(&xp);
+            let fm = f(&xm);
+            n_evals += 2;
+            for (b, seen) in [(fp, &xp), (fm, &xm)] {
+                if b < best_f {
+                    best_f = b;
+                    best_x = seen.clone();
+                }
+            }
+            history.push(best_f);
+            let g0 = (fp - fm) / (2.0 * ck);
+            for (xi, d) in x.iter_mut().zip(&delta) {
+                *xi -= ak * g0 / d;
+            }
+        }
+
+        OptimizeResult {
+            best_x,
+            best_f,
+            n_evals,
+            history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn converges_on_quadratic() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let spsa = Spsa {
+            iterations: 500,
+            ..Spsa::default()
+        };
+        let r = spsa.minimize(
+            |x| (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2),
+            &[0.0, 0.0],
+            &mut rng,
+        );
+        assert!(r.best_f < 0.05, "f = {}", r.best_f);
+    }
+
+    #[test]
+    fn tolerates_noise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut noise_rng = StdRng::seed_from_u64(8);
+        let spsa = Spsa {
+            iterations: 800,
+            ..Spsa::default()
+        };
+        let r = spsa.minimize(
+            |x| {
+                let noise: f64 = noise_rng.gen_range(-0.01..0.01);
+                x[0] * x[0] + noise
+            },
+            &[2.0],
+            &mut rng,
+        );
+        assert!(r.best_x[0].abs() < 0.5, "x = {}", r.best_x[0]);
+    }
+
+    #[test]
+    fn history_tracks_best() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = Spsa::default().minimize(|x| x[0] * x[0], &[1.0], &mut rng);
+        for w in r.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-15);
+        }
+        assert_eq!(r.n_evals, 1 + 2 * Spsa::default().iterations);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(11);
+            Spsa::default().minimize(|x| (x[0] - 0.5).powi(2) + x[1] * x[1], &[1.0, 1.0], &mut rng)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.best_x, b.best_x);
+        assert_eq!(a.best_f, b.best_f);
+    }
+}

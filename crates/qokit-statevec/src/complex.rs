@@ -1,0 +1,345 @@
+//! Minimal double-precision complex arithmetic.
+//!
+//! The simulator stores states as `complex128` (two `f64`s), matching the
+//! paper's benchmark configuration. We implement the type ourselves rather
+//! than pulling in an external crate: the kernels only need a handful of
+//! operations and keeping the type local guarantees a `#[repr(C)]` layout we
+//! can reason about when slicing state vectors across ranks.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts (`complex128`).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+#[repr(C)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Number of bytes one amplitude occupies (16 for `complex128`).
+pub const AMP_BYTES: usize = std::mem::size_of::<C64>();
+
+impl C64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline(always)]
+    pub const fn from_re(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// Returns `e^{iθ} = cos θ + i sin θ` (the "cis" function).
+    ///
+    /// This is the workhorse of the phase operator: the diagonal
+    /// `e^{-iγ c_k}` factors are all produced through it.
+    #[inline(always)]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        C64 { re: c, im: s }
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared modulus `|z|² = re² + im²`.
+    ///
+    /// Probabilities are `norm_sqr` of amplitudes; using the squared form
+    /// avoids a `sqrt` in the hot path.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline(always)]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline(always)]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplication by the imaginary unit: `i·z = -im + i·re`.
+    #[inline(always)]
+    pub fn mul_i(self) -> Self {
+        C64 {
+            re: -self.im,
+            im: self.re,
+        }
+    }
+
+    /// Multiplication by `-i`: `-i·z = im - i·re`.
+    #[inline(always)]
+    pub fn mul_neg_i(self) -> Self {
+        C64 {
+            re: self.im,
+            im: -self.re,
+        }
+    }
+
+    /// Scales by a real factor.
+    #[inline(always)]
+    pub fn scale(self, s: f64) -> Self {
+        C64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// Fused multiply-add convenience: `self + a * b`.
+    #[inline(always)]
+    pub fn mul_add(self, a: C64, b: C64) -> Self {
+        self + a * b
+    }
+
+    /// Multiplicative inverse. Panics in debug builds when `self` is zero.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        debug_assert!(d > 0.0, "reciprocal of zero complex number");
+        C64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// `true` when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Approximate equality within absolute tolerance `tol` per component.
+    #[inline]
+    pub fn approx_eq(self, other: C64, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn add(self, rhs: C64) -> C64 {
+        C64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn sub(self, rhs: C64) -> C64 {
+        C64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn mul(self, rhs: C64) -> C64 {
+        C64 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn neg(self) -> C64 {
+        C64 {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline(always)]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: C64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline(always)]
+    fn from(re: f64) -> Self {
+        C64::from_re(re)
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, Add::add)
+    }
+}
+
+impl<'a> Sum<&'a C64> for C64 {
+    fn sum<I: Iterator<Item = &'a C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |acc, z| acc + *z)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn constants() {
+        assert_eq!(C64::ZERO + C64::ONE, C64::ONE);
+        assert_eq!(C64::I * C64::I, -C64::ONE);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = C64::new(1.5, -2.5);
+        let b = C64::new(-0.25, 4.0);
+        assert!((a + b - b).approx_eq(a, TOL));
+    }
+
+    #[test]
+    fn mul_matches_expansion() {
+        let a = C64::new(3.0, -1.0);
+        let b = C64::new(2.0, 5.0);
+        // (3 - i)(2 + 5i) = 6 + 15i - 2i + 5 = 11 + 13i
+        assert!((a * b).approx_eq(C64::new(11.0, 13.0), TOL));
+    }
+
+    #[test]
+    fn div_inverts_mul() {
+        let a = C64::new(0.3, 0.7);
+        let b = C64::new(-1.2, 0.4);
+        assert!((a * b / b).approx_eq(a, TOL));
+    }
+
+    #[test]
+    fn cis_is_unit_modulus() {
+        for k in 0..32 {
+            let t = k as f64 * 0.39269908169872414; // π/8 steps
+            let z = C64::cis(t);
+            assert!((z.norm_sqr() - 1.0).abs() < TOL);
+            assert!((z.arg() - (t.sin().atan2(t.cos()))).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cis_special_values() {
+        assert!(C64::cis(0.0).approx_eq(C64::ONE, TOL));
+        assert!(C64::cis(std::f64::consts::FRAC_PI_2).approx_eq(C64::I, TOL));
+        assert!(C64::cis(std::f64::consts::PI).approx_eq(-C64::ONE, TOL));
+    }
+
+    #[test]
+    fn mul_i_shortcuts() {
+        let z = C64::new(2.0, -3.0);
+        assert!(z.mul_i().approx_eq(C64::I * z, TOL));
+        assert!(z.mul_neg_i().approx_eq(-C64::I * z, TOL));
+    }
+
+    #[test]
+    fn conj_properties() {
+        let z = C64::new(1.25, -7.5);
+        assert_eq!(z.conj().conj(), z);
+        assert!((z * z.conj()).approx_eq(C64::from_re(z.norm_sqr()), TOL));
+    }
+
+    #[test]
+    fn recip_of_unit() {
+        let z = C64::cis(1.234);
+        assert!(z.recip().approx_eq(z.conj(), TOL));
+    }
+
+    #[test]
+    fn sum_of_slice() {
+        let v = [C64::new(1.0, 1.0), C64::new(2.0, -0.5), C64::new(-3.0, 0.25)];
+        let s: C64 = v.iter().sum();
+        assert!(s.approx_eq(C64::new(0.0, 0.75), TOL));
+    }
+
+    #[test]
+    fn amp_bytes_is_16() {
+        assert_eq!(AMP_BYTES, 16);
+    }
+}

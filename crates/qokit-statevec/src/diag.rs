@@ -1,0 +1,276 @@
+//! Diagonal-operator kernels: the phase operator and the objective.
+//!
+//! These two kernels are the paper's central payoff. Once the cost vector
+//! `⃗C` is precomputed, one QAOA phase operator is a single elementwise
+//! product `ψ_k ← e^{-iγ c_k} ψ_k` (`apply_phase`), and the QAOA objective
+//! `⟨γβ|Ĉ|γβ⟩` is a single inner product `Σ c_k |ψ_k|²` (`expectation`) —
+//! no gates, no extra state copies.
+//!
+//! Each kernel has an `f64` variant and a `u16` variant. The latter operates
+//! on the quantized cost vector of §V-B of the paper (`value = offset +
+//! scale·q`), decoding on the fly so the 2-byte representation never
+//! inflates to 8 bytes in memory.
+
+use crate::complex::C64;
+use crate::exec::{Backend, PAR_MIN_CHUNK, PAR_MIN_LEN};
+use rayon::prelude::*;
+
+/// Serial phase operator: `ψ_k ← e^{-iγ c_k} ψ_k`.
+///
+/// # Panics
+/// If `amps` and `costs` lengths differ.
+pub fn apply_phase_serial(amps: &mut [C64], costs: &[f64], gamma: f64) {
+    assert_eq!(amps.len(), costs.len(), "cost vector length mismatch");
+    for (a, &c) in amps.iter_mut().zip(costs.iter()) {
+        *a *= C64::cis(-gamma * c);
+    }
+}
+
+/// Rayon-parallel phase operator.
+pub fn apply_phase_rayon(amps: &mut [C64], costs: &[f64], gamma: f64) {
+    assert_eq!(amps.len(), costs.len(), "cost vector length mismatch");
+    if amps.len() < PAR_MIN_LEN {
+        return apply_phase_serial(amps, costs, gamma);
+    }
+    amps.par_iter_mut()
+        .with_min_len(PAR_MIN_CHUNK)
+        .zip(costs.par_iter().with_min_len(PAR_MIN_CHUNK))
+        .for_each(|(a, &c)| *a *= C64::cis(-gamma * c));
+}
+
+/// Backend-dispatched phase operator.
+#[inline]
+pub fn apply_phase(amps: &mut [C64], costs: &[f64], gamma: f64, backend: Backend) {
+    match backend {
+        Backend::Serial => apply_phase_serial(amps, costs, gamma),
+        Backend::Rayon => apply_phase_rayon(amps, costs, gamma),
+    }
+}
+
+/// Serial phase operator over a quantized `u16` cost vector with
+/// `c_k = offset + scale·q_k`.
+pub fn apply_phase_u16_serial(amps: &mut [C64], costs: &[u16], offset: f64, scale: f64, gamma: f64) {
+    assert_eq!(amps.len(), costs.len(), "cost vector length mismatch");
+    for (a, &q) in amps.iter_mut().zip(costs.iter()) {
+        *a *= C64::cis(-gamma * (offset + scale * q as f64));
+    }
+}
+
+/// Rayon-parallel phase operator over a quantized `u16` cost vector.
+pub fn apply_phase_u16_rayon(amps: &mut [C64], costs: &[u16], offset: f64, scale: f64, gamma: f64) {
+    assert_eq!(amps.len(), costs.len(), "cost vector length mismatch");
+    if amps.len() < PAR_MIN_LEN {
+        return apply_phase_u16_serial(amps, costs, offset, scale, gamma);
+    }
+    amps.par_iter_mut()
+        .with_min_len(PAR_MIN_CHUNK)
+        .zip(costs.par_iter().with_min_len(PAR_MIN_CHUNK))
+        .for_each(|(a, &q)| *a *= C64::cis(-gamma * (offset + scale * q as f64)));
+}
+
+/// Applies an arbitrary complex diagonal: `ψ_k ← d_k ψ_k`.
+pub fn apply_diagonal(amps: &mut [C64], diag: &[C64], backend: Backend) {
+    assert_eq!(amps.len(), diag.len(), "diagonal length mismatch");
+    match backend {
+        Backend::Serial => {
+            for (a, d) in amps.iter_mut().zip(diag.iter()) {
+                *a *= *d;
+            }
+        }
+        Backend::Rayon => {
+            if amps.len() < PAR_MIN_LEN {
+                return apply_diagonal(amps, diag, Backend::Serial);
+            }
+            amps.par_iter_mut()
+                .with_min_len(PAR_MIN_CHUNK)
+                .zip(diag.par_iter().with_min_len(PAR_MIN_CHUNK))
+                .for_each(|(a, d)| *a *= *d);
+        }
+    }
+}
+
+/// Serial objective: `⟨ψ|Ĉ|ψ⟩ = Σ c_k |ψ_k|²`.
+pub fn expectation_serial(amps: &[C64], costs: &[f64]) -> f64 {
+    assert_eq!(amps.len(), costs.len(), "cost vector length mismatch");
+    amps.iter()
+        .zip(costs.iter())
+        .map(|(a, &c)| c * a.norm_sqr())
+        .sum()
+}
+
+/// Rayon-parallel objective.
+pub fn expectation_rayon(amps: &[C64], costs: &[f64]) -> f64 {
+    assert_eq!(amps.len(), costs.len(), "cost vector length mismatch");
+    if amps.len() < PAR_MIN_LEN {
+        return expectation_serial(amps, costs);
+    }
+    amps.par_iter()
+        .with_min_len(PAR_MIN_CHUNK)
+        .zip(costs.par_iter().with_min_len(PAR_MIN_CHUNK))
+        .map(|(a, &c)| c * a.norm_sqr())
+        .sum()
+}
+
+/// Backend-dispatched objective.
+#[inline]
+pub fn expectation(amps: &[C64], costs: &[f64], backend: Backend) -> f64 {
+    match backend {
+        Backend::Serial => expectation_serial(amps, costs),
+        Backend::Rayon => expectation_rayon(amps, costs),
+    }
+}
+
+/// Objective over a quantized `u16` cost vector.
+pub fn expectation_u16(amps: &[C64], costs: &[u16], offset: f64, scale: f64, backend: Backend) -> f64 {
+    assert_eq!(amps.len(), costs.len(), "cost vector length mismatch");
+    let raw: f64 = match backend {
+        Backend::Serial => amps
+            .iter()
+            .zip(costs.iter())
+            .map(|(a, &q)| q as f64 * a.norm_sqr())
+            .sum(),
+        Backend::Rayon => {
+            if amps.len() < PAR_MIN_LEN {
+                return expectation_u16(amps, costs, offset, scale, Backend::Serial);
+            }
+            amps.par_iter()
+                .with_min_len(PAR_MIN_CHUNK)
+                .zip(costs.par_iter().with_min_len(PAR_MIN_CHUNK))
+                .map(|(a, &q)| q as f64 * a.norm_sqr())
+                .sum()
+        }
+    };
+    // Σ (offset + scale·q)|ψ|² = offset·‖ψ‖² + scale·Σ q|ψ|². Using the
+    // actual norm (not assuming 1) keeps the identity exact for unnormalized
+    // test vectors.
+    let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+    offset * norm + scale * raw
+}
+
+/// Total probability mass on the given basis indices — used for the
+/// ground-state overlap `Σ_{x: c_x = min} |ψ_x|²`.
+pub fn probability_mass(amps: &[C64], indices: &[usize]) -> f64 {
+    indices.iter().map(|&i| amps[i].norm_sqr()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::state::StateVec;
+
+    fn ramp_costs(len: usize) -> Vec<f64> {
+        (0..len).map(|i| (i as f64) * 0.25 - 3.0).collect()
+    }
+
+    #[test]
+    fn phase_matches_reference() {
+        let n = 6;
+        let s = StateVec::uniform_superposition(n);
+        let costs = ramp_costs(s.dim());
+        let expect = reference::apply_phase_reference(s.amplitudes(), &costs, 0.8);
+        let mut got = s.clone();
+        apply_phase_serial(got.amplitudes_mut(), &costs, 0.8);
+        for (a, b) in got.amplitudes().iter().zip(expect.iter()) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn phase_rayon_matches_serial() {
+        let n = 14;
+        let mut a = StateVec::uniform_superposition(n);
+        let mut b = a.clone();
+        let costs = ramp_costs(a.dim());
+        apply_phase_serial(a.amplitudes_mut(), &costs, 1.3);
+        apply_phase_rayon(b.amplitudes_mut(), &costs, 1.3);
+        assert!(a.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn phase_preserves_probabilities() {
+        let n = 8;
+        let mut s = StateVec::uniform_superposition(n);
+        let p_before = s.probabilities();
+        let costs = ramp_costs(s.dim());
+        apply_phase_serial(s.amplitudes_mut(), &costs, 2.1);
+        let p_after = s.probabilities();
+        for (x, y) in p_before.iter().zip(p_after.iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn phase_u16_matches_f64() {
+        let n = 10;
+        let dim = 1usize << n;
+        // Integer-valued costs in [-8, 8): representable exactly as
+        // offset + scale·u16.
+        let costs_f: Vec<f64> = (0..dim).map(|i| ((i % 17) as f64) - 8.0).collect();
+        let costs_q: Vec<u16> = (0..dim).map(|i| (i % 17) as u16).collect();
+        let (offset, scale) = (-8.0, 1.0);
+        let mut a = StateVec::uniform_superposition(n);
+        let mut b = a.clone();
+        apply_phase_serial(a.amplitudes_mut(), &costs_f, 0.71);
+        apply_phase_u16_serial(b.amplitudes_mut(), &costs_q, offset, scale, 0.71);
+        assert!(a.max_abs_diff(&b) < 1e-12);
+
+        let mut c = StateVec::uniform_superposition(n);
+        apply_phase_u16_rayon(c.amplitudes_mut(), &costs_q, offset, scale, 0.71);
+        assert!(a.max_abs_diff(&c) < 1e-12);
+    }
+
+    #[test]
+    fn expectation_matches_reference() {
+        let n = 7;
+        let s = StateVec::dicke_state(n, 3);
+        let costs = ramp_costs(s.dim());
+        let expect = reference::expectation_reference(s.amplitudes(), &costs);
+        assert!((expectation_serial(s.amplitudes(), &costs) - expect).abs() < 1e-12);
+        assert!((expectation_rayon(s.amplitudes(), &costs) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_of_basis_state_reads_cost() {
+        let s = StateVec::basis_state(5, 19);
+        let costs = ramp_costs(s.dim());
+        assert!((expectation_serial(s.amplitudes(), &costs) - costs[19]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_u16_matches_f64() {
+        let n = 9;
+        let dim = 1usize << n;
+        let costs_f: Vec<f64> = (0..dim).map(|i| 0.5 * ((i % 23) as f64) - 2.0).collect();
+        let costs_q: Vec<u16> = (0..dim).map(|i| (i % 23) as u16).collect();
+        let s = StateVec::uniform_superposition(n);
+        let e_f = expectation_serial(s.amplitudes(), &costs_f);
+        let e_q = expectation_u16(s.amplitudes(), &costs_q, -2.0, 0.5, Backend::Serial);
+        assert!((e_f - e_q).abs() < 1e-10);
+        let e_qr = expectation_u16(s.amplitudes(), &costs_q, -2.0, 0.5, Backend::Rayon);
+        assert!((e_f - e_qr).abs() < 1e-10);
+    }
+
+    #[test]
+    fn probability_mass_sums_selected() {
+        let s = StateVec::uniform_superposition(4);
+        let m = probability_mass(s.amplitudes(), &[0, 1, 2, 3]);
+        assert!((m - 4.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn phase_rejects_length_mismatch() {
+        let mut s = StateVec::zero_state(3);
+        apply_phase_serial(s.amplitudes_mut(), &[0.0; 4], 1.0);
+    }
+
+    #[test]
+    fn diagonal_identity_is_noop() {
+        let mut s = StateVec::uniform_superposition(5);
+        let orig = s.clone();
+        let diag = vec![C64::ONE; s.dim()];
+        apply_diagonal(s.amplitudes_mut(), &diag, Backend::Serial);
+        assert!(s.max_abs_diff(&orig) < 1e-15);
+    }
+}

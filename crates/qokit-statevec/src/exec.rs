@@ -1,0 +1,77 @@
+//! Execution backend selection for the kernels.
+//!
+//! The paper's simulator ships CPU (serial C / NumPy) and GPU variants of the
+//! same algorithms. We mirror that split as `Serial` vs `Rayon`: the index
+//! arithmetic is identical, only the executor changes — which is exactly the
+//! property the paper relies on when comparing implementations.
+
+/// How a kernel should execute.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Single-threaded loops (the paper's "c"/"python" simulators).
+    Serial,
+    /// Rayon data-parallel loops (our stand-in for the GPU kernels).
+    Rayon,
+}
+
+impl Backend {
+    /// Picks `Rayon` when more than one hardware thread is available,
+    /// mirroring QOKit's `choose_simulator(name='auto')`.
+    pub fn auto() -> Backend {
+        match std::thread::available_parallelism() {
+            Ok(p) if p.get() > 1 => Backend::Rayon,
+            _ => Backend::Serial,
+        }
+    }
+}
+
+/// Vectors shorter than this are always processed serially: rayon task
+/// spawning costs more than the sweep itself at these sizes.
+pub const PAR_MIN_LEN: usize = 1 << 13;
+
+/// Minimum number of amplitudes a rayon task should own. Keeps per-task
+/// overhead amortized and chunks cache-friendly.
+pub const PAR_MIN_CHUNK: usize = 1 << 12;
+
+/// Splits `len` into rayon-friendly chunk lengths that are multiples of
+/// `block` (so no butterfly block straddles two tasks).
+#[inline]
+pub fn par_chunk_len(len: usize, block: usize) -> usize {
+    debug_assert!(block.is_power_of_two() && len % block == 0);
+    if block >= PAR_MIN_CHUNK {
+        block
+    } else {
+        // Round PAR_MIN_CHUNK up to a multiple of block (both powers of two).
+        PAR_MIN_CHUNK.max(block).min(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_returns_some_backend() {
+        // Smoke test: must not panic and must be one of the two variants.
+        let b = Backend::auto();
+        assert!(b == Backend::Serial || b == Backend::Rayon);
+    }
+
+    #[test]
+    fn chunk_len_is_multiple_of_block() {
+        for block_log in 0..16 {
+            let block = 1usize << block_log;
+            let len = 1usize << 20;
+            let chunk = par_chunk_len(len, block);
+            assert_eq!(chunk % block, 0, "block = {block}");
+            assert!(chunk >= block);
+            assert!(chunk <= len);
+        }
+    }
+
+    #[test]
+    fn chunk_len_caps_at_len() {
+        assert_eq!(par_chunk_len(1 << 4, 1 << 4), 1 << 4);
+        assert_eq!(par_chunk_len(1 << 10, 2), PAR_MIN_CHUNK.min(1 << 10));
+    }
+}

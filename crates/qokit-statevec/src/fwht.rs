@@ -1,0 +1,313 @@
+//! Fast Walsh–Hadamard transform (FWHT).
+//!
+//! Two roles in this reproduction:
+//!
+//! 1. **Cost-vector precomputation.** The spin polynomial of Eq. 1 is a
+//!    sparse Walsh spectrum: `f(x) = Σ_k w_k (−1)^{popcount(x & m_k)}` is
+//!    the (unnormalized) WHT of the coefficient vector `ŵ[m_k] = w_k`. One
+//!    `O(n·2^n)` FWHT therefore evaluates every `f(x)` at once — this is our
+//!    CPU substitute for the paper's massively parallel GPU precompute
+//!    kernel (see `qokit-costvec`).
+//!
+//! 2. **The Ref.[43] ablation.** The paper's conclusion contrasts its
+//!    one-pass in-place mixer (Algorithms 1–2) with the earlier
+//!    FWHT-sandwich approach, which needs a forward transform, a diagonal,
+//!    an inverse transform, and an extra state copy. We implement that
+//!    approach too (`apply_x_mixer_fwht*`) so the comparison can be
+//!    benchmarked (`abl_fwht`).
+
+use crate::complex::C64;
+use crate::exec::{par_chunk_len, Backend, PAR_MIN_LEN};
+use rayon::prelude::*;
+
+/// In-place unnormalized FWHT of a complex vector: applies the butterfly
+/// `(x0, x1) ← (x0 + x1, x0 − x1)` over every bit. Self-inverse up to a
+/// factor `N = 2^n`.
+pub fn fwht_serial(amps: &mut [C64]) {
+    let len = amps.len();
+    debug_assert!(len.is_power_of_two());
+    let mut stride = 1usize;
+    while stride < len {
+        for block in amps.chunks_exact_mut(stride * 2) {
+            let (lo, hi) = block.split_at_mut(stride);
+            for (l, h) in lo.iter_mut().zip(hi.iter_mut()) {
+                let x0 = *l;
+                let x1 = *h;
+                *l = x0 + x1;
+                *h = x0 - x1;
+            }
+        }
+        stride <<= 1;
+    }
+}
+
+/// Rayon-parallel unnormalized FWHT.
+pub fn fwht_rayon(amps: &mut [C64]) {
+    let len = amps.len();
+    if len < PAR_MIN_LEN {
+        return fwht_serial(amps);
+    }
+    debug_assert!(len.is_power_of_two());
+    let mut stride = 1usize;
+    while stride < len {
+        let block = stride * 2;
+        if block >= len {
+            let (lo, hi) = amps.split_at_mut(stride);
+            lo.par_iter_mut()
+                .zip(hi.par_iter_mut())
+                .with_min_len(crate::exec::PAR_MIN_CHUNK)
+                .for_each(|(l, h)| {
+                    let x0 = *l;
+                    let x1 = *h;
+                    *l = x0 + x1;
+                    *h = x0 - x1;
+                });
+        } else {
+            let chunk = par_chunk_len(len, block);
+            amps.par_chunks_mut(chunk).for_each(|c| {
+                for b in c.chunks_exact_mut(block) {
+                    let (lo, hi) = b.split_at_mut(stride);
+                    for (l, h) in lo.iter_mut().zip(hi.iter_mut()) {
+                        let x0 = *l;
+                        let x1 = *h;
+                        *l = x0 + x1;
+                        *h = x0 - x1;
+                    }
+                }
+            });
+        }
+        stride <<= 1;
+    }
+}
+
+/// Backend-dispatched unnormalized FWHT.
+#[inline]
+pub fn fwht(amps: &mut [C64], backend: Backend) {
+    match backend {
+        Backend::Serial => fwht_serial(amps),
+        Backend::Rayon => fwht_rayon(amps),
+    }
+}
+
+/// In-place unnormalized FWHT of a **real** vector — the form used by the
+/// cost-vector precompute, where both the sparse spectrum and the result
+/// are real.
+pub fn fwht_f64(vals: &mut [f64], backend: Backend) {
+    let len = vals.len();
+    debug_assert!(len.is_power_of_two());
+    let serial_pass = |vals: &mut [f64], stride: usize| {
+        for block in vals.chunks_exact_mut(stride * 2) {
+            let (lo, hi) = block.split_at_mut(stride);
+            for (l, h) in lo.iter_mut().zip(hi.iter_mut()) {
+                let x0 = *l;
+                let x1 = *h;
+                *l = x0 + x1;
+                *h = x0 - x1;
+            }
+        }
+    };
+    let mut stride = 1usize;
+    while stride < len {
+        match backend {
+            Backend::Rayon if len >= PAR_MIN_LEN => {
+                let block = stride * 2;
+                if block >= len {
+                    let (lo, hi) = vals.split_at_mut(stride);
+                    lo.par_iter_mut()
+                        .zip(hi.par_iter_mut())
+                        .with_min_len(crate::exec::PAR_MIN_CHUNK)
+                        .for_each(|(l, h)| {
+                            let x0 = *l;
+                            let x1 = *h;
+                            *l = x0 + x1;
+                            *h = x0 - x1;
+                        });
+                } else {
+                    let chunk = par_chunk_len(len, block);
+                    vals.par_chunks_mut(chunk).for_each(|c| {
+                        for b in c.chunks_exact_mut(block) {
+                            let (lo, hi) = b.split_at_mut(stride);
+                            for (l, h) in lo.iter_mut().zip(hi.iter_mut()) {
+                                let x0 = *l;
+                                let x1 = *h;
+                                *l = x0 + x1;
+                                *h = x0 - x1;
+                            }
+                        }
+                    });
+                }
+            }
+            _ => serial_pass(vals, stride),
+        }
+        stride <<= 1;
+    }
+}
+
+/// The transverse-field mixer via the Ref.[43] FWHT sandwich, **in place**:
+/// `e^{-iβΣX} = H^{⊗n} · diag(e^{-iβ(n-2·popcount)}) · H^{⊗n}`.
+///
+/// Costs two full FWHT passes plus a diagonal pass — versus one butterfly
+/// pass for Algorithm 2. The `1/N` normalization of the double transform is
+/// folded into the diagonal.
+pub fn apply_x_mixer_fwht_inplace(amps: &mut [C64], beta: f64, backend: Backend) {
+    let len = amps.len();
+    let n = len.trailing_zeros() as i32;
+    fwht(amps, backend);
+    let inv_n = 1.0 / len as f64;
+    let diag_at = |x: usize| {
+        let z = n - 2 * (x.count_ones() as i32);
+        C64::cis(-beta * z as f64).scale(inv_n)
+    };
+    match backend {
+        Backend::Serial => {
+            for (x, a) in amps.iter_mut().enumerate() {
+                *a *= diag_at(x);
+            }
+        }
+        Backend::Rayon => {
+            amps.par_iter_mut()
+                .with_min_len(crate::exec::PAR_MIN_CHUNK)
+                .enumerate()
+                .for_each(|(x, a)| *a *= diag_at(x));
+        }
+    }
+    fwht(amps, backend);
+}
+
+/// The Ref.[43] mixer as literally described: allocates a scratch copy of
+/// the state (their FWHT is out-of-place). Functionally identical to
+/// [`apply_x_mixer_fwht_inplace`]; exists so the `abl_fwht` benchmark can
+/// charge the extra `2^n` allocation the paper calls out.
+pub fn apply_x_mixer_fwht_copying(amps: &mut [C64], beta: f64, backend: Backend) {
+    let mut scratch = amps.to_vec();
+    apply_x_mixer_fwht_inplace(&mut scratch, beta, backend);
+    amps.copy_from_slice(&scratch);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrices::Mat2;
+    use crate::state::StateVec;
+    use crate::su2::apply_uniform_mat2;
+
+    fn random_state(n: usize, seed: u64) -> StateVec {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z = z ^ (z >> 31);
+            (z as f64 / u64::MAX as f64) - 0.5
+        };
+        let mut v = StateVec::from_amplitudes(
+            (0..1usize << n).map(|_| C64::new(next(), next())).collect(),
+        );
+        v.normalize();
+        v
+    }
+
+    #[test]
+    fn fwht_is_self_inverse_up_to_n() {
+        let mut s = random_state(8, 1);
+        let orig = s.clone();
+        fwht_serial(s.amplitudes_mut());
+        fwht_serial(s.amplitudes_mut());
+        let scale = 1.0 / s.dim() as f64;
+        for (a, b) in s.amplitudes().iter().zip(orig.amplitudes().iter()) {
+            assert!(a.scale(scale).approx_eq(*b, 1e-10));
+        }
+    }
+
+    #[test]
+    fn fwht_matches_hadamard_on_all_qubits() {
+        let n = 7;
+        let mut via_fwht = random_state(n, 2);
+        let mut via_gates = via_fwht.clone();
+        fwht_serial(via_fwht.amplitudes_mut());
+        // Unnormalized FWHT = (√2 H)^{⊗n} = 2^{n/2}·H^{⊗n}.
+        apply_uniform_mat2(via_gates.amplitudes_mut(), &Mat2::hadamard(), Backend::Serial);
+        let scale = 1.0 / (via_fwht.dim() as f64).sqrt();
+        for (a, b) in via_fwht
+            .amplitudes()
+            .iter()
+            .zip(via_gates.amplitudes().iter())
+        {
+            assert!(a.scale(scale).approx_eq(*b, 1e-10));
+        }
+    }
+
+    #[test]
+    fn fwht_rayon_matches_serial() {
+        let mut a = random_state(14, 3);
+        let mut b = a.clone();
+        fwht_serial(a.amplitudes_mut());
+        fwht_rayon(b.amplitudes_mut());
+        assert!(a.max_abs_diff(&b) < 1e-9);
+    }
+
+    #[test]
+    fn fwht_f64_matches_complex() {
+        let n = 10;
+        let vals: Vec<f64> = (0..1usize << n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut re = vals.clone();
+        fwht_f64(&mut re, Backend::Serial);
+        let mut cx: Vec<C64> = vals.iter().map(|&v| C64::from_re(v)).collect();
+        fwht_serial(&mut cx);
+        for (r, c) in re.iter().zip(cx.iter()) {
+            assert!((r - c.re).abs() < 1e-9);
+            assert!(c.im.abs() < 1e-12);
+        }
+        let mut rp = vals.clone();
+        fwht_f64(&mut rp, Backend::Rayon);
+        for (a, b) in rp.iter().zip(re.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fwht_of_delta_is_walsh_character() {
+        // δ_m transforms to x ↦ (−1)^{popcount(x & m)}.
+        let n = 5;
+        let m = 0b10110usize;
+        let mut v = vec![C64::ZERO; 1 << n];
+        v[m] = C64::ONE;
+        fwht_serial(&mut v);
+        for (x, a) in v.iter().enumerate() {
+            let sign = if (x & m).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+            assert!(a.approx_eq(C64::from_re(sign), 1e-12), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn fwht_mixer_matches_algorithm_2() {
+        for n in [3usize, 8] {
+            let beta = 0.83;
+            let mut sandwich = random_state(n, 4);
+            let mut butterfly = sandwich.clone();
+            apply_x_mixer_fwht_inplace(sandwich.amplitudes_mut(), beta, Backend::Serial);
+            apply_uniform_mat2(butterfly.amplitudes_mut(), &Mat2::rx(beta), Backend::Serial);
+            assert!(
+                sandwich.max_abs_diff(&butterfly) < 1e-10,
+                "n = {n}: FWHT sandwich must equal the one-pass mixer"
+            );
+        }
+    }
+
+    #[test]
+    fn fwht_mixer_copying_matches_inplace() {
+        let mut a = random_state(9, 5);
+        let mut b = a.clone();
+        apply_x_mixer_fwht_inplace(a.amplitudes_mut(), 0.4, Backend::Serial);
+        apply_x_mixer_fwht_copying(b.amplitudes_mut(), 0.4, Backend::Serial);
+        assert!(a.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn fwht_mixer_preserves_norm() {
+        let mut s = random_state(10, 6);
+        apply_x_mixer_fwht_inplace(s.amplitudes_mut(), 1.9, Backend::Rayon);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+}

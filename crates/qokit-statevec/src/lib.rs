@@ -1,0 +1,38 @@
+//! # qokit-statevec
+//!
+//! Complex state-vector substrate for the QOKit reproduction: the in-place
+//! "fast uniform SU(2)/SU(4) transform" kernels of *Fast Simulation of
+//! High-Depth QAOA Circuits* (Lykov et al., SC 2023, Algorithms 1–2), the
+//! diagonal phase/objective kernels enabled by cost-vector precomputation,
+//! and the fast Walsh–Hadamard transform.
+//!
+//! Every kernel comes in a serial and a rayon-parallel flavor with identical
+//! index arithmetic — mirroring the paper's CPU/GPU split (see
+//! [`exec::Backend`]).
+//!
+//! ```
+//! use qokit_statevec::{Backend, Mat2, StateVec};
+//! use qokit_statevec::su2::apply_uniform_mat2;
+//!
+//! // One full transverse-field mixer pass e^{-iβ Σᵢ Xᵢ}:
+//! let mut state = StateVec::uniform_superposition(10);
+//! apply_uniform_mat2(state.amplitudes_mut(), &Mat2::rx(0.3), Backend::Serial);
+//! assert!((state.norm_sqr() - 1.0).abs() < 1e-10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod diag;
+pub mod exec;
+pub mod fwht;
+pub mod matrices;
+pub mod reference;
+pub mod state;
+pub mod su2;
+pub mod su4;
+
+pub use complex::{C64, AMP_BYTES};
+pub use exec::Backend;
+pub use matrices::{Mat2, Mat4};
+pub use state::{binomial, StateVec, MAX_QUBITS};

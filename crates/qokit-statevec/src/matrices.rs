@@ -1,0 +1,347 @@
+//! Small dense matrices for one- and two-qubit operators.
+//!
+//! The fast uniform SU(2) transform of the paper (Algorithm 1) is stated for
+//! matrices of the form `[[a, -b*], [b, a*]] ∈ SU(2)`. Our kernels accept an
+//! arbitrary 2×2 matrix so the same code path also serves the gate-based
+//! baseline (which needs non-special-unitary gates such as Hadamard). The
+//! SU(2) constructors used by the mixers are provided explicitly.
+
+use crate::complex::C64;
+
+/// A dense 2×2 complex matrix, row-major: `m[row][col]`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Mat2 {
+    /// Row-major entries.
+    pub m: [[C64; 2]; 2],
+}
+
+impl Mat2 {
+    /// Identity matrix.
+    pub const IDENTITY: Mat2 = Mat2 {
+        m: [[C64::ONE, C64::ZERO], [C64::ZERO, C64::ONE]],
+    };
+
+    /// Builds a matrix from row-major entries.
+    #[inline]
+    pub const fn new(m00: C64, m01: C64, m10: C64, m11: C64) -> Self {
+        Mat2 {
+            m: [[m00, m01], [m10, m11]],
+        }
+    }
+
+    /// The paper's SU(2) parametrization `[[a, -b*], [b, a*]]`.
+    #[inline]
+    pub fn su2(a: C64, b: C64) -> Self {
+        Mat2::new(a, -b.conj(), b, a.conj())
+    }
+
+    /// The transverse-field mixer gate `e^{-iβX} = cos β·I − i sin β·X`.
+    ///
+    /// In the SU(2) parametrization this is `a = cos β`, `b = −i sin β`.
+    /// (Algorithm 3 of the paper abbreviates `b ← sin β`; the physical
+    /// unitary carries the `−i` factor, which we keep.)
+    #[inline]
+    pub fn rx(beta: f64) -> Self {
+        let (s, c) = beta.sin_cos();
+        Mat2::su2(C64::from_re(c), C64::new(0.0, -s))
+    }
+
+    /// `e^{-iβY}` rotation (used in tests for kernel generality).
+    #[inline]
+    pub fn ry(beta: f64) -> Self {
+        let (s, c) = beta.sin_cos();
+        Mat2::su2(C64::from_re(c), C64::from_re(s))
+    }
+
+    /// `e^{-iβZ}` rotation: `diag(e^{-iβ}, e^{iβ})`.
+    #[inline]
+    pub fn rz(beta: f64) -> Self {
+        Mat2::new(C64::cis(-beta), C64::ZERO, C64::ZERO, C64::cis(beta))
+    }
+
+    /// Hadamard matrix `H = [[1, 1], [1, -1]]/√2` (determinant −1, so it is
+    /// *not* SU(2); the kernels accept it regardless).
+    #[inline]
+    pub fn hadamard() -> Self {
+        let h = C64::from_re(std::f64::consts::FRAC_1_SQRT_2);
+        Mat2::new(h, h, h, -h)
+    }
+
+    /// Pauli X.
+    #[inline]
+    pub fn pauli_x() -> Self {
+        Mat2::new(C64::ZERO, C64::ONE, C64::ONE, C64::ZERO)
+    }
+
+    /// Phase gate `diag(1, e^{iφ})`.
+    #[inline]
+    pub fn phase(phi: f64) -> Self {
+        Mat2::new(C64::ONE, C64::ZERO, C64::ZERO, C64::cis(phi))
+    }
+
+    /// Matrix product `self · rhs`.
+    #[inline]
+    pub fn matmul(&self, rhs: &Mat2) -> Mat2 {
+        let mut out = [[C64::ZERO; 2]; 2];
+        for (r, out_row) in out.iter_mut().enumerate() {
+            for (c, out_rc) in out_row.iter_mut().enumerate() {
+                *out_rc = self.m[r][0] * rhs.m[0][c] + self.m[r][1] * rhs.m[1][c];
+            }
+        }
+        Mat2 { m: out }
+    }
+
+    /// Conjugate transpose.
+    #[inline]
+    pub fn dagger(&self) -> Mat2 {
+        Mat2::new(
+            self.m[0][0].conj(),
+            self.m[1][0].conj(),
+            self.m[0][1].conj(),
+            self.m[1][1].conj(),
+        )
+    }
+
+    /// `true` when `U·U† ≈ I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        let p = self.matmul(&self.dagger());
+        p.m[0][0].approx_eq(C64::ONE, tol)
+            && p.m[1][1].approx_eq(C64::ONE, tol)
+            && p.m[0][1].approx_eq(C64::ZERO, tol)
+            && p.m[1][0].approx_eq(C64::ZERO, tol)
+    }
+
+    /// `true` when both off-diagonal entries are (near) zero.
+    pub fn is_diagonal(&self, tol: f64) -> bool {
+        self.m[0][1].approx_eq(C64::ZERO, tol) && self.m[1][0].approx_eq(C64::ZERO, tol)
+    }
+}
+
+/// A dense 4×4 complex matrix acting on an ordered qubit pair.
+///
+/// Basis convention: for `apply_mat4(state, qa, qb, u)` the 2-bit sub-index
+/// is `(bit(qb) << 1) | bit(qa)`, i.e. **`qa` is the least-significant bit**
+/// of the 4-dimensional sub-space, regardless of whether `qa < qb`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Mat4 {
+    /// Row-major entries.
+    pub m: [[C64; 4]; 4],
+}
+
+impl Mat4 {
+    /// Identity matrix.
+    pub fn identity() -> Self {
+        let mut m = [[C64::ZERO; 4]; 4];
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = C64::ONE;
+        }
+        Mat4 { m }
+    }
+
+    /// Builds a matrix from row-major entries.
+    #[inline]
+    pub const fn new(m: [[C64; 4]; 4]) -> Self {
+        Mat4 { m }
+    }
+
+    /// Kronecker product `u_hi ⊗ u_lo` where `u_lo` acts on the
+    /// least-significant bit of the sub-index (our `qa`).
+    pub fn kron(u_hi: &Mat2, u_lo: &Mat2) -> Self {
+        let mut m = [[C64::ZERO; 4]; 4];
+        for r_hi in 0..2 {
+            for c_hi in 0..2 {
+                for r_lo in 0..2 {
+                    for c_lo in 0..2 {
+                        m[(r_hi << 1) | r_lo][(c_hi << 1) | c_lo] =
+                            u_hi.m[r_hi][c_hi] * u_lo.m[r_lo][c_lo];
+                    }
+                }
+            }
+        }
+        Mat4 { m }
+    }
+
+    /// The XY (Hamming-weight-preserving) mixer gate
+    /// `e^{-iβ(XX+YY)/2}`: a Givens rotation on span{|01⟩, |10⟩}, identity
+    /// on |00⟩ and |11⟩.
+    pub fn xx_plus_yy(beta: f64) -> Self {
+        let (s, c) = beta.sin_cos();
+        let mut m = Mat4::identity().m;
+        m[1][1] = C64::from_re(c);
+        m[1][2] = C64::new(0.0, -s);
+        m[2][1] = C64::new(0.0, -s);
+        m[2][2] = C64::from_re(c);
+        Mat4 { m }
+    }
+
+    /// Two-qubit phase rotation `e^{-iθ Z⊗Z} = diag(e^{-iθ}, e^{iθ}, e^{iθ}, e^{-iθ})`.
+    pub fn rzz(theta: f64) -> Self {
+        let lo = C64::cis(-theta);
+        let hi = C64::cis(theta);
+        let mut m = [[C64::ZERO; 4]; 4];
+        m[0][0] = lo;
+        m[1][1] = hi;
+        m[2][2] = hi;
+        m[3][3] = lo;
+        Mat4 { m }
+    }
+
+    /// CNOT with the **low** sub-index bit (`qa`) as control.
+    pub fn cnot_control_low() -> Self {
+        let mut m = [[C64::ZERO; 4]; 4];
+        // |c t⟩ with c = low bit: 00→00, 01→11, 10→10, 11→01 (sub-index = t<<1|c)
+        m[0][0] = C64::ONE;
+        m[3][1] = C64::ONE;
+        m[2][2] = C64::ONE;
+        m[1][3] = C64::ONE;
+        Mat4 { m }
+    }
+
+    /// Matrix product `self · rhs`.
+    pub fn matmul(&self, rhs: &Mat4) -> Mat4 {
+        let mut out = [[C64::ZERO; 4]; 4];
+        for (r, out_row) in out.iter_mut().enumerate() {
+            for (c, out_rc) in out_row.iter_mut().enumerate() {
+                let mut acc = C64::ZERO;
+                for k in 0..4 {
+                    acc += self.m[r][k] * rhs.m[k][c];
+                }
+                *out_rc = acc;
+            }
+        }
+        Mat4 { m: out }
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> Mat4 {
+        let mut out = [[C64::ZERO; 4]; 4];
+        for (r, out_row) in out.iter_mut().enumerate() {
+            for (c, out_rc) in out_row.iter_mut().enumerate() {
+                *out_rc = self.m[c][r].conj();
+            }
+        }
+        Mat4 { m: out }
+    }
+
+    /// `true` when `U·U† ≈ I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        let p = self.matmul(&self.dagger());
+        for (r, row) in p.m.iter().enumerate() {
+            for (c, entry) in row.iter().enumerate() {
+                let expect = if r == c { C64::ONE } else { C64::ZERO };
+                if !entry.approx_eq(expect, tol) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn su2_constructors_are_unitary() {
+        for k in 0..16 {
+            let beta = k as f64 * 0.5 - 3.0;
+            assert!(Mat2::rx(beta).is_unitary(TOL), "rx({beta})");
+            assert!(Mat2::ry(beta).is_unitary(TOL), "ry({beta})");
+            assert!(Mat2::rz(beta).is_unitary(TOL), "rz({beta})");
+        }
+        assert!(Mat2::hadamard().is_unitary(TOL));
+        assert!(Mat2::pauli_x().is_unitary(TOL));
+    }
+
+    #[test]
+    fn rx_matches_cos_i_sin_x() {
+        // e^{-iβX} = cos β · I − i sin β · X
+        let beta = 0.7;
+        let u = Mat2::rx(beta);
+        let (s, c) = beta.sin_cos();
+        assert!(u.m[0][0].approx_eq(C64::from_re(c), TOL));
+        assert!(u.m[0][1].approx_eq(C64::new(0.0, -s), TOL));
+        assert!(u.m[1][0].approx_eq(C64::new(0.0, -s), TOL));
+        assert!(u.m[1][1].approx_eq(C64::from_re(c), TOL));
+    }
+
+    #[test]
+    fn rx_half_pi_is_minus_i_x() {
+        // At β = π/2 the mixer is −i·X — the Walsh–Hadamard-like extreme
+        // point the paper mentions.
+        let u = Mat2::rx(std::f64::consts::FRAC_PI_2);
+        assert!(u.m[0][0].approx_eq(C64::ZERO, TOL));
+        assert!(u.m[0][1].approx_eq(C64::new(0.0, -1.0), TOL));
+    }
+
+    #[test]
+    fn mat2_matmul_identity() {
+        let u = Mat2::rx(1.1);
+        let p = u.matmul(&Mat2::IDENTITY);
+        assert_eq!(p, u);
+    }
+
+    #[test]
+    fn dagger_inverts_unitary() {
+        let u = Mat2::ry(0.4).matmul(&Mat2::rz(1.9));
+        let p = u.matmul(&u.dagger());
+        assert!(p.m[0][0].approx_eq(C64::ONE, TOL));
+        assert!(p.m[0][1].approx_eq(C64::ZERO, TOL));
+    }
+
+    #[test]
+    fn xx_plus_yy_is_unitary_and_weight_preserving() {
+        let u = Mat4::xx_plus_yy(0.9);
+        assert!(u.is_unitary(TOL));
+        // |00⟩ and |11⟩ are untouched.
+        assert!(u.m[0][0].approx_eq(C64::ONE, TOL));
+        assert!(u.m[3][3].approx_eq(C64::ONE, TOL));
+        // No mixing between different Hamming-weight sectors.
+        for &(r, c) in &[(0, 1), (0, 2), (0, 3), (3, 1), (3, 2), (1, 0), (2, 3)] {
+            assert!(u.m[r][c].approx_eq(C64::ZERO, TOL), "({r},{c})");
+        }
+    }
+
+    #[test]
+    fn kron_of_identities() {
+        let k = Mat4::kron(&Mat2::IDENTITY, &Mat2::IDENTITY);
+        assert_eq!(k, Mat4::identity());
+    }
+
+    #[test]
+    fn kron_places_low_factor_on_low_bit() {
+        // X on low bit: sub-index 0b00 ↔ 0b01, 0b10 ↔ 0b11.
+        let k = Mat4::kron(&Mat2::IDENTITY, &Mat2::pauli_x());
+        assert!(k.m[0][1].approx_eq(C64::ONE, TOL));
+        assert!(k.m[1][0].approx_eq(C64::ONE, TOL));
+        assert!(k.m[2][3].approx_eq(C64::ONE, TOL));
+        assert!(k.m[3][2].approx_eq(C64::ONE, TOL));
+        assert!(k.m[0][0].approx_eq(C64::ZERO, TOL));
+    }
+
+    #[test]
+    fn cnot_permutes_expected_states() {
+        let u = Mat4::cnot_control_low();
+        assert!(u.is_unitary(TOL));
+        // control = low bit set (sub-index 1 = |t=0, c=1⟩) flips target.
+        let input = 1usize;
+        let mut out = [C64::ZERO; 4];
+        for (r, out_r) in out.iter_mut().enumerate() {
+            *out_r = u.m[r][input];
+        }
+        assert!(out[3].approx_eq(C64::ONE, TOL));
+    }
+
+    #[test]
+    fn rzz_diagonal_signs() {
+        let u = Mat4::rzz(0.3);
+        assert!(u.is_unitary(TOL));
+        assert!(u.m[0][0].approx_eq(C64::cis(-0.3), TOL));
+        assert!(u.m[1][1].approx_eq(C64::cis(0.3), TOL));
+        assert!(u.m[2][2].approx_eq(C64::cis(0.3), TOL));
+        assert!(u.m[3][3].approx_eq(C64::cis(-0.3), TOL));
+    }
+}

@@ -1,0 +1,122 @@
+//! Deliberately naive reference implementations used as test oracles.
+//!
+//! These are written from the mathematical definitions (sum over the changed
+//! bits), with none of the blocking/butterfly structure of the fast kernels,
+//! so agreement between the two is a meaningful check. They allocate and are
+//! `O(4^k · 2^n)` per gate — never use them outside tests and validation.
+
+use crate::complex::C64;
+use crate::matrices::{Mat2, Mat4};
+
+/// Reference single-qubit application: `out[x] = Σ_b U[x_q][b]·in[x with q←b]`.
+pub fn apply_1q_reference(amps: &[C64], q: usize, u: &Mat2) -> Vec<C64> {
+    let mask = 1usize << q;
+    (0..amps.len())
+        .map(|x| {
+            let row = usize::from(x & mask != 0);
+            let mut acc = C64::ZERO;
+            for (b, &coeff) in u.m[row].iter().enumerate() {
+                let src = if b == 0 { x & !mask } else { x | mask };
+                acc += coeff * amps[src];
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Reference two-qubit application with the `Mat4` convention: the 2-bit
+/// sub-index is `(bit(qb) << 1) | bit(qa)`.
+pub fn apply_2q_reference(amps: &[C64], qa: usize, qb: usize, u: &Mat4) -> Vec<C64> {
+    assert_ne!(qa, qb, "two-qubit gate needs distinct qubits");
+    let ma = 1usize << qa;
+    let mb = 1usize << qb;
+    (0..amps.len())
+        .map(|x| {
+            let row = (usize::from(x & mb != 0) << 1) | usize::from(x & ma != 0);
+            let mut acc = C64::ZERO;
+            for (col, &coeff) in u.m[row].iter().enumerate() {
+                let ba = col & 1;
+                let bb = (col >> 1) & 1;
+                let mut src = x & !ma & !mb;
+                if ba == 1 {
+                    src |= ma;
+                }
+                if bb == 1 {
+                    src |= mb;
+                }
+                acc += coeff * amps[src];
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Reference diagonal-phase application: `out[x] = e^{-iγ c_x}·in[x]`.
+pub fn apply_phase_reference(amps: &[C64], costs: &[f64], gamma: f64) -> Vec<C64> {
+    amps.iter()
+        .zip(costs.iter())
+        .map(|(a, &c)| C64::cis(-gamma * c) * *a)
+        .collect()
+}
+
+/// Reference expectation `Σ_x c_x |ψ_x|²`.
+pub fn expectation_reference(amps: &[C64], costs: &[f64]) -> f64 {
+    amps.iter()
+        .zip(costs.iter())
+        .map(|(a, &c)| c * a.norm_sqr())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_noop() {
+        let amps = vec![C64::new(0.1, 0.2), C64::new(0.3, -0.4)];
+        let out = apply_1q_reference(&amps, 0, &Mat2::IDENTITY);
+        assert_eq!(out, amps);
+    }
+
+    #[test]
+    fn pauli_x_permutes() {
+        let amps = vec![C64::ONE, C64::ZERO, C64::ZERO, C64::ZERO];
+        let out = apply_1q_reference(&amps, 1, &Mat2::pauli_x());
+        assert_eq!(out[2], C64::ONE);
+        assert_eq!(out[0], C64::ZERO);
+    }
+
+    #[test]
+    fn two_qubit_identity_is_noop() {
+        let amps: Vec<C64> = (0..8).map(|i| C64::new(i as f64, -(i as f64))).collect();
+        let out = apply_2q_reference(&amps, 0, 2, &Mat4::identity());
+        assert_eq!(out, amps);
+    }
+
+    #[test]
+    fn cnot_reference_flips_target() {
+        // qa = control (low bit of sub-index), qb = target.
+        let amps = {
+            let mut v = vec![C64::ZERO; 8];
+            v[0b001] = C64::ONE; // qubit 0 set
+            v
+        };
+        let out = apply_2q_reference(&amps, 0, 2, &Mat4::cnot_control_low());
+        assert_eq!(out[0b101], C64::ONE, "target qubit 2 should flip");
+    }
+
+    #[test]
+    fn phase_reference_rotates() {
+        let amps = vec![C64::ONE, C64::ONE];
+        let out = apply_phase_reference(&amps, &[0.0, 1.0], std::f64::consts::PI);
+        assert!(out[0].approx_eq(C64::ONE, 1e-12));
+        assert!(out[1].approx_eq(-C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn expectation_reference_weighted() {
+        let amps = vec![C64::from_re(0.6), C64::from_re(0.8)];
+        let e = expectation_reference(&amps, &[1.0, -1.0]);
+        assert!((e - (0.36 - 0.64)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,227 @@
+//! Algorithm 1 & 2 of the paper: in-place "fast SU(2)" butterfly kernels.
+//!
+//! `apply_mat2` applies `I ⊗ … ⊗ U ⊗ … ⊗ I` (single-qubit gate `U` on qubit
+//! `q`) by sweeping the state vector once and mixing amplitude pairs whose
+//! indices differ in bit `q` — Algorithm 1 with the paper's 1-based `d`
+//! replaced by `q = d − 1` (pair stride `2^q`).
+//!
+//! `apply_uniform_mat2` is Algorithm 2: the same `U` applied to every qubit
+//! in sequence, which for `U = e^{-iβX}` is the whole transverse-field mixer
+//! `e^{-iβΣᵢXᵢ}` in `n` passes, in place, with no scratch memory — the
+//! paper's key advantage over the FWHT-sandwich approach (see `fwht`).
+
+use crate::complex::C64;
+use crate::exec::{par_chunk_len, Backend, PAR_MIN_LEN};
+use crate::matrices::Mat2;
+use rayon::prelude::*;
+
+/// Mixes one amplitude pair: `(x0, x1) ← U · (x0, x1)`.
+#[inline(always)]
+fn mix_pair(lo: &mut C64, hi: &mut C64, u: &Mat2) {
+    let x0 = *lo;
+    let x1 = *hi;
+    *lo = u.m[0][0] * x0 + u.m[0][1] * x1;
+    *hi = u.m[1][0] * x0 + u.m[1][1] * x1;
+}
+
+/// Processes one contiguous block of `2^{q+1}` amplitudes: the first half
+/// holds the `bit q = 0` partners, the second half the `bit q = 1` partners.
+#[inline]
+fn mix_block(block: &mut [C64], stride: usize, u: &Mat2) {
+    debug_assert_eq!(block.len(), stride * 2);
+    let (lo, hi) = block.split_at_mut(stride);
+    for (l, h) in lo.iter_mut().zip(hi.iter_mut()) {
+        mix_pair(l, h, u);
+    }
+}
+
+/// Serial Algorithm 1: applies `U` to qubit `q` of the state in place.
+///
+/// # Panics
+/// If `q` is out of range for the vector length (debug builds).
+pub fn apply_mat2_serial(amps: &mut [C64], q: usize, u: &Mat2) {
+    let stride = 1usize << q;
+    debug_assert!(stride * 2 <= amps.len(), "qubit {q} out of range");
+    for block in amps.chunks_exact_mut(stride * 2) {
+        mix_block(block, stride, u);
+    }
+}
+
+/// Rayon-parallel Algorithm 1. Falls back to the serial sweep for small
+/// vectors where task overhead dominates.
+pub fn apply_mat2_rayon(amps: &mut [C64], q: usize, u: &Mat2) {
+    let len = amps.len();
+    if len < PAR_MIN_LEN {
+        return apply_mat2_serial(amps, q, u);
+    }
+    let stride = 1usize << q;
+    let block = stride * 2;
+    debug_assert!(block <= len, "qubit {q} out of range");
+    if block >= len {
+        // Single block: parallelize across the pair index instead.
+        let (lo, hi) = amps.split_at_mut(stride);
+        lo.par_iter_mut()
+            .zip(hi.par_iter_mut())
+            .with_min_len(crate::exec::PAR_MIN_CHUNK)
+            .for_each(|(l, h)| mix_pair(l, h, u));
+        return;
+    }
+    let chunk = par_chunk_len(len, block);
+    amps.par_chunks_mut(chunk).for_each(|c| {
+        for b in c.chunks_exact_mut(block) {
+            mix_block(b, stride, u);
+        }
+    });
+}
+
+/// Backend-dispatched Algorithm 1.
+#[inline]
+pub fn apply_mat2(amps: &mut [C64], q: usize, u: &Mat2, backend: Backend) {
+    match backend {
+        Backend::Serial => apply_mat2_serial(amps, q, u),
+        Backend::Rayon => apply_mat2_rayon(amps, q, u),
+    }
+}
+
+/// Algorithm 2: applies the same `U` to **every** qubit, i.e. `U^{⊗n}`,
+/// in place. For `U = Mat2::rx(β)` this is the full transverse-field mixer.
+pub fn apply_uniform_mat2(amps: &mut [C64], u: &Mat2, backend: Backend) {
+    let n = amps.len().trailing_zeros() as usize;
+    debug_assert!(amps.len().is_power_of_two());
+    for q in 0..n {
+        apply_mat2(amps, q, u, backend);
+    }
+}
+
+/// Generalized Algorithm 2 with a per-qubit matrix: applies
+/// `U_{n-1} ⊗ … ⊗ U_1 ⊗ U_0` (qubit `i` receives `us[i]`).
+///
+/// # Panics
+/// If `us.len()` does not match the qubit count of the vector.
+pub fn apply_mat2_sequence(amps: &mut [C64], us: &[Mat2], backend: Backend) {
+    let n = amps.len().trailing_zeros() as usize;
+    assert_eq!(us.len(), n, "need one matrix per qubit");
+    for (q, u) in us.iter().enumerate() {
+        apply_mat2(amps, q, u, backend);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use crate::state::StateVec;
+
+    fn assert_close(a: &[C64], b: &[C64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(x.approx_eq(*y, tol), "index {i}: {x} vs {y}");
+        }
+    }
+
+    fn random_state(n: usize, seed: u64) -> StateVec {
+        // Deterministic pseudo-random amplitudes (splitmix64-based).
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z = z ^ (z >> 31);
+            (z as f64 / u64::MAX as f64) - 0.5
+        };
+        let mut v = StateVec::from_amplitudes(
+            (0..1usize << n).map(|_| C64::new(next(), next())).collect(),
+        );
+        v.normalize();
+        v
+    }
+
+    #[test]
+    fn matches_reference_on_every_qubit() {
+        let n = 5;
+        for q in 0..n {
+            let mut s = random_state(n, 42 + q as u64);
+            let expect = reference::apply_1q_reference(s.amplitudes(), q, &Mat2::rx(0.37));
+            apply_mat2_serial(s.amplitudes_mut(), q, &Mat2::rx(0.37));
+            assert_close(s.amplitudes(), &expect, 1e-12);
+        }
+    }
+
+    #[test]
+    fn rayon_matches_serial() {
+        // Exercise both the multi-block and single-block parallel paths.
+        for n in [4usize, 14] {
+            for q in [0, n / 2, n - 1] {
+                let u = Mat2::ry(1.1).matmul(&Mat2::rz(0.3));
+                let mut a = random_state(n, 7);
+                let mut b = a.clone();
+                apply_mat2_serial(a.amplitudes_mut(), q, &u);
+                apply_mat2_rayon(b.amplitudes_mut(), q, &u);
+                assert_close(a.amplitudes(), b.amplitudes(), 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn preserves_norm() {
+        let mut s = random_state(8, 3);
+        apply_uniform_mat2(s.amplitudes_mut(), &Mat2::rx(0.9), Backend::Serial);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn hadamard_on_all_gives_uniform() {
+        let n = 6;
+        let mut s = StateVec::zero_state(n);
+        apply_uniform_mat2(s.amplitudes_mut(), &Mat2::hadamard(), Backend::Serial);
+        let expect = StateVec::uniform_superposition(n);
+        assert!(s.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn x_on_qubit_flips_basis_state() {
+        let mut s = StateVec::basis_state(4, 0b0010);
+        apply_mat2_serial(s.amplitudes_mut(), 3, &Mat2::pauli_x());
+        assert_eq!(s.amplitudes()[0b1010], C64::ONE);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let u = Mat2::rx(0.77);
+        let mut s = random_state(7, 11);
+        let orig = s.clone();
+        apply_uniform_mat2(s.amplitudes_mut(), &u, Backend::Serial);
+        apply_uniform_mat2(s.amplitudes_mut(), &u.dagger(), Backend::Serial);
+        assert!(s.max_abs_diff(&orig) < 1e-10);
+    }
+
+    #[test]
+    fn sequence_applies_per_qubit() {
+        let n = 3;
+        let us = [Mat2::rx(0.1), Mat2::ry(0.2), Mat2::rz(0.3)];
+        let mut s = random_state(n, 5);
+        let mut expect = s.amplitudes().to_vec();
+        for (q, u) in us.iter().enumerate() {
+            expect = reference::apply_1q_reference(&expect, q, u);
+        }
+        apply_mat2_sequence(s.amplitudes_mut(), &us, Backend::Serial);
+        assert_close(s.amplitudes(), &expect, 1e-12);
+    }
+
+    #[test]
+    fn mixer_order_is_irrelevant() {
+        // The e^{-iβxᵢ} factors commute, so qubit order must not matter.
+        let n = 5;
+        let u = Mat2::rx(0.63);
+        let mut fwd = random_state(n, 9);
+        let mut rev = fwd.clone();
+        for q in 0..n {
+            apply_mat2_serial(fwd.amplitudes_mut(), q, &u);
+        }
+        for q in (0..n).rev() {
+            apply_mat2_serial(rev.amplitudes_mut(), q, &u);
+        }
+        assert!(fwd.max_abs_diff(&rev) < 1e-12);
+    }
+}

@@ -1,0 +1,28 @@
+//! # qokit-tensornet
+//!
+//! Tensor-network contraction baseline for the QOKit reproduction — the
+//! stand-in for cuTensorNet/QTensor in Fig. 3 of *Fast Simulation of
+//! High-Depth QAOA Circuits*. Builds the amplitude network
+//! `⟨x|QAOA(γ,β)|+⟩` with diagonal cost terms as hyperedge tensors and
+//! contracts it greedily; deep LABS circuits drive the contraction width
+//! toward `n`, which is the paper's argument for state-vector simulation
+//! at high depth.
+//!
+//! ```
+//! use qokit_tensornet::qaoa_amplitude;
+//! use qokit_terms::maxcut::maxcut_polynomial;
+//! use qokit_terms::Graph;
+//!
+//! let poly = maxcut_polynomial(&Graph::ring(4, 1.0));
+//! let (amp, width) = qaoa_amplitude(&poly, &[0.4], &[0.8], 0, 30).unwrap();
+//! assert!(amp.norm_sqr() <= 1.0);
+//! assert!(width <= 30);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod tensor;
+
+pub use network::{qaoa_amplitude, QaoaNetwork, TensorNetwork, TnError};
+pub use tensor::Tensor;

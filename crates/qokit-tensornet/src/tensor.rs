@@ -1,0 +1,212 @@
+//! Dense tensors with binary (dimension-2) legs and pairwise contraction.
+//!
+//! Everything a QAOA circuit produces has qubit-sized indices, so legs are
+//! always dimension 2 and a rank-`r` tensor holds `2^r` complex entries.
+//! Legs are global ids; the same id appearing in two tensors denotes a
+//! shared (contractible) index. Diagonal cost-term tensors are *hyperedges*
+//! (a leg id may appear in more than two tensors), so contraction keeps a
+//! shared leg alive until its last holder is merged.
+
+use qokit_statevec::C64;
+
+/// A dense tensor over dimension-2 legs, row-major with `legs[0]` slowest.
+#[derive(Clone, Debug)]
+pub struct Tensor {
+    /// Global leg ids, one per axis.
+    pub legs: Vec<usize>,
+    /// `2^legs.len()` entries, `legs[0]` the most significant bit of the
+    /// flat index.
+    pub data: Vec<C64>,
+}
+
+impl Tensor {
+    /// Builds a tensor, checking the data length.
+    ///
+    /// # Panics
+    /// If `data.len() != 2^legs.len()` or legs repeat.
+    pub fn new(legs: Vec<usize>, data: Vec<C64>) -> Self {
+        assert_eq!(data.len(), 1usize << legs.len(), "data/rank mismatch");
+        let mut sorted = legs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), legs.len(), "repeated leg id within a tensor");
+        Tensor { legs, data }
+    }
+
+    /// Scalar (rank-0) tensor.
+    pub fn scalar(v: C64) -> Self {
+        Tensor {
+            legs: vec![],
+            data: vec![v],
+        }
+    }
+
+    /// Tensor rank (number of legs).
+    pub fn rank(&self) -> usize {
+        self.legs.len()
+    }
+
+    /// The scalar value of a rank-0 tensor.
+    ///
+    /// # Panics
+    /// If the tensor still has legs.
+    pub fn into_scalar(self) -> C64 {
+        assert!(self.legs.is_empty(), "tensor still has open legs");
+        self.data[0]
+    }
+
+    /// Contracts `self` with `other`, summing over every leg in `sum_legs`
+    /// (must be shared by both) and keeping all other legs (shared-but-kept
+    /// legs appear once in the output — the hyperedge case).
+    pub fn contract(&self, other: &Tensor, sum_legs: &[usize]) -> Tensor {
+        for l in sum_legs {
+            assert!(
+                self.legs.contains(l) && other.legs.contains(l),
+                "summed leg {l} must be shared"
+            );
+        }
+        // Output legs: union minus summed, self's legs first.
+        let mut out_legs: Vec<usize> = Vec::new();
+        for &l in self.legs.iter().chain(other.legs.iter()) {
+            if !sum_legs.contains(&l) && !out_legs.contains(&l) {
+                out_legs.push(l);
+            }
+        }
+        let out_rank = out_legs.len();
+        let sum_rank = sum_legs.len();
+        // Enumeration space: output bits (high) then summed bits (low).
+        let bit_of = |leg: usize, out_legs: &[usize]| -> usize {
+            // Position of `leg` in the enumeration integer.
+            if let Some(i) = out_legs.iter().position(|&x| x == leg) {
+                sum_rank + (out_rank - 1 - i)
+            } else {
+                let j = sum_legs.iter().position(|&x| x == leg).unwrap();
+                sum_rank - 1 - j
+            }
+        };
+        // Per-tensor strides: flat index = Σ bit(enum, pos(leg)) << axis.
+        let strides = |legs: &[usize]| -> Vec<(usize, usize)> {
+            legs.iter()
+                .enumerate()
+                .map(|(axis, &l)| {
+                    let shift = legs.len() - 1 - axis; // row-major, legs[0] slowest
+                    (bit_of(l, &out_legs), shift)
+                })
+                .collect()
+        };
+        let sa = strides(&self.legs);
+        let sb = strides(&other.legs);
+        let flat = |enumv: usize, s: &[(usize, usize)]| -> usize {
+            s.iter()
+                .fold(0usize, |acc, &(src, dst)| acc | (((enumv >> src) & 1) << dst))
+        };
+        let mut out = vec![C64::ZERO; 1usize << out_rank];
+        for (o, out_o) in out.iter_mut().enumerate() {
+            let mut acc = C64::ZERO;
+            for s in 0..1usize << sum_rank {
+                let e = (o << sum_rank) | s;
+                acc += self.data[flat(e, &sa)] * other.data[flat(e, &sb)];
+            }
+            *out_o = acc;
+        }
+        Tensor {
+            legs: out_legs,
+            data: out,
+        }
+    }
+
+    /// Memory footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<C64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(v: f64) -> C64 {
+        C64::from_re(v)
+    }
+
+    #[test]
+    fn vector_dot_product() {
+        let a = Tensor::new(vec![0], vec![c(1.0), c(2.0)]);
+        let b = Tensor::new(vec![0], vec![c(3.0), c(4.0)]);
+        let s = a.contract(&b, &[0]);
+        assert_eq!(s.into_scalar(), c(11.0));
+    }
+
+    #[test]
+    fn matrix_vector_product() {
+        // M[i][j] on legs (i=0, j=1), v[j] on leg 1.
+        let m = Tensor::new(vec![0, 1], vec![c(1.0), c(2.0), c(3.0), c(4.0)]);
+        let v = Tensor::new(vec![1], vec![c(5.0), c(6.0)]);
+        let r = m.contract(&v, &[1]);
+        assert_eq!(r.legs, vec![0]);
+        assert_eq!(r.data, vec![c(17.0), c(39.0)]);
+    }
+
+    #[test]
+    fn matrix_matrix_product() {
+        // A on (i, k), B on (k, j): C = A·B on (i, j).
+        let a = Tensor::new(vec![0, 1], vec![c(1.0), c(2.0), c(3.0), c(4.0)]);
+        let b = Tensor::new(vec![1, 2], vec![c(5.0), c(6.0), c(7.0), c(8.0)]);
+        let r = a.contract(&b, &[1]);
+        assert_eq!(r.legs, vec![0, 2]);
+        assert_eq!(r.data, vec![c(19.0), c(22.0), c(43.0), c(50.0)]);
+    }
+
+    #[test]
+    fn outer_product_when_nothing_summed() {
+        let a = Tensor::new(vec![0], vec![c(1.0), c(2.0)]);
+        let b = Tensor::new(vec![1], vec![c(3.0), c(4.0)]);
+        let r = a.contract(&b, &[]);
+        assert_eq!(r.legs, vec![0, 1]);
+        assert_eq!(r.data, vec![c(3.0), c(4.0), c(6.0), c(8.0)]);
+    }
+
+    #[test]
+    fn hyperedge_leg_kept_when_not_summed() {
+        // Two tensors share leg 0 but a third still needs it: contract
+        // without summing — the output keeps leg 0 once, values multiply
+        // elementwise along it.
+        let a = Tensor::new(vec![0], vec![c(2.0), c(5.0)]);
+        let b = Tensor::new(vec![0], vec![c(7.0), c(11.0)]);
+        let r = a.contract(&b, &[]);
+        assert_eq!(r.legs, vec![0]);
+        assert_eq!(r.data, vec![c(14.0), c(55.0)]);
+    }
+
+    #[test]
+    fn three_tensor_chain_associativity() {
+        // (A·B)·v must equal A·(B·v) on the open leg 0.
+        let a = Tensor::new(vec![0, 1], vec![c(1.0), c(0.0), c(2.0), c(1.0)]);
+        let b = Tensor::new(vec![1, 2], vec![c(0.5), c(1.5), c(2.5), c(3.5)]);
+        let v = Tensor::new(vec![2], vec![c(1.0), c(-1.0)]);
+        let left = a.contract(&b, &[1]).contract(&v, &[2]);
+        let right = a.contract(&b.contract(&v, &[2]), &[1]);
+        assert_eq!(left.legs, vec![0]);
+        assert_eq!(right.legs, vec![0]);
+        for (x, y) in left.data.iter().zip(right.data.iter()) {
+            assert!(x.approx_eq(*y, 1e-12));
+        }
+        // Hand-computed values: A·B = [[0.5,1.5],[3.5,6.5]], ·(1,−1) = (−1,−3).
+        assert!(left.data[0].approx_eq(c(-1.0), 1e-12));
+        assert!(left.data[1].approx_eq(c(-3.0), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be shared")]
+    fn rejects_summing_unshared_leg() {
+        let a = Tensor::new(vec![0], vec![c(1.0), c(2.0)]);
+        let b = Tensor::new(vec![1], vec![c(3.0), c(4.0)]);
+        let _ = a.contract(&b, &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated leg")]
+    fn rejects_repeated_legs() {
+        let _ = Tensor::new(vec![0, 0], vec![c(0.0); 4]);
+    }
+}

@@ -1,0 +1,258 @@
+//! Graph substrate for the MaxCut and XY-mixer workloads.
+//!
+//! The paper's CPU evaluation (Fig. 2) runs QAOA on MaxCut over random
+//! 3-regular graphs; the XY mixers are defined over ring and complete
+//! graphs. This module provides those generators plus the usual utilities.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// An undirected weighted graph on vertices `0..n`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list. Edges are stored with the smaller
+    /// endpoint first.
+    ///
+    /// # Panics
+    /// If an endpoint is out of range, an edge is a self-loop, or an edge
+    /// appears twice.
+    pub fn new(n: usize, edges: Vec<(usize, usize, f64)>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        let mut norm = Vec::with_capacity(edges.len());
+        for (u, v, w) in edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range for n = {n}");
+            assert_ne!(u, v, "self-loop at vertex {u}");
+            let key = (u.min(v), u.max(v));
+            assert!(seen.insert(key), "duplicate edge ({u},{v})");
+            norm.push((key.0, key.1, w));
+        }
+        Graph { n, edges: norm }
+    }
+
+    /// Number of vertices.
+    #[inline(always)]
+    pub fn n_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline(always)]
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge list `(u, v, w)` with `u < v`.
+    #[inline(always)]
+    pub fn edges(&self) -> &[(usize, usize, f64)] {
+        &self.edges
+    }
+
+    /// Sum of edge weights.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|&(_, _, w)| w).sum()
+    }
+
+    /// Per-vertex degrees.
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.n];
+        for &(u, v, _) in &self.edges {
+            deg[u] += 1;
+            deg[v] += 1;
+        }
+        deg
+    }
+
+    /// `true` when every vertex has degree `d`.
+    pub fn is_regular(&self, d: usize) -> bool {
+        self.degrees().iter().all(|&x| x == d)
+    }
+
+    /// The complete graph `K_n` with uniform edge weight `w`.
+    pub fn complete(n: usize, w: f64) -> Self {
+        let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in i + 1..n {
+                edges.push((i, j, w));
+            }
+        }
+        Graph { n, edges }
+    }
+
+    /// The cycle `C_n` (ring) with uniform edge weight `w`.
+    ///
+    /// # Panics
+    /// If `n < 3`.
+    pub fn ring(n: usize, w: f64) -> Self {
+        assert!(n >= 3, "a ring needs at least 3 vertices");
+        let edges = (0..n).map(|i| (i, (i + 1) % n, w)).collect();
+        Graph::new(n, edges)
+    }
+
+    /// The path `P_n` with uniform edge weight `w`.
+    pub fn path(n: usize, w: f64) -> Self {
+        let edges = (0..n.saturating_sub(1)).map(|i| (i, i + 1, w)).collect();
+        Graph { n, edges }
+    }
+
+    /// A uniformly random `d`-regular simple graph via the configuration
+    /// (pairing) model with rejection: `d` stubs per vertex are shuffled and
+    /// paired; drawings containing self-loops or parallel edges are
+    /// rejected and retried. Unit edge weights.
+    ///
+    /// # Panics
+    /// If `n·d` is odd or `d ≥ n` (no simple `d`-regular graph exists).
+    pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Self {
+        assert!(n * d % 2 == 0, "n·d must be even for a d-regular graph");
+        assert!(d < n, "degree {d} impossible on {n} vertices");
+        if d == 0 {
+            return Graph { n, edges: vec![] };
+        }
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        'retry: loop {
+            stubs.shuffle(rng);
+            let mut seen = std::collections::HashSet::with_capacity(n * d / 2);
+            let mut edges = Vec::with_capacity(n * d / 2);
+            for pair in stubs.chunks_exact(2) {
+                let (u, v) = (pair[0], pair[1]);
+                if u == v {
+                    continue 'retry;
+                }
+                let key = (u.min(v), u.max(v));
+                if !seen.insert(key) {
+                    continue 'retry;
+                }
+                edges.push((key.0, key.1, 1.0));
+            }
+            return Graph { n, edges };
+        }
+    }
+
+    /// An Erdős–Rényi `G(n, p)` graph with unit edge weights.
+    pub fn erdos_renyi<R: Rng>(n: usize, p: f64, rng: &mut R) -> Self {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                if rng.gen::<f64>() < p {
+                    edges.push((i, j, 1.0));
+                }
+            }
+        }
+        Graph { n, edges }
+    }
+
+    /// Assigns i.i.d. uniform weights in `[lo, hi)` to the existing edges.
+    pub fn with_random_weights<R: Rng>(mut self, lo: f64, hi: f64, rng: &mut R) -> Self {
+        for e in &mut self.edges {
+            e.2 = rng.gen_range(lo..hi);
+        }
+        self
+    }
+
+    /// The cut value of the bit-assignment `x` (bit `i` = side of vertex
+    /// `i`): total weight of edges with endpoints on opposite sides.
+    pub fn cut_value(&self, x: u64) -> f64 {
+        self.edges
+            .iter()
+            .map(|&(u, v, w)| if (x >> u ^ x >> v) & 1 == 1 { w } else { 0.0 })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = Graph::complete(6, 0.3);
+        assert_eq!(g.n_edges(), 15);
+        assert!(g.is_regular(5));
+        assert!((g.total_weight() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_graph_structure() {
+        let g = Graph::ring(5, 1.0);
+        assert_eq!(g.n_edges(), 5);
+        assert!(g.is_regular(2));
+    }
+
+    #[test]
+    fn path_graph_structure() {
+        let g = Graph::path(4, 1.0);
+        assert_eq!(g.n_edges(), 3);
+        assert_eq!(g.degrees(), vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn random_regular_is_regular_and_simple() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for (n, d) in [(8, 3), (10, 3), (12, 4), (6, 5)] {
+            let g = Graph::random_regular(n, d, &mut rng);
+            assert!(g.is_regular(d), "n={n}, d={d}");
+            assert_eq!(g.n_edges(), n * d / 2);
+            // Graph::new-style invariants hold by construction; re-validate.
+            let _ = Graph::new(n, g.edges().to_vec());
+        }
+    }
+
+    #[test]
+    fn random_regular_d0() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = Graph::random_regular(5, 0, &mut rng);
+        assert_eq!(g.n_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn random_regular_rejects_odd_product() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = Graph::random_regular(5, 3, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn new_rejects_self_loop() {
+        let _ = Graph::new(3, vec![(1, 1, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn new_rejects_duplicate_edge() {
+        let _ = Graph::new(3, vec![(0, 1, 1.0), (1, 0, 2.0)]);
+    }
+
+    #[test]
+    fn cut_value_bipartition() {
+        let g = Graph::ring(4, 1.0);
+        // Alternating sides cut every edge of an even ring.
+        assert_eq!(g.cut_value(0b0101), 4.0);
+        assert_eq!(g.cut_value(0b0000), 0.0);
+        assert_eq!(g.cut_value(0b0011), 2.0);
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g0 = Graph::erdos_renyi(10, 0.0, &mut rng);
+        assert_eq!(g0.n_edges(), 0);
+        let g1 = Graph::erdos_renyi(10, 1.0, &mut rng);
+        assert_eq!(g1.n_edges(), 45);
+    }
+
+    #[test]
+    fn random_weights_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = Graph::complete(5, 1.0).with_random_weights(0.5, 2.0, &mut rng);
+        for &(_, _, w) in g.edges() {
+            assert!((0.5..2.0).contains(&w));
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Random k-SAT cost functions.
+//!
+//! The paper's §III singles out "objectives with higher order terms, such
+//! as k-SAT with k > 3" as the case where compiling the phase operator
+//! into gates is most expensive, and its motivation (§I) cites the
+//! Boulebnane–Montanaro random-8-SAT QAOA study [4]. A k-clause maps to a
+//! degree-k spin polynomial, so k-SAT exercises exactly the high-order
+//! path the precomputed diagonal collapses to one vector pass.
+//!
+//! Cost convention: `f(x)` counts **unsatisfied clauses**, so the
+//! minimum is 0 iff the formula is satisfiable.
+
+use crate::polynomial::SpinPolynomial;
+use crate::term::Term;
+use rand::Rng;
+
+/// One k-SAT clause: literals over distinct variables; `negated[i]` means
+/// the literal is `¬ vars[i]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Clause {
+    /// Variable indices (distinct).
+    pub vars: Vec<usize>,
+    /// Negation flags, aligned with `vars`.
+    pub negated: Vec<bool>,
+}
+
+impl Clause {
+    /// Builds a clause after validating shape.
+    ///
+    /// # Panics
+    /// If lengths differ or variables repeat.
+    pub fn new(vars: Vec<usize>, negated: Vec<bool>) -> Self {
+        assert_eq!(vars.len(), negated.len(), "vars/negated length mismatch");
+        let mut sorted = vars.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), vars.len(), "repeated variable in clause");
+        Clause { vars, negated }
+    }
+
+    /// `true` when the bit-assignment (bit `i` = variable `i` is *true*)
+    /// satisfies the clause.
+    pub fn is_satisfied(&self, x: u64) -> bool {
+        self.vars
+            .iter()
+            .zip(self.negated.iter())
+            .any(|(&v, &neg)| ((x >> v) & 1 == 1) != neg)
+    }
+}
+
+/// A k-SAT instance.
+#[derive(Clone, Debug)]
+pub struct KsatInstance {
+    /// Number of Boolean variables.
+    pub n: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl KsatInstance {
+    /// Uniformly random k-SAT: `m` clauses, each over k distinct uniform
+    /// variables with fair-coin negations (the Ref. [4] ensemble).
+    ///
+    /// # Panics
+    /// If `k > n` or `k = 0`.
+    pub fn random<R: Rng>(n: usize, k: usize, m: usize, rng: &mut R) -> Self {
+        assert!(k > 0 && k <= n, "need 0 < k ≤ n");
+        let clauses = (0..m)
+            .map(|_| {
+                let mut vars = Vec::with_capacity(k);
+                while vars.len() < k {
+                    let v = rng.gen_range(0..n);
+                    if !vars.contains(&v) {
+                        vars.push(v);
+                    }
+                }
+                let negated = (0..k).map(|_| rng.gen::<bool>()).collect();
+                Clause::new(vars, negated)
+            })
+            .collect();
+        KsatInstance { n, clauses }
+    }
+
+    /// Number of unsatisfied clauses under the bit-assignment `x`.
+    pub fn unsatisfied(&self, x: u64) -> usize {
+        self.clauses.iter().filter(|c| !c.is_satisfied(x)).count()
+    }
+
+    /// Expands the instance into a spin polynomial counting unsatisfied
+    /// clauses.
+    ///
+    /// A clause over literals `ℓ_1…ℓ_k` is unsatisfied iff all literals
+    /// are false: `Π_i (1 − ℓ_i)/… = Π_i (1 + σ_i s_{v_i})/2` in spins,
+    /// where `σ_i = +1` for a positive literal (recall bit 1 ⇔ `s = −1` ⇔
+    /// variable true, so literal `v` is false exactly when `s_v = +1`) and
+    /// `σ_i = −1` for a negated literal. Expanding the product yields
+    /// `2^{-k}` times all sub-products — degree up to k.
+    pub fn to_terms(&self) -> SpinPolynomial {
+        let mut terms: Vec<Term> = Vec::new();
+        for clause in &self.clauses {
+            let k = clause.vars.len();
+            let scale = 1.0 / (1u64 << k) as f64;
+            // Enumerate subsets of the clause's literals.
+            for subset in 0..1u64 << k {
+                let mut mask = 0u64;
+                let mut sign = 1.0f64;
+                for (i, (&v, &neg)) in clause.vars.iter().zip(clause.negated.iter()).enumerate() {
+                    if subset >> i & 1 == 1 {
+                        mask ^= 1u64 << v;
+                        // Positive literal ⇒ unsat needs s = +1 ⇒ factor
+                        // (1 + s)/2 ⇒ coefficient +1 on s; negated ⇒ −1.
+                        sign *= if neg { -1.0 } else { 1.0 };
+                    }
+                }
+                terms.push(Term::from_mask(scale * sign, mask));
+            }
+        }
+        SpinPolynomial::new(self.n, terms).canonicalize()
+    }
+
+    /// Exhaustively checks satisfiability (`min f = 0`).
+    ///
+    /// # Panics
+    /// If `n > 24`.
+    pub fn brute_force_satisfiable(&self) -> bool {
+        assert!(self.n <= 24, "brute force limited to n ≤ 24");
+        (0u64..1 << self.n).any(|x| self.unsatisfied(x) == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clause_satisfaction_logic() {
+        // (x0 ∨ ¬x2)
+        let c = Clause::new(vec![0, 2], vec![false, true]);
+        assert!(c.is_satisfied(0b001)); // x0 true
+        assert!(c.is_satisfied(0b000)); // x2 false ⇒ ¬x2 true
+        assert!(!c.is_satisfied(0b100)); // x0 false, x2 true
+    }
+
+    #[test]
+    fn polynomial_counts_unsatisfied_clauses() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for k in [2usize, 3, 4, 5] {
+            let inst = KsatInstance::random(8, k, 12, &mut rng);
+            let poly = inst.to_terms();
+            for x in 0u64..256 {
+                assert!(
+                    (poly.evaluate_bits(x) - inst.unsatisfied(x) as f64).abs() < 1e-9,
+                    "k = {k}, x = {x:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn polynomial_degree_is_at_most_k() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let inst = KsatInstance::random(10, 4, 20, &mut rng);
+        assert!(inst.to_terms().degree() <= 4);
+    }
+
+    #[test]
+    fn underconstrained_instances_are_satisfiable() {
+        // m/n = 1 is far below the 3-SAT threshold (~4.27).
+        let mut rng = StdRng::seed_from_u64(7);
+        let inst = KsatInstance::random(12, 3, 12, &mut rng);
+        assert!(inst.brute_force_satisfiable());
+        let poly = inst.to_terms();
+        let (min, _) = poly.brute_force_minimum();
+        assert!(min.abs() < 1e-9, "satisfiable ⇒ min unsat count = 0");
+    }
+
+    #[test]
+    fn single_clause_energy_levels() {
+        // One clause: f = 1 on the single all-false assignment, 0 elsewhere.
+        let inst = KsatInstance {
+            n: 3,
+            clauses: vec![Clause::new(vec![0, 1, 2], vec![false, false, false])],
+        };
+        let poly = inst.to_terms();
+        for x in 0u64..8 {
+            let expect = if x == 0 { 1.0 } else { 0.0 };
+            assert!((poly.evaluate_bits(x) - expect).abs() < 1e-12, "x = {x:b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated variable")]
+    fn clause_rejects_repeats() {
+        let _ = Clause::new(vec![1, 1], vec![false, false]);
+    }
+
+    #[test]
+    fn high_k_terms_are_many() {
+        // §III: the k > 3 case has the worst gate-compilation blow-up; the
+        // expansion produces up to 2^k terms per clause (before merging).
+        let mut rng = StdRng::seed_from_u64(8);
+        let inst = KsatInstance::random(16, 8, 10, &mut rng);
+        let poly = inst.to_terms();
+        assert!(poly.degree() >= 6);
+        assert!(poly.num_terms() > 10 * 64, "|T| = {}", poly.num_terms());
+    }
+}

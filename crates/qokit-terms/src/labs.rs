@@ -1,0 +1,242 @@
+//! Low Autocorrelation Binary Sequences (LABS) — the paper's flagship
+//! high-order workload (§II, Figs. 3–5).
+//!
+//! For a spin sequence `s ∈ {±1}^n`, the aperiodic autocorrelations are
+//! `C_k(s) = Σ_{i=0}^{n-1-k} s_i s_{i+k}` and the sidelobe energy is
+//! `E(s) = Σ_{k=1}^{n-1} C_k²`. LABS asks for the sequence minimizing `E`
+//! (equivalently maximizing the merit factor `F = n²/(2E)`).
+//!
+//! The paper optimizes the polynomial
+//! `f(s) = 2·Σᵢ sᵢ Σₜ Σ_k s_{i+t} s_{i+k} s_{i+k+t} + Σᵢ sᵢ Σ_k s_{i+2k}`
+//! which relates to the energy by `E = 2·f + n(n−1)/2` (the constant is the
+//! diagonal of the squares, and every off-diagonal product appears twice in
+//! `E`). Both polynomials are provided; they share minimizers.
+
+use crate::polynomial::SpinPolynomial;
+use crate::term::Term;
+
+/// Aperiodic autocorrelation `C_k(s)` of the bit-encoded sequence `x`
+/// (`s_i = 1 − 2·bit_i`).
+///
+/// # Panics
+/// If `k >= n` (debug builds; `C_0 = n` is excluded from the energy).
+pub fn autocorrelation(x: u64, n: usize, k: usize) -> i64 {
+    debug_assert!(k < n, "autocorrelation shift k = {k} out of range");
+    // s_i·s_{i+k} = +1 iff bits i and i+k agree: count disagreements via XOR.
+    let len = n - k;
+    let window = (x ^ (x >> k)) & ((1u64 << len) - 1);
+    let disagreements = window.count_ones() as i64;
+    (len as i64) - 2 * disagreements
+}
+
+/// Sidelobe energy `E(s) = Σ_{k=1}^{n-1} C_k²` evaluated directly in
+/// `O(n)` per shift (`O(n²)` total) — the test oracle for the polynomials.
+pub fn sidelobe_energy(x: u64, n: usize) -> i64 {
+    (1..n).map(|k| autocorrelation(x, n, k).pow(2)).sum()
+}
+
+/// Merit factor `F(s) = n² / (2·E(s))`.
+pub fn merit_factor(x: u64, n: usize) -> f64 {
+    let e = sidelobe_energy(x, n);
+    (n * n) as f64 / (2.0 * e as f64)
+}
+
+/// The paper's LABS cost polynomial `f` (§II), with
+/// `E = 2·f + n(n−1)/2`: a sum of 4-local terms of weight 2 and 2-local
+/// terms of weight 1, no constant. This is the workload fed to the
+/// simulators (the Rust analogue of `qokit.labs.get_terms(n)`).
+///
+/// # Panics
+/// If `n < 3` or `n > 64`.
+pub fn labs_terms(n: usize) -> SpinPolynomial {
+    assert!((3..=64).contains(&n), "LABS needs 3 ≤ n ≤ 64");
+    let mut terms = Vec::new();
+    // 4-local: 2·s_i s_{i+t} s_{i+k} s_{i+k+t}, 1 ≤ t < k, i+k+t ≤ n−1.
+    for i in 0..n.saturating_sub(3) {
+        let m = n - 1 - i; // largest reachable offset from i
+        for t in 1..=(m - 1) / 2 {
+            for k in t + 1..=m - t {
+                terms.push(Term::new(2.0, &[i, i + t, i + k, i + k + t]));
+            }
+        }
+    }
+    // 2-local: s_i s_{i+2k}, 1 ≤ k, i+2k ≤ n−1.
+    for i in 0..n.saturating_sub(2) {
+        let m = n - 1 - i;
+        for k in 1..=m / 2 {
+            terms.push(Term::new(1.0, &[i, i + 2 * k]));
+        }
+    }
+    SpinPolynomial::new(n, terms)
+}
+
+/// The full sidelobe-energy polynomial `E(s)` built by expanding
+/// `Σ_k C_k²` with XOR-mask algebra (squares cancel automatically), then
+/// canonicalizing. Includes the `n(n−1)/2` constant. Used to cross-validate
+/// [`labs_terms`] and for energy-valued cost vectors.
+pub fn energy_polynomial(n: usize) -> SpinPolynomial {
+    assert!((2..=64).contains(&n), "LABS needs 2 ≤ n ≤ 64");
+    let mut terms = Vec::new();
+    for k in 1..n {
+        let len = n - k;
+        for i in 0..len {
+            for j in 0..len {
+                // s_i s_{i+k} s_j s_{j+k}: XOR of the four index bits —
+                // coincident indices (i = j, or j = i + k, …) cancel in the
+                // mask automatically because s² = 1.
+                let mask = (1u64 << i) ^ (1u64 << (i + k)) ^ (1u64 << j) ^ (1u64 << (j + k));
+                terms.push(Term::from_mask(1.0, mask));
+            }
+        }
+    }
+    SpinPolynomial::new(n, terms).canonicalize()
+}
+
+/// Optimal (minimum) sidelobe energies `E*(n)` for `3 ≤ n ≤ 32`, from the
+/// exhaustive-search literature (Packebusch & Krauth, *J. Phys. A* 49,
+/// 165001, 2016). Unit tests re-derive the values up to n = 16 by brute
+/// force; the `exhaustive_labs_check` integration test (ignored by default)
+/// extends the verification via the FWHT cost-vector precompute.
+pub fn known_optimal_energy(n: usize) -> Option<i64> {
+    const TABLE: [i64; 30] = [
+        1, 2, 2, 7, 3, 8, 12, 13, 5, 10, 6, 19, 15, 24, 32, 25, 29, 26, 26, 39, 47, 36, 36, 45,
+        37, 50, 62, 59, 67, 64,
+    ];
+    if (3..=32).contains(&n) {
+        Some(TABLE[n - 3])
+    } else {
+        None
+    }
+}
+
+/// Optimal merit factor `n²/(2E*)` where the optimal energy is known.
+pub fn optimal_merit_factor(n: usize) -> Option<f64> {
+    known_optimal_energy(n).map(|e| (n * n) as f64 / (2.0 * e as f64))
+}
+
+/// Converts a value of the paper polynomial [`labs_terms`] to a sidelobe
+/// energy: `E = 2·f + n(n−1)/2`.
+pub fn paper_cost_to_energy(f: f64, n: usize) -> f64 {
+    2.0 * f + (n * (n - 1)) as f64 / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn autocorrelation_small_cases() {
+        // s = (+,+,+) (x = 0): C_1 = 2, C_2 = 1.
+        assert_eq!(autocorrelation(0, 3, 1), 2);
+        assert_eq!(autocorrelation(0, 3, 2), 1);
+        // s = (+,−,+) (x = 0b010): C_1 = −2, C_2 = 1.
+        assert_eq!(autocorrelation(0b010, 3, 1), -2);
+        assert_eq!(autocorrelation(0b010, 3, 2), 1);
+    }
+
+    #[test]
+    fn barker_13_energy() {
+        // Barker-13: + + + + + − − + + − + − +  → E = 6, F ≈ 14.08.
+        // bit i = 1 ⇔ s_i = −1.
+        let s: [i8; 13] = [1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1];
+        let x: u64 = s
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if v == -1 { 1u64 << i } else { 0 })
+            .sum();
+        assert_eq!(sidelobe_energy(x, 13), 6);
+        assert!((merit_factor(x, 13) - 169.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_polynomial_matches_direct_evaluation() {
+        for n in 3..=9 {
+            let poly = energy_polynomial(n);
+            for x in 0u64..(1 << n) {
+                assert_eq!(
+                    poly.evaluate_bits(x),
+                    sidelobe_energy(x, n) as f64,
+                    "n = {n}, x = {x:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_terms_relate_to_energy() {
+        for n in 3..=9 {
+            let poly = labs_terms(n);
+            for x in 0u64..(1 << n) {
+                let e = paper_cost_to_energy(poly.evaluate_bits(x), n);
+                assert_eq!(e, sidelobe_energy(x, n) as f64, "n = {n}, x = {x:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_terms_structure() {
+        let poly = labs_terms(12);
+        let hist = poly.degree_histogram();
+        // Only degree-2 (weight 1) and degree-4 (weight 2) terms.
+        assert_eq!(hist.iter().sum::<usize>(), hist[2] + hist[4]);
+        for t in poly.terms() {
+            match t.degree() {
+                2 => assert_eq!(t.weight, 1.0),
+                4 => assert_eq!(t.weight, 2.0),
+                d => panic!("unexpected degree {d}"),
+            }
+        }
+        // No duplicate masks: canonicalization must not shrink the count.
+        assert_eq!(poly.canonicalize().num_terms(), poly.num_terms());
+    }
+
+    #[test]
+    fn term_count_growth() {
+        // |T| grows ≈ n³/12; the paper quotes ≈75n at n = 31.
+        let t31 = labs_terms(31).num_terms();
+        assert!(t31 > 60 * 31 && t31 < 95 * 31, "|T| = {t31}");
+    }
+
+    #[test]
+    fn brute_force_matches_known_optima_small() {
+        for n in 3..=16 {
+            let poly = energy_polynomial(n);
+            let (min, _) = poly.brute_force_minimum();
+            assert_eq!(
+                min as i64,
+                known_optimal_energy(n).unwrap(),
+                "optimal LABS energy mismatch at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    #[ignore = "exhaustive check for 17 ≤ n ≤ 20 takes ~a minute in release"]
+    fn brute_force_matches_known_optima_medium() {
+        for n in 17..=20 {
+            let poly = energy_polynomial(n);
+            let (min, _) = poly.brute_force_minimum();
+            assert_eq!(min as i64, known_optimal_energy(n).unwrap(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn energy_is_symmetric_under_negation_and_reversal() {
+        // E(s) = E(−s) = E(reverse(s)): classic LABS symmetries.
+        let n = 11;
+        for x in [0b10110100101u64, 0b00000000001, 0b11111000011] {
+            let neg = !x & ((1 << n) - 1);
+            assert_eq!(sidelobe_energy(x, n), sidelobe_energy(neg, n));
+            let rev = (0..n).fold(0u64, |acc, i| acc | (((x >> i) & 1) << (n - 1 - i)));
+            assert_eq!(sidelobe_energy(x, n), sidelobe_energy(rev, n));
+        }
+    }
+
+    #[test]
+    fn known_table_bounds() {
+        assert_eq!(known_optimal_energy(2), None);
+        assert_eq!(known_optimal_energy(33), None);
+        assert_eq!(known_optimal_energy(13), Some(6));
+        assert!((optimal_merit_factor(13).unwrap() - 14.083333333333334).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,30 @@
+//! # qokit-terms
+//!
+//! Problem substrate for the QOKit reproduction: spin-polynomial cost
+//! functions in the paper's Eq. 1 form, the graph generators behind the
+//! MaxCut evaluation, and the three problem families QOKit ships helpers
+//! for — MaxCut, LABS, and portfolio optimization.
+//!
+//! ```
+//! use qokit_terms::labs;
+//!
+//! // The Rust analogue of `qokit.labs.get_terms(n)`:
+//! let poly = labs::labs_terms(13);
+//! assert_eq!(poly.n_vars(), 13);
+//! assert_eq!(poly.degree(), 4); // LABS has 4-local interactions
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod graphs;
+pub mod ksat;
+pub mod labs;
+pub mod maxcut;
+pub mod polynomial;
+pub mod portfolio;
+pub mod sk;
+pub mod term;
+
+pub use graphs::Graph;
+pub use polynomial::SpinPolynomial;
+pub use term::Term;

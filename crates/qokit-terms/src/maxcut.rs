@@ -1,0 +1,101 @@
+//! MaxCut cost functions (§II of the paper).
+//!
+//! The paper's convention: `f(s) = Σ_{(i,j)∈E} w_{ij}·½ s_i s_j − W/2`
+//! with `W = Σ w_{ij}`, so that `f(x) = −cut(x)` and *minimizing* `f`
+//! maximizes the cut.
+
+use crate::graphs::Graph;
+use crate::polynomial::SpinPolynomial;
+use crate::term::Term;
+
+/// Builds the MaxCut spin polynomial for a weighted graph, including the
+/// `−W/2` constant offset so that `f(x) = −cut(x)` exactly.
+pub fn maxcut_polynomial(graph: &Graph) -> SpinPolynomial {
+    let mut terms: Vec<Term> = graph
+        .edges()
+        .iter()
+        .map(|&(u, v, w)| Term::new(0.5 * w, &[u, v]))
+        .collect();
+    terms.push(Term::constant(-0.5 * graph.total_weight()));
+    SpinPolynomial::new(graph.n_vertices(), terms)
+}
+
+/// The paper's Listing-1 example: all-to-all MaxCut with uniform weight
+/// (there `0.3`), **without** the constant offset — QOKit's `terms` in
+/// Listing 1 carry only the quadratic part.
+pub fn all_to_all_terms(n: usize, weight: f64) -> SpinPolynomial {
+    let mut terms = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in i + 1..n {
+            terms.push(Term::new(weight, &[i, j]));
+        }
+    }
+    SpinPolynomial::new(n, terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cost_is_negative_cut() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = Graph::random_regular(8, 3, &mut rng);
+        let f = maxcut_polynomial(&g);
+        for x in 0u64..256 {
+            assert!(
+                (f.evaluate_bits(x) + g.cut_value(x)).abs() < 1e-12,
+                "x = {x:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_cost_is_negative_cut() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = Graph::complete(6, 1.0).with_random_weights(0.1, 2.0, &mut rng);
+        let f = maxcut_polynomial(&g);
+        for x in 0u64..64 {
+            assert!((f.evaluate_bits(x) + g.cut_value(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn minimum_matches_brute_force_maxcut() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = Graph::random_regular(10, 3, &mut rng);
+        let f = maxcut_polynomial(&g);
+        let (fmin, _) = f.brute_force_minimum();
+        let best_cut = (0u64..1 << 10).map(|x| g.cut_value(x)).fold(0.0, f64::max);
+        assert!((fmin + best_cut).abs() < 1e-12);
+    }
+
+    #[test]
+    fn term_count_is_edges_plus_offset() {
+        let g = Graph::ring(7, 1.0);
+        let f = maxcut_polynomial(&g);
+        assert_eq!(f.num_terms(), 8);
+        assert_eq!(f.degree(), 2);
+    }
+
+    #[test]
+    fn all_to_all_matches_listing_1() {
+        let f = all_to_all_terms(5, 0.3);
+        assert_eq!(f.num_terms(), 10);
+        for t in f.terms() {
+            assert_eq!(t.degree(), 2);
+            assert!((t.weight - 0.3).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn even_ring_maxcut_optimum_cuts_all_edges() {
+        let g = Graph::ring(6, 1.0);
+        let f = maxcut_polynomial(&g);
+        let (fmin, args) = f.brute_force_minimum();
+        assert!((fmin + 6.0).abs() < 1e-12);
+        assert!(args.contains(&0b010101));
+    }
+}

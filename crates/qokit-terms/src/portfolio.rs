@@ -1,0 +1,201 @@
+//! Mean-variance portfolio optimization — the third problem family QOKit
+//! ships one-line helpers for (§IV), and the natural client of the
+//! Hamming-weight-preserving XY mixers: the budget constraint "pick exactly
+//! `k` of `n` assets" is preserved by the mixer instead of being penalized.
+//!
+//! Objective (to minimize): `f(x) = q·xᵀΣx − μᵀx` over `x ∈ {0,1}^n` with
+//! `Σ x_i = k`, where `Σ` is the covariance matrix, `μ` the expected
+//! returns, and `q` the risk-aversion parameter.
+
+use crate::polynomial::SpinPolynomial;
+use crate::term::Term;
+use rand::Rng;
+
+/// A portfolio-optimization instance.
+#[derive(Clone, Debug)]
+pub struct PortfolioInstance {
+    /// Expected returns `μ`.
+    pub means: Vec<f64>,
+    /// Covariance matrix `Σ` (row-major, symmetric positive semidefinite).
+    pub cov: Vec<Vec<f64>>,
+    /// Risk-aversion parameter `q`.
+    pub risk_aversion: f64,
+    /// Budget: exactly `k` assets must be selected.
+    pub budget: usize,
+}
+
+impl PortfolioInstance {
+    /// Generates a random instance: returns `μ_i ~ U[0, 1)` and covariance
+    /// `Σ = AᵀA/n` with `A_{ij} ~ U[-1, 1)` (guaranteed PSD).
+    pub fn random<R: Rng>(n: usize, budget: usize, risk_aversion: f64, rng: &mut R) -> Self {
+        assert!(budget <= n, "budget {budget} exceeds asset count {n}");
+        let means: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+        let a: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let mut cov = vec![vec![0.0; n]; n];
+        for (i, cov_row) in cov.iter_mut().enumerate() {
+            for (j, cov_ij) in cov_row.iter_mut().enumerate() {
+                *cov_ij = (0..n).map(|k| a[k][i] * a[k][j]).sum::<f64>() / n as f64;
+            }
+        }
+        PortfolioInstance {
+            means,
+            cov,
+            risk_aversion,
+            budget,
+        }
+    }
+
+    /// Number of assets.
+    pub fn n_assets(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Evaluates the (unconstrained) objective on the selection bitmask
+    /// `x` (bit `i` set ⇔ asset `i` selected).
+    pub fn objective(&self, x: u64) -> f64 {
+        let n = self.n_assets();
+        let mut risk = 0.0;
+        let mut ret = 0.0;
+        for i in 0..n {
+            if x >> i & 1 == 0 {
+                continue;
+            }
+            ret += self.means[i];
+            for j in 0..n {
+                if x >> j & 1 == 1 {
+                    risk += self.cov[i][j];
+                }
+            }
+        }
+        self.risk_aversion * risk - ret
+    }
+
+    /// Expands the objective into a spin polynomial via `x_i = (1 − s_i)/2`
+    /// (bit `i` set ⇔ `s_i = −1` ⇔ asset selected, consistent with the
+    /// repository-wide spin convention).
+    pub fn to_terms(&self) -> SpinPolynomial {
+        let n = self.n_assets();
+        let q = self.risk_aversion;
+        let mut linear = vec![0.0f64; n]; // coefficient of s_i
+        let mut constant = 0.0f64;
+        let mut quad = Vec::new(); // (i, j, coefficient of s_i s_j), i < j
+
+        // −μᵀx = −Σ μ_i (1 − s_i)/2.
+        for i in 0..n {
+            constant -= self.means[i] / 2.0;
+            linear[i] += self.means[i] / 2.0;
+        }
+        // q·xᵀΣx: diagonal x_i² = x_i; off-diagonal pairs i ≠ j.
+        for i in 0..n {
+            constant += q * self.cov[i][i] / 2.0;
+            linear[i] -= q * self.cov[i][i] / 2.0;
+            for j in i + 1..n {
+                let c = q * (self.cov[i][j] + self.cov[j][i]); // both orders
+                                                               // x_i x_j = (1 − s_i − s_j + s_i s_j)/4
+                constant += c / 4.0;
+                linear[i] -= c / 4.0;
+                linear[j] -= c / 4.0;
+                quad.push((i, j, c / 4.0));
+            }
+        }
+
+        let mut terms = Vec::with_capacity(1 + n + quad.len());
+        terms.push(Term::constant(constant));
+        for (i, &w) in linear.iter().enumerate() {
+            terms.push(Term::new(w, &[i]));
+        }
+        for (i, j, w) in quad {
+            terms.push(Term::new(w, &[i, j]));
+        }
+        SpinPolynomial::new(n, terms).canonicalize()
+    }
+
+    /// The optimal feasible selection (exactly `budget` assets) by brute
+    /// force — ground truth for tests and overlap computations.
+    ///
+    /// # Panics
+    /// If `n > 24`.
+    pub fn brute_force_optimum(&self) -> (f64, u64) {
+        let n = self.n_assets();
+        assert!(n <= 24, "brute force limited to n ≤ 24");
+        let mut best = f64::INFINITY;
+        let mut arg = 0u64;
+        for x in 0u64..(1 << n) {
+            if x.count_ones() as usize != self.budget {
+                continue;
+            }
+            let v = self.objective(x);
+            if v < best {
+                best = v;
+                arg = x;
+            }
+        }
+        (best, arg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn covariance_is_symmetric_psd_diagonal() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let inst = PortfolioInstance::random(6, 3, 0.5, &mut rng);
+        for i in 0..6 {
+            assert!(inst.cov[i][i] >= 0.0, "diagonal must be nonnegative");
+            for j in 0..6 {
+                assert!((inst.cov[i][j] - inst.cov[j][i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn polynomial_matches_objective_everywhere() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let inst = PortfolioInstance::random(7, 3, 0.9, &mut rng);
+        let poly = inst.to_terms();
+        for x in 0u64..(1 << 7) {
+            assert!(
+                (poly.evaluate_bits(x) - inst.objective(x)).abs() < 1e-9,
+                "x = {x:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_selection_costs_zero() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let inst = PortfolioInstance::random(5, 2, 1.0, &mut rng);
+        assert_eq!(inst.objective(0), 0.0);
+        assert!((inst.to_terms().evaluate_bits(0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brute_force_respects_budget() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let inst = PortfolioInstance::random(8, 3, 0.5, &mut rng);
+        let (_, arg) = inst.brute_force_optimum();
+        assert_eq!(arg.count_ones(), 3);
+    }
+
+    #[test]
+    fn zero_risk_aversion_picks_best_returns() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut inst = PortfolioInstance::random(6, 2, 0.0, &mut rng);
+        inst.means = vec![0.1, 0.9, 0.2, 0.8, 0.3, 0.4];
+        let (_, arg) = inst.brute_force_optimum();
+        assert_eq!(arg, (1 << 1) | (1 << 3), "should pick assets 1 and 3");
+    }
+
+    #[test]
+    fn polynomial_degree_is_two() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let inst = PortfolioInstance::random(5, 2, 0.7, &mut rng);
+        assert_eq!(inst.to_terms().degree(), 2);
+    }
+}

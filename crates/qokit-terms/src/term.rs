@@ -1,0 +1,178 @@
+//! Single polynomial terms `w·Π_{i∈t} s_i` of the paper's Eq. 1.
+
+/// One term of a spin polynomial: a real weight times a product of distinct
+/// spin variables, stored as a bitmask (`bit i` set ⇔ variable `i` in the
+/// product). Supports up to 64 variables.
+///
+/// With the repository-wide spin convention `s_i = 1 − 2·b_i` (bit 0 ↔ spin
+/// +1), the term's value on the assignment encoded by the index bits `x` is
+/// `w · (−1)^{popcount(x & mask)}` — the XOR/popcount evaluation trick the
+/// paper uses in its precomputation kernel (§III-A).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Term {
+    /// The real weight `w`.
+    pub weight: f64,
+    /// Bitmask of participating variables (`t` in Eq. 1). Zero encodes the
+    /// constant-offset term `(w_offset, ∅)`.
+    pub mask: u64,
+}
+
+impl Term {
+    /// Builds a term from a weight and a *set* of distinct variable indices.
+    ///
+    /// # Panics
+    /// If an index exceeds 63 or appears twice (Eq. 1 defines `t_k` as a
+    /// set; duplicates indicate a caller bug since `s_i² = 1` silently
+    /// cancels them).
+    pub fn new(weight: f64, indices: &[usize]) -> Self {
+        let mut mask = 0u64;
+        for &i in indices {
+            assert!(i < 64, "variable index {i} exceeds the 64-variable limit");
+            let bit = 1u64 << i;
+            assert!(mask & bit == 0, "duplicate variable index {i} in term");
+            mask |= bit;
+        }
+        Term { weight, mask }
+    }
+
+    /// Builds a term directly from a bitmask.
+    pub const fn from_mask(weight: f64, mask: u64) -> Self {
+        Term { weight, mask }
+    }
+
+    /// The constant-offset term `(w, ∅)`.
+    pub const fn constant(weight: f64) -> Self {
+        Term { weight, mask: 0 }
+    }
+
+    /// Number of participating variables (the term's degree).
+    #[inline(always)]
+    pub fn degree(&self) -> u32 {
+        self.mask.count_ones()
+    }
+
+    /// `true` for the constant-offset term.
+    #[inline(always)]
+    pub fn is_constant(&self) -> bool {
+        self.mask == 0
+    }
+
+    /// Participating variable indices in ascending order.
+    pub fn indices(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.degree() as usize);
+        let mut m = self.mask;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            out.push(i);
+            m &= m - 1;
+        }
+        out
+    }
+
+    /// Index of the highest participating variable, or `None` for the
+    /// constant term.
+    pub fn max_index(&self) -> Option<usize> {
+        if self.mask == 0 {
+            None
+        } else {
+            Some(63 - self.mask.leading_zeros() as usize)
+        }
+    }
+
+    /// Evaluates the term on the bit-encoded assignment `x`
+    /// (`s_i = 1 − 2·bit_i(x)`): returns `w · (−1)^{popcount(x & mask)}`.
+    #[inline(always)]
+    pub fn eval_bits(&self, x: u64) -> f64 {
+        // Branch-free sign: popcount parity selects ±weight.
+        let parity = ((x & self.mask).count_ones() & 1) as u64;
+        // parity 0 → +w, parity 1 → −w.
+        f64::from_bits(self.weight.to_bits() ^ (parity << 63))
+    }
+
+    /// Evaluates the term on explicit ±1 spins.
+    ///
+    /// # Panics
+    /// If a participating index is out of bounds or a spin is not ±1
+    /// (debug builds).
+    pub fn eval_spins(&self, spins: &[i8]) -> f64 {
+        let mut sign = 1i32;
+        let mut m = self.mask;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            debug_assert!(spins[i] == 1 || spins[i] == -1, "spin must be ±1");
+            sign *= spins[i] as i32;
+            m &= m - 1;
+        }
+        self.weight * sign as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_builds_mask() {
+        let t = Term::new(1.5, &[0, 3, 5]);
+        assert_eq!(t.mask, 0b101001);
+        assert_eq!(t.degree(), 3);
+        assert_eq!(t.indices(), vec![0, 3, 5]);
+        assert_eq!(t.max_index(), Some(5));
+    }
+
+    #[test]
+    fn constant_term() {
+        let t = Term::constant(-2.0);
+        assert!(t.is_constant());
+        assert_eq!(t.degree(), 0);
+        assert_eq!(t.max_index(), None);
+        assert_eq!(t.eval_bits(0b1011), -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicate_indices() {
+        let _ = Term::new(1.0, &[2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "64-variable")]
+    fn rejects_out_of_range_index() {
+        let _ = Term::new(1.0, &[64]);
+    }
+
+    #[test]
+    fn eval_bits_signs() {
+        let t = Term::new(3.0, &[0, 1]);
+        // s0·s1: bits 00 → (+1)(+1) = +, 01 → (−1)(+1) = −, 11 → +.
+        assert_eq!(t.eval_bits(0b00), 3.0);
+        assert_eq!(t.eval_bits(0b01), -3.0);
+        assert_eq!(t.eval_bits(0b10), -3.0);
+        assert_eq!(t.eval_bits(0b11), 3.0);
+        // Unrelated bits are ignored.
+        assert_eq!(t.eval_bits(0b100), 3.0);
+    }
+
+    #[test]
+    fn eval_bits_matches_eval_spins() {
+        let t = Term::new(-0.75, &[1, 2, 4]);
+        for x in 0u64..32 {
+            let spins: Vec<i8> = (0..5).map(|i| if x >> i & 1 == 0 { 1 } else { -1 }).collect();
+            assert_eq!(t.eval_bits(x), t.eval_spins(&spins), "x = {x:b}");
+        }
+    }
+
+    #[test]
+    fn eval_bits_negative_zero_safe() {
+        // The sign-bit trick must behave for w = 0.
+        let t = Term::new(0.0, &[0]);
+        assert_eq!(t.eval_bits(1), 0.0);
+    }
+
+    #[test]
+    fn high_bit_variable() {
+        let t = Term::new(1.0, &[63]);
+        assert_eq!(t.eval_bits(1u64 << 63), -1.0);
+        assert_eq!(t.eval_bits(0), 1.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Constrained portfolio optimization with the Hamming-weight-preserving
+//! XY mixer (§III-B / Listing 2 of the paper).
+//!
+//! Selecting exactly k of n assets is a cardinality constraint. Instead of
+//! penalizing infeasible selections, QAOA can start in the Dicke state
+//! |D^n_k⟩ and use an XY mixer that never leaves the weight-k sector —
+//! every measurement is feasible by construction. This example compares
+//! the XY-ring and XY-complete mixers against the X mixer (which leaks
+//! probability into infeasible states).
+//!
+//! Run with: `cargo run --release --example portfolio_xy_mixer`
+
+use qokit::prelude::*;
+use qokit::terms::portfolio::PortfolioInstance;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn feasible_mass(probs: &[f64], k: u32) -> f64 {
+    probs
+        .iter()
+        .enumerate()
+        .filter(|(x, _)| x.count_ones() == k)
+        .map(|(_, p)| p)
+        .sum()
+}
+
+fn main() {
+    let n = 12;
+    let budget = 4;
+    let mut rng = StdRng::seed_from_u64(7);
+    let inst = PortfolioInstance::random(n, budget, 0.7, &mut rng);
+    let poly = inst.to_terms();
+    let (best_f, best_x) = inst.brute_force_optimum();
+    println!("problem: pick {budget} of {n} assets, q = {}", inst.risk_aversion);
+    println!("optimal feasible selection: |{best_x:0n$b}> with f = {best_f:.4}\n");
+
+    let (gammas, betas) = qokit::optim::schedules::linear_ramp(8, 0.5);
+
+    for (label, mixer) in [
+        ("X (unconstrained)", Mixer::X),
+        ("XY ring", Mixer::XyRing),
+        ("XY complete", Mixer::XyComplete),
+    ] {
+        let sim = FurSimulator::with_options(
+            &poly,
+            SimOptions {
+                mixer,
+                initial: InitialState::Dicke(budget),
+                ..SimOptions::default()
+            },
+        );
+        let r = sim.simulate_qaoa(&gammas, &betas);
+        let probs = sim.get_probabilities(&r);
+        let feasible = feasible_mass(&probs, budget as u32);
+        let p_opt = probs[best_x as usize];
+        // Energy conditioned on feasibility (what a projected sample sees).
+        let cond_energy: f64 = probs
+            .iter()
+            .enumerate()
+            .filter(|(x, _)| x.count_ones() as usize == budget)
+            .map(|(x, p)| p * poly.evaluate_bits(x as u64))
+            .sum::<f64>()
+            / feasible;
+        println!(
+            "{label:<18}  feasible mass = {feasible:.4}   P(optimum) = {p_opt:.4}   \
+             E[f | feasible] = {cond_energy:.4}"
+        );
+    }
+
+    println!(
+        "\nThe XY mixers keep 100% of the probability in the feasible sector; \
+         the X mixer leaks it."
+    );
+}

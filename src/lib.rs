@@ -1,0 +1,59 @@
+//! # qokit — Fast Simulation of High-Depth QAOA Circuits, in Rust
+//!
+//! A from-scratch reproduction of Lykov, Shaydulin, Sun, Alexeev and
+//! Pistoia, *Fast Simulation of High-Depth QAOA Circuits* (SC 2023,
+//! arXiv:2309.04841) — the paper behind JPMorgan Chase's QOKit framework.
+//!
+//! The central idea: precompute the diagonal cost Hamiltonian `Ĉ` once
+//! into a `2^n` **cost vector**; every QAOA phase operator then costs one
+//! elementwise product, the objective one inner product, and the mixer one
+//! in-place butterfly pass per qubit (Algorithms 1–3). The cost vector
+//! distributes over K workers with zero-communication precomputation and
+//! two all-to-all transposes per mixer (Algorithm 4).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`terms`] | spin polynomials (Eq. 1), graphs, MaxCut/LABS/portfolio |
+//! | [`statevec`] | state vectors, SU(2)/SU(4) butterfly kernels, FWHT |
+//! | [`costvec`] | cost-vector precompute (direct + FWHT), u16 quantization |
+//! | [`core`] | the fast simulator and its QOKit-style API |
+//! | [`gates`] | gate-based baseline (compilation, fusion, counting) |
+//! | [`tensornet`] | tensor-network baseline |
+//! | [`dist`] | simulated-MPI distributed simulation + cluster model |
+//! | [`optim`] | Nelder–Mead/SPSA/grid optimizers and schedules |
+//!
+//! ## Quickstart (Listing 1 of the paper)
+//!
+//! ```
+//! use qokit::prelude::*;
+//!
+//! let n = 10;
+//! // terms for all-to-all MaxCut with weight 0.3
+//! let terms = qokit::terms::maxcut::all_to_all_terms(n, 0.3);
+//! let sim = FurSimulator::new(&terms);
+//! let costs = sim.cost_diagonal();              // precomputed diagonal
+//! let result = sim.simulate_qaoa(&[0.2], &[0.4]);
+//! let energy = sim.get_expectation(&result);
+//! assert!(energy >= costs.extrema().0 - 1e-9);
+//! ```
+
+pub use qokit_core as core;
+pub use qokit_costvec as costvec;
+pub use qokit_dist as dist;
+pub use qokit_gates as gates;
+pub use qokit_optim as optim;
+pub use qokit_statevec as statevec;
+pub use qokit_tensornet as tensornet;
+pub use qokit_terms as terms;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use qokit_core::{
+        choose_simulator, FurSimulator, InitialState, Mixer, QaoaSimulator, SimOptions, SimResult,
+    };
+    pub use qokit_costvec::{CostVec, PrecomputeMethod};
+    pub use qokit_statevec::{Backend, StateVec, C64};
+    pub use qokit_terms::{Graph, SpinPolynomial, Term};
+}

@@ -1,0 +1,146 @@
+//! Failure-injection suite: every crate's guard rails, exercised from the
+//! outside. These are the errors a downstream user will actually hit —
+//! mismatched parameter lengths, invalid rank counts, quantization
+//! overflow, out-of-range qubits — and each must fail loudly and
+//! specifically, not corrupt state.
+
+use qokit::costvec::{CostVec, QuantizeError};
+use qokit::dist::{DistError, DistSimulator};
+use qokit::prelude::*;
+use qokit::terms::labs::labs_terms;
+
+#[test]
+fn mismatched_parameter_lengths_panic() {
+    let sim = FurSimulator::new(&labs_terms(5));
+    let err = std::panic::catch_unwind(|| sim.simulate_qaoa(&[0.1, 0.2], &[0.3]));
+    assert!(err.is_err());
+}
+
+#[test]
+fn distributed_rank_validation_is_an_error_not_a_panic() {
+    let poly = labs_terms(6);
+    assert!(matches!(
+        DistSimulator::new(poly.clone(), 5),
+        Err(DistError::RanksNotPowerOfTwo(5))
+    ));
+    assert!(matches!(
+        DistSimulator::new(poly, 16),
+        Err(DistError::TooManyRanks { n: 6, ranks: 16 })
+    ));
+}
+
+#[test]
+fn dist_error_messages_are_actionable() {
+    let msg = DistError::TooManyRanks { n: 6, ranks: 16 }.to_string();
+    assert!(msg.contains("2·log2(16)"), "{msg}");
+    let msg = DistError::RanksNotPowerOfTwo(5).to_string();
+    assert!(msg.contains("power of two"), "{msg}");
+}
+
+#[test]
+fn quantization_overflow_is_reported_with_span() {
+    let costs = vec![0.0, 1.0e6];
+    match CostVec::quantize_exact(&costs, 1.0) {
+        Err(QuantizeError::RangeTooWide { span, representable }) => {
+            assert_eq!(span, 1.0e6);
+            assert!(representable < span);
+        }
+        other => panic!("expected RangeTooWide, got {other:?}"),
+    }
+}
+
+#[test]
+fn quantization_off_grid_points_to_the_culprit() {
+    let costs = vec![0.0, 2.0, 3.5];
+    match CostVec::quantize_exact(&costs, 1.0) {
+        Err(QuantizeError::NotIntegral { index, value }) => {
+            assert_eq!(index, 2);
+            assert_eq!(value, 3.5);
+        }
+        other => panic!("expected NotIntegral, got {other:?}"),
+    }
+}
+
+#[test]
+fn tensornet_width_cap_reports_rank_and_cap() {
+    let poly = labs_terms(9);
+    let err = qokit::tensornet::qaoa_amplitude(&poly, &[0.1; 3], &[0.2; 3], 0, 4).unwrap_err();
+    match err {
+        qokit::tensornet::TnError::WidthExceeded { rank, cap } => {
+            assert_eq!(cap, 4);
+            assert!(rank > 4);
+        }
+    }
+}
+
+#[test]
+fn custom_initial_state_dimension_is_checked() {
+    let sim = FurSimulator::with_options(
+        &labs_terms(5),
+        SimOptions {
+            initial: InitialState::Custom(StateVec::zero_state(4)),
+            ..SimOptions::default()
+        },
+    );
+    let err = std::panic::catch_unwind(|| sim.simulate_qaoa(&[], &[]));
+    assert!(err.is_err(), "wrong-dimension custom state must panic");
+}
+
+#[test]
+fn dicke_weight_out_of_range_panics() {
+    let err = std::panic::catch_unwind(|| StateVec::dicke_state(4, 5));
+    assert!(err.is_err());
+}
+
+#[test]
+fn polynomial_variable_bounds_are_enforced() {
+    let err = std::panic::catch_unwind(|| {
+        SpinPolynomial::new(3, vec![Term::new(1.0, &[3])])
+    });
+    assert!(err.is_err());
+}
+
+#[test]
+fn graph_invariants_are_enforced() {
+    assert!(std::panic::catch_unwind(|| Graph::new(3, vec![(0, 0, 1.0)])).is_err());
+    assert!(std::panic::catch_unwind(|| Graph::new(2, vec![(0, 5, 1.0)])).is_err());
+}
+
+#[test]
+fn from_cost_vector_rejects_bad_length() {
+    let err = std::panic::catch_unwind(|| {
+        FurSimulator::from_cost_vector(CostVec::F64(vec![0.0; 3]), SimOptions::default())
+    });
+    assert!(err.is_err());
+}
+
+#[test]
+fn brute_force_guards_against_huge_scans() {
+    let poly = labs_terms(31);
+    let err = std::panic::catch_unwind(|| poly.brute_force_minimum());
+    assert!(err.is_err(), "n = 31 brute force must refuse");
+}
+
+#[test]
+fn non_integral_quantized_simulator_degrades_gracefully() {
+    // SK with Gaussian couplings cannot quantize exactly: the option must
+    // silently fall back to f64, not corrupt the diagonal.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let sk = qokit::terms::sk::SkInstance::random_gaussian(8, &mut rng);
+    let sim = FurSimulator::with_options(
+        &sk.to_terms(),
+        SimOptions {
+            quantize_u16: true,
+            backend: Backend::Serial,
+            ..SimOptions::default()
+        },
+    );
+    assert!(matches!(sim.cost_diagonal(), CostVec::F64(_)));
+    // And the physics is still right.
+    let r = sim.simulate_qaoa(&[0.2], &[-0.4]);
+    assert!((r.state().norm_sqr() - 1.0).abs() < 1e-10);
+    let e = sim.get_expectation(&r);
+    let (lo, hi) = sim.cost_diagonal().extrema();
+    assert!(e >= lo && e <= hi);
+}
