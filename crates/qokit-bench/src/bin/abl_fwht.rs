@@ -1,6 +1,6 @@
-//! Conclusion ¶2 ablation — Algorithms 1–2 vs the Ref. [43] FWHT sandwich.
+//! Conclusion ¶2 ablation — Algorithms 1–2 vs the Ref. \[43\] FWHT sandwich.
 //!
-//! The paper: "Ref. [43] requires two applications of fast Walsh–Hadamard
+//! The paper: "Ref. \[43\] requires two applications of fast Walsh–Hadamard
 //! transform (forward and inverse) and a diagonal Hamiltonian operation to
 //! simulate one layer of QAOA mixer, whereas Algorithms 1, 2 apply the
 //! mixer in one step … In addition, [their FWHT] requires one additional
@@ -10,7 +10,7 @@
 //! Three implementations of the same unitary `e^{-iβΣX}`:
 //! * Algorithm 2 (one in-place butterfly pass per qubit);
 //! * FWHT sandwich, in place (2 transforms + diagonal);
-//! * FWHT sandwich with the extra state copy (Ref. [43] as written).
+//! * FWHT sandwich with the extra state copy (Ref. \[43\] as written).
 
 use qokit_bench::{bench_n, fast_mode, fmt_time, print_table, time_median};
 use qokit_statevec::fwht::{apply_x_mixer_fwht_copying, apply_x_mixer_fwht_inplace};

@@ -16,7 +16,9 @@ fn main() {
     let reps = if fast_mode() { 1 } else { 5 };
     let poly = labs_terms(n);
     let costs = CostVec::F64(precompute_fwht(&poly, Backend::Rayon));
-    let hw = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
 
     let mut pool_sizes = vec![1usize, 2, 4, 8];
     pool_sizes.retain(|&t| t <= 2 * hw);

@@ -1,4 +1,4 @@
-//! §I / Ref. [6] companion experiment — the *kind of study the simulator
+//! §I / Ref. \[6\] companion experiment — the *kind of study the simulator
 //! exists for*: scaling of QAOA's ground-state overlap with problem size
 //! on LABS.
 //!

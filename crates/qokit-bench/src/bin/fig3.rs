@@ -84,11 +84,8 @@ fn main() {
         };
 
         // QOKit: phase (precomputed diagonal) + mixer, per layer.
-        let costs = CostVec::from_polynomial(
-            &poly,
-            qokit_costvec::PrecomputeMethod::Fwht,
-            Backend::Rayon,
-        );
+        let costs =
+            CostVec::from_polynomial(&poly, qokit_costvec::PrecomputeMethod::Fwht, Backend::Rayon);
         let mut state = StateVec::uniform_superposition(n);
         let t_fast_serial = time_median(reps, || {
             costs.apply_phase(state.amplitudes_mut(), gamma, Backend::Serial);

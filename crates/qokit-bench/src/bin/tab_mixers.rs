@@ -29,7 +29,10 @@ fn main() {
                     .filter(|(x, _)| x.count_ones() as usize == n / 2)
                     .map(|(_, a)| a.norm_sqr())
                     .sum();
-                assert!((mass - 1.0).abs() < 1e-9, "{mixer:?} leaked weight at n = {n}");
+                assert!(
+                    (mass - 1.0).abs() < 1e-9,
+                    "{mixer:?} leaked weight at n = {n}"
+                );
             }
         }
         row.push(Mixer::XyRing.two_qubit_gate_count(n).to_string());

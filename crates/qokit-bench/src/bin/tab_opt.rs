@@ -28,7 +28,9 @@ fn main() {
         ..NelderMead::default()
     };
 
-    println!("\n== headline: QAOA parameter optimization, LABS n = {n}, p = {p}, {evals} evaluations ==");
+    println!(
+        "\n== headline: QAOA parameter optimization, LABS n = {n}, p = {p}, {evals} evaluations =="
+    );
 
     // Fast simulator (construction included — precompute is part of the
     // optimization cost, paid once).
@@ -71,8 +73,14 @@ fn main() {
         gate_best = r.best_f;
     });
 
-    println!("fast simulator:      {:>12}   best <C> = {fast_best:.6}", fmt_time(t_fast));
-    println!("gate-based baseline: {:>12}   best <C> = {gate_best:.6}", fmt_time(t_gate));
+    println!(
+        "fast simulator:      {:>12}   best <C> = {fast_best:.6}",
+        fmt_time(t_fast)
+    );
+    println!(
+        "gate-based baseline: {:>12}   best <C> = {gate_best:.6}",
+        fmt_time(t_gate)
+    );
     println!(
         "speedup: {:.1}x   (optima agree to {:.1e}; paper reports 11x at n = 26 on GPU)",
         t_gate / t_fast,

@@ -9,6 +9,10 @@
 //! * `QOKIT_BENCH_N` — overrides the largest qubit count benchmarked.
 //! * `QOKIT_BENCH_FAST=1` — shrinks every sweep for smoke-testing.
 
+//!
+//! *Part of the qokit workspace — see the top-level `README.md` for the
+//! crate-by-crate architecture table and build/test/bench instructions.*
+
 #![warn(missing_docs)]
 
 use std::time::Instant;

@@ -6,7 +6,7 @@
 //! over the probability vector) and provides a per-layer observer hook so
 //! studies can record energy/overlap trajectories without re-simulating
 //! prefixes — the pattern behind depth-scaling analyses like the paper's
-//! Ref. [6].
+//! Ref. \[6\].
 
 use crate::simulator::{FurSimulator, QaoaSimulator, SimResult};
 use qokit_statevec::StateVec;
@@ -193,7 +193,10 @@ mod tests {
         let _ = evolve_with_observer(&sim, &g, &b, |snap| energies.push(snap.energy));
         for p in 1..=2 {
             let r = sim.simulate_qaoa(&g[..p], &b[..p]);
-            assert!((energies[p - 1] - sim.get_expectation(&r)).abs() < 1e-10, "p = {p}");
+            assert!(
+                (energies[p - 1] - sim.get_expectation(&r)).abs() < 1e-10,
+                "p = {p}"
+            );
         }
     }
 }

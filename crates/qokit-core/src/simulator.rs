@@ -4,7 +4,7 @@
 use crate::mixers::Mixer;
 use qokit_costvec::{CostVec, PrecomputeMethod};
 use qokit_statevec::exec::Backend;
-use qokit_statevec::{C64, StateVec};
+use qokit_statevec::{StateVec, C64};
 use qokit_terms::SpinPolynomial;
 
 /// Initial state selection.
@@ -151,8 +151,7 @@ impl FurSimulator {
     /// precomputed (and optionally quantized) here, at construction — the
     /// "Precompute diagonal" box of Fig. 1.
     pub fn with_options(poly: &SpinPolynomial, options: SimOptions) -> Self {
-        let costs_f64 =
-            qokit_costvec::precompute(poly, options.precompute, options.backend);
+        let costs_f64 = qokit_costvec::precompute(poly, options.precompute, options.backend);
         let costs = if options.quantize_u16 {
             match CostVec::quantize_exact(&costs_f64, 1.0) {
                 Ok(q) => q,
@@ -219,8 +218,11 @@ impl FurSimulator {
         assert_eq!(state.n_qubits(), self.n, "state has wrong qubit count");
         let backend = self.options.backend;
         for (&gamma, &beta) in gammas.iter().zip(betas.iter()) {
-            self.costs.apply_phase(state.amplitudes_mut(), gamma, backend);
-            self.options.mixer.apply(state.amplitudes_mut(), beta, backend);
+            self.costs
+                .apply_phase(state.amplitudes_mut(), gamma, backend);
+            self.options
+                .mixer
+                .apply(state.amplitudes_mut(), beta, backend);
         }
     }
 }

@@ -38,8 +38,14 @@ impl std::fmt::Display for QuantizeError {
             QuantizeError::NotIntegral { index, value } => {
                 write!(f, "cost[{index}] = {value} is not on the quantization grid")
             }
-            QuantizeError::RangeTooWide { span, representable } => {
-                write!(f, "cost span {span} exceeds u16-representable {representable}")
+            QuantizeError::RangeTooWide {
+                span,
+                representable,
+            } => {
+                write!(
+                    f,
+                    "cost span {span} exceeds u16-representable {representable}"
+                )
             }
         }
     }
@@ -65,7 +71,11 @@ pub enum CostVec {
 
 impl CostVec {
     /// Precomputes the diagonal for a polynomial (`f64` representation).
-    pub fn from_polynomial(poly: &SpinPolynomial, method: PrecomputeMethod, backend: Backend) -> Self {
+    pub fn from_polynomial(
+        poly: &SpinPolynomial,
+        method: PrecomputeMethod,
+        backend: Backend,
+    ) -> Self {
         CostVec::F64(precompute(poly, method, backend))
     }
 
@@ -79,7 +89,10 @@ impl CostVec {
         let span = max - min;
         let representable = step * u16::MAX as f64;
         if span > representable + 1e-9 {
-            return Err(QuantizeError::RangeTooWide { span, representable });
+            return Err(QuantizeError::RangeTooWide {
+                span,
+                representable,
+            });
         }
         let mut data = Vec::with_capacity(costs.len());
         for (index, &value) in costs.iter().enumerate() {
@@ -157,10 +170,9 @@ impl CostVec {
     pub fn to_f64_vec(&self) -> Vec<f64> {
         match self {
             CostVec::F64(v) => v.clone(),
-            CostVec::U16 { data, offset, step } => data
-                .iter()
-                .map(|&q| offset + step * q as f64)
-                .collect(),
+            CostVec::U16 { data, offset, step } => {
+                data.iter().map(|&q| offset + step * q as f64).collect()
+            }
         }
     }
 
@@ -190,9 +202,11 @@ impl CostVec {
     /// Minimum and maximum cost values.
     pub fn extrema(&self) -> (f64, f64) {
         match self {
-            CostVec::F64(v) => v.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &c| {
-                (lo.min(c), hi.max(c))
-            }),
+            CostVec::F64(v) => v
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &c| {
+                    (lo.min(c), hi.max(c))
+                }),
             CostVec::U16 { data, offset, step } => {
                 let (lo, hi) = data
                     .iter()
@@ -327,7 +341,11 @@ mod tests {
         let (fmin, args) = poly.brute_force_minimum();
         let (lo, _) = cv.extrema();
         assert!((lo - fmin).abs() < 1e-12);
-        let ground: Vec<u64> = cv.ground_state_indices(1e-9).iter().map(|&x| x as u64).collect();
+        let ground: Vec<u64> = cv
+            .ground_state_indices(1e-9)
+            .iter()
+            .map(|&x| x as u64)
+            .collect();
         assert_eq!(ground, args);
     }
 

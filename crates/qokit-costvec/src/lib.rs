@@ -19,6 +19,10 @@
 //! assert!(energy.is_finite());
 //! ```
 
+//!
+//! *Part of the qokit workspace — see the top-level `README.md` for the
+//! crate-by-crate architecture table and build/test/bench instructions.*
+
 #![warn(missing_docs)]
 
 pub mod costvec;

@@ -203,10 +203,7 @@ mod tests {
 
     #[test]
     fn duplicate_masks_accumulate_in_fwht() {
-        let poly = SpinPolynomial::new(
-            3,
-            vec![Term::new(1.0, &[0, 1]), Term::new(2.0, &[0, 1])],
-        );
+        let poly = SpinPolynomial::new(3, vec![Term::new(1.0, &[0, 1]), Term::new(2.0, &[0, 1])]);
         let direct = precompute_direct(&poly, Backend::Serial);
         let fwht = precompute_fwht(&poly, Backend::Serial);
         assert_eq!(direct, fwht);

@@ -12,9 +12,9 @@
 //! per-sender FIFO channel ordering is enough to match messages to
 //! collectives without sequence tags.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use qokit_statevec::C64;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier};
 
 /// Bytes moved between ranks, per rank (local self-copies excluded, like
@@ -89,8 +89,10 @@ impl RankCtx {
                 continue; // own subchunk stays in place
             }
             let payload = local[dst * sub..(dst + 1) * sub].to_vec();
-            self.bytes_sent[self.rank]
-                .fetch_add((payload.len() * std::mem::size_of::<C64>()) as u64, Ordering::Relaxed);
+            self.bytes_sent[self.rank].fetch_add(
+                (payload.len() * std::mem::size_of::<C64>()) as u64,
+                Ordering::Relaxed,
+            );
             self.mail.data_tx[dst]
                 .send((self.rank, payload))
                 .expect("peer rank hung up");
@@ -161,21 +163,20 @@ where
     let mut scalar_tx = Vec::with_capacity(size);
     let mut scalar_rx = Vec::with_capacity(size);
     for _ in 0..size {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         data_tx.push(tx);
         data_rx.push(rx);
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         scalar_tx.push(tx);
         scalar_rx.push(rx);
     }
     let mail = Arc::new(Mailboxes { data_tx, scalar_tx });
     let barrier = Arc::new(Barrier::new(size));
-    let bytes_sent: Arc<Vec<AtomicU64>> =
-        Arc::new((0..size).map(|_| AtomicU64::new(0)).collect());
+    let bytes_sent: Arc<Vec<AtomicU64>> = Arc::new((0..size).map(|_| AtomicU64::new(0)).collect());
     let alltoall_calls = Arc::new(AtomicU64::new(0));
 
     let mut results: Vec<Option<T>> = (0..size).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(size);
         for (rank, (drx, srx)) in data_rx.into_iter().zip(scalar_rx).enumerate() {
             let ctx = RankCtx {
@@ -189,16 +190,18 @@ where
                 alltoall_calls: Arc::clone(&alltoall_calls),
             };
             let worker = &worker;
-            handles.push(scope.spawn(move |_| worker(&ctx)));
+            handles.push(scope.spawn(move || worker(&ctx)));
         }
         for (rank, h) in handles.into_iter().enumerate() {
             results[rank] = Some(h.join().expect("rank thread panicked"));
         }
-    })
-    .expect("SPMD scope failed");
+    });
 
     let stats = CommStats {
-        bytes_sent_per_rank: bytes_sent.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+        bytes_sent_per_rank: bytes_sent
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect(),
         alltoall_calls: alltoall_calls.load(Ordering::Relaxed),
     };
     (results.into_iter().map(Option::unwrap).collect(), stats)
@@ -283,9 +286,7 @@ mod tests {
 
     #[test]
     fn allreduce_is_deterministic_across_ranks() {
-        let (results, _) = spmd(7, |ctx| {
-            ctx.allreduce_sum(0.1 * (ctx.rank() as f64 + 1.0))
-        });
+        let (results, _) = spmd(7, |ctx| ctx.allreduce_sum(0.1 * (ctx.rank() as f64 + 1.0)));
         for w in results.windows(2) {
             assert_eq!(w[0].to_bits(), w[1].to_bits(), "must be bit-identical");
         }
@@ -306,8 +307,12 @@ mod tests {
     fn consecutive_collectives_do_not_cross_talk() {
         let k = 3;
         let (results, _) = spmd(k, |ctx| {
-            let mut a: Vec<C64> = (0..k).map(|i| C64::from_re((ctx.rank() * k + i) as f64)).collect();
-            let mut b: Vec<C64> = (0..k).map(|i| C64::from_re(100.0 + (ctx.rank() * k + i) as f64)).collect();
+            let mut a: Vec<C64> = (0..k)
+                .map(|i| C64::from_re((ctx.rank() * k + i) as f64))
+                .collect();
+            let mut b: Vec<C64> = (0..k)
+                .map(|i| C64::from_re(100.0 + (ctx.rank() * k + i) as f64))
+                .collect();
             ctx.alltoall(&mut a);
             ctx.alltoall(&mut b);
             let s = ctx.allreduce_sum(1.0);

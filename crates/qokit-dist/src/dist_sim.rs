@@ -11,7 +11,7 @@ use crate::comm::{spmd, CommStats};
 use qokit_costvec::fill_direct_slice;
 use qokit_statevec::diag::{apply_phase_serial, expectation_serial};
 use qokit_statevec::su2::apply_mat2_serial;
-use qokit_statevec::{C64, Mat2, StateVec};
+use qokit_statevec::{Mat2, StateVec, C64};
 use qokit_terms::SpinPolynomial;
 
 /// Construction errors for the distributed simulator.
@@ -164,14 +164,19 @@ impl DistSimulator {
             if let Some((q, offset)) = &quantized {
                 // Keep only the 2-byte representation alive (the point of
                 // §V-B); decode on the fly below.
-                costs = Vec::new();
+                drop(std::mem::take(&mut costs));
                 let mut amps = vec![C64::from_re(amp0.sqrt()); slice_len];
                 for (&gamma, &beta) in gammas.iter().zip(betas.iter()) {
                     qokit_statevec::diag::apply_phase_u16_serial(&mut amps, q, *offset, 1.0, gamma);
                     self.apply_mixer_alg4(ctx, &mut amps, beta);
                 }
-                let local_exp =
-                    qokit_statevec::diag::expectation_u16(&amps, q, *offset, 1.0, qokit_statevec::Backend::Serial);
+                let local_exp = qokit_statevec::diag::expectation_u16(
+                    &amps,
+                    q,
+                    *offset,
+                    1.0,
+                    qokit_statevec::Backend::Serial,
+                );
                 let expectation = ctx.allreduce_sum(local_exp);
                 let local_min = q.iter().copied().min().unwrap_or(0) as f64 + offset;
                 let min_cost = ctx.allreduce_min(local_min);

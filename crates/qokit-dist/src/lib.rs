@@ -18,6 +18,10 @@
 //! assert_eq!(r.comm.alltoall_calls, 2); // one mixer = two transposes
 //! ```
 
+//!
+//! *Part of the qokit workspace — see the top-level `README.md` for the
+//! crate-by-crate architecture table and build/test/bench instructions.*
+
 #![warn(missing_docs)]
 
 pub mod comm;

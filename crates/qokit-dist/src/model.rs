@@ -99,7 +99,10 @@ impl ClusterModel {
     /// # Panics
     /// If `2·log2(k_ranks) > n` (the Algorithm-4 constraint).
     pub fn layer_time(&self, n: usize, k_ranks: usize, backend: CommBackend) -> ModeledLayerTime {
-        assert!(k_ranks.is_power_of_two(), "rank count must be a power of two");
+        assert!(
+            k_ranks.is_power_of_two(),
+            "rank count must be a power of two"
+        );
         let kb = k_ranks.trailing_zeros() as usize;
         assert!(2 * kb <= n, "2k ≤ n violated: n = {n}, K = {k_ranks}");
         let slice_amps = (1u64 << (n - kb)) as f64;
@@ -121,8 +124,7 @@ impl ClusterModel {
         let congest = 1.0 + self.congestion * (nodes as f64).log2().max(0.0);
         let comm_one = match backend {
             CommBackend::P2pAware => {
-                sent * f_intra / self.nvlink_bw
-                    + sent * (1.0 - f_intra) * congest / self.network_bw
+                sent * f_intra / self.nvlink_bw + sent * (1.0 - f_intra) * congest / self.network_bw
             }
             CommBackend::CustomMpi => {
                 // Staged through host memory; MPI does not exploit NVLink

@@ -30,7 +30,10 @@ impl Circuit {
     /// An empty circuit on `n` qubits.
     pub fn new(n: usize) -> Self {
         assert!(n <= 64, "at most 64 qubits");
-        Circuit { n, gates: Vec::new() }
+        Circuit {
+            n,
+            gates: Vec::new(),
+        }
     }
 
     /// Number of qubits.

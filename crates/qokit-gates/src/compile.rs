@@ -12,7 +12,7 @@ use qokit_terms::SpinPolynomial;
 pub enum PhaseStyle {
     /// Each degree-`k` term becomes a CX ladder (`2(k−1)` CNOTs) around one
     /// `Rz` — the standard compilation a gate-set-restricted simulator
-    /// (Qiskit and the circuits of the paper's Ref. [24]) executes.
+    /// (Qiskit and the circuits of the paper's Ref. \[24\]) executes.
     DecomposedCx,
     /// Each term becomes one native multi-qubit `Z…Z` rotation — the
     /// diagonal-gate-aware mode (one sweep per *term* instead of per gate).
@@ -220,7 +220,13 @@ mod tests {
     fn full_qaoa_circuit_structure() {
         let g = Graph::ring(5, 1.0);
         let poly = maxcut_polynomial(&g);
-        let c = compile_qaoa(&poly, &[0.1, 0.2], &[0.3, 0.4], PhaseStyle::DecomposedCx, CompiledMixer::X);
+        let c = compile_qaoa(
+            &poly,
+            &[0.1, 0.2],
+            &[0.3, 0.4],
+            PhaseStyle::DecomposedCx,
+            CompiledMixer::X,
+        );
         // 5 H + 2 layers × (5 RZZ + 1 global phase + 5 RX).
         assert_eq!(c.len(), 5 + 2 * (5 + 1 + 5));
         let k = c.counts();
@@ -265,7 +271,13 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn compile_qaoa_rejects_mismatched_params() {
         let poly = labs_terms(4);
-        let _ = compile_qaoa(&poly, &[0.1], &[], PhaseStyle::DecomposedCx, CompiledMixer::X);
+        let _ = compile_qaoa(
+            &poly,
+            &[0.1],
+            &[],
+            PhaseStyle::DecomposedCx,
+            CompiledMixer::X,
+        );
     }
 
     #[test]

@@ -100,10 +100,8 @@ mod tests {
     #[test]
     fn ladder_depth_formula() {
         // A degree-4 parity ladder has depth 7 on its own.
-        let poly = qokit_terms::SpinPolynomial::new(
-            4,
-            vec![qokit_terms::Term::new(1.0, &[0, 1, 2, 3])],
-        );
+        let poly =
+            qokit_terms::SpinPolynomial::new(4, vec![qokit_terms::Term::new(1.0, &[0, 1, 2, 3])]);
         let gates = crate::compile::compile_phase(&poly, 0.5, PhaseStyle::DecomposedCx);
         assert_eq!(circuit_depth(&gates), 7);
     }

@@ -176,7 +176,7 @@ pub fn fuse_2q(gates: &[Gate]) -> Vec<Gate> {
 mod tests {
     use super::*;
     use qokit_statevec::exec::Backend;
-    use qokit_statevec::{C64, StateVec};
+    use qokit_statevec::{StateVec, C64};
 
     fn random_state(n: usize, seed: u64) -> StateVec {
         let mut s = seed;
@@ -188,9 +188,8 @@ mod tests {
             z = z ^ (z >> 31);
             (z as f64 / u64::MAX as f64) - 0.5
         };
-        let mut v = StateVec::from_amplitudes(
-            (0..1usize << n).map(|_| C64::new(next(), next())).collect(),
-        );
+        let mut v =
+            StateVec::from_amplitudes((0..1usize << n).map(|_| C64::new(next(), next())).collect());
         v.normalize();
         v
     }
@@ -253,11 +252,7 @@ mod tests {
 
     #[test]
     fn multi_qubit_gate_is_barrier() {
-        let gates = [
-            Gate::H(0),
-            Gate::MultiZRot(0b111, 0.5),
-            Gate::H(0),
-        ];
+        let gates = [Gate::H(0), Gate::MultiZRot(0b111, 0.5), Gate::H(0)];
         let fused = fuse_2q(&gates);
         assert_eq!(fused.len(), 3);
         assert_fusion_equivalent(&gates, 3, 5);
@@ -275,18 +270,33 @@ mod tests {
     fn qaoa_layer_fuses_correctly() {
         // A realistic mixed sequence: MaxCut phase + mixer on 5 qubits.
         let poly = qokit_terms::maxcut::maxcut_polynomial(&qokit_terms::Graph::ring(5, 1.0));
-        let mut gates = crate::compile::compile_phase(&poly, 0.4, crate::compile::PhaseStyle::DecomposedCx);
-        gates.extend(crate::compile::compile_mixer(5, 0.7, crate::compile::CompiledMixer::X));
+        let mut gates =
+            crate::compile::compile_phase(&poly, 0.4, crate::compile::PhaseStyle::DecomposedCx);
+        gates.extend(crate::compile::compile_mixer(
+            5,
+            0.7,
+            crate::compile::CompiledMixer::X,
+        ));
         let fused = fuse_2q(&gates);
-        assert!(fused.len() < gates.len(), "{} !< {}", fused.len(), gates.len());
+        assert!(
+            fused.len() < gates.len(),
+            "{} !< {}",
+            fused.len(),
+            gates.len()
+        );
         assert_fusion_equivalent(&gates, 5, 7);
     }
 
     #[test]
     fn labs_layer_fusion_equivalence() {
         let poly = qokit_terms::labs::labs_terms(6);
-        let mut gates = crate::compile::compile_phase(&poly, 0.2, crate::compile::PhaseStyle::DecomposedCx);
-        gates.extend(crate::compile::compile_mixer(6, 0.5, crate::compile::CompiledMixer::X));
+        let mut gates =
+            crate::compile::compile_phase(&poly, 0.2, crate::compile::PhaseStyle::DecomposedCx);
+        gates.extend(crate::compile::compile_mixer(
+            6,
+            0.5,
+            crate::compile::CompiledMixer::X,
+        ));
         assert_fusion_equivalent(&gates, 6, 8);
     }
 

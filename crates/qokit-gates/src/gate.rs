@@ -56,8 +56,13 @@ impl Gate {
     /// Bitmask of the qubits the gate acts on (empty for `GlobalPhase`).
     pub fn support(&self) -> u64 {
         match *self {
-            Gate::H(q) | Gate::X(q) | Gate::Rx(q, _) | Gate::Ry(q, _) | Gate::Rz(q, _)
-            | Gate::Phase(q, _) | Gate::U1(q, _) => 1u64 << q,
+            Gate::H(q)
+            | Gate::X(q)
+            | Gate::Rx(q, _)
+            | Gate::Ry(q, _)
+            | Gate::Rz(q, _)
+            | Gate::Phase(q, _)
+            | Gate::U1(q, _) => 1u64 << q,
             Gate::Cx(c, t) => (1u64 << c) | (1u64 << t),
             Gate::Rzz(a, b, _) | Gate::U2(a, b, _) => (1u64 << a) | (1u64 << b),
             Gate::MultiZRot(mask, _) => mask,
@@ -76,7 +81,11 @@ impl Gate {
     pub fn is_diagonal(&self) -> bool {
         matches!(
             self,
-            Gate::Rz(..) | Gate::Phase(..) | Gate::Rzz(..) | Gate::MultiZRot(..) | Gate::GlobalPhase(_)
+            Gate::Rz(..)
+                | Gate::Phase(..)
+                | Gate::Rzz(..)
+                | Gate::MultiZRot(..)
+                | Gate::GlobalPhase(_)
         )
     }
 
@@ -87,9 +96,13 @@ impl Gate {
             Gate::X(q) => apply_mat2(amps, q, &Mat2::pauli_x(), backend),
             Gate::Rx(q, theta) => apply_mat2(amps, q, &Mat2::rx(theta / 2.0), backend),
             Gate::Ry(q, theta) => apply_mat2(amps, q, &Mat2::ry(theta / 2.0), backend),
-            Gate::Rz(q, theta) => {
-                apply_diag_1q(amps, q, C64::cis(-theta / 2.0), C64::cis(theta / 2.0), backend)
-            }
+            Gate::Rz(q, theta) => apply_diag_1q(
+                amps,
+                q,
+                C64::cis(-theta / 2.0),
+                C64::cis(theta / 2.0),
+                backend,
+            ),
             Gate::Phase(q, phi) => apply_diag_1q(amps, q, C64::ONE, C64::cis(phi), backend),
             Gate::Cx(c, t) => apply_cx(amps, c, t, backend),
             Gate::Rzz(a, b, theta) => {
@@ -205,9 +218,8 @@ mod tests {
             z = z ^ (z >> 31);
             (z as f64 / u64::MAX as f64) - 0.5
         };
-        let mut v = StateVec::from_amplitudes(
-            (0..1usize << n).map(|_| C64::new(next(), next())).collect(),
-        );
+        let mut v =
+            StateVec::from_amplitudes((0..1usize << n).map(|_| C64::new(next(), next())).collect());
         v.normalize();
         v
     }
@@ -229,12 +241,7 @@ mod tests {
             let expect = {
                 // Reference: Mat4 CNOT with control on the low sub-index bit
                 // means qa = control.
-                reference::apply_2q_reference(
-                    fast.amplitudes(),
-                    c,
-                    t,
-                    &Mat4::cnot_control_low(),
-                )
+                reference::apply_2q_reference(fast.amplitudes(), c, t, &Mat4::cnot_control_low())
             };
             Gate::Cx(c, t).apply(fast.amplitudes_mut(), Backend::Serial);
             for (a, b) in fast.amplitudes().iter().zip(expect.iter()) {
@@ -258,7 +265,13 @@ mod tests {
         let mut fast = random_state(5, 3);
         let mut dense = fast.clone();
         Gate::Rzz(1, 3, 0.8).apply(fast.amplitudes_mut(), Backend::Serial);
-        apply_mat4(dense.amplitudes_mut(), 1, 3, &Mat4::rzz(0.4), Backend::Serial);
+        apply_mat4(
+            dense.amplitudes_mut(),
+            1,
+            3,
+            &Mat4::rzz(0.4),
+            Backend::Serial,
+        );
         assert!(fast.max_abs_diff(&dense) < 1e-12);
     }
 

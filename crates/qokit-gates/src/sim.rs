@@ -83,7 +83,11 @@ impl GateSimulator {
         let n = self.n_qubits();
         let mut gates = compile_phase(&self.poly, gamma, self.options.style);
         gates.extend(compile_mixer(n, beta, self.options.mixer));
-        let gates = if self.options.fuse { fuse_2q(&gates) } else { gates };
+        let gates = if self.options.fuse {
+            fuse_2q(&gates)
+        } else {
+            gates
+        };
         for g in &gates {
             g.apply(state.amplitudes_mut(), self.options.backend);
         }
@@ -106,7 +110,13 @@ impl GateSimulator {
     /// Compiles the complete circuit up front (prep + all layers) — used by
     /// gate-count reporting and by tests that want a `Circuit` value.
     pub fn compile_full(&self, gammas: &[f64], betas: &[f64]) -> Circuit {
-        crate::compile::compile_qaoa(&self.poly, gammas, betas, self.options.style, self.options.mixer)
+        crate::compile::compile_qaoa(
+            &self.poly,
+            gammas,
+            betas,
+            self.options.style,
+            self.options.mixer,
+        )
     }
 
     /// The QAOA objective evaluated the gate-based way: re-deriving `f(x)`

@@ -20,6 +20,10 @@
 //! assert!(result.best_f < 1e-3);
 //! ```
 
+//!
+//! *Part of the qokit workspace — see the top-level `README.md` for the
+//! crate-by-crate architecture table and build/test/bench instructions.*
+
 #![warn(missing_docs)]
 
 pub mod nelder_mead;

@@ -63,7 +63,10 @@ pub fn pack(gammas: &[f64], betas: &[f64]) -> Vec<f64> {
 /// # Panics
 /// If the length is odd.
 pub fn unpack(x: &[f64]) -> (&[f64], &[f64]) {
-    assert!(x.len() % 2 == 0, "packed parameter vector must be even-length");
+    assert!(
+        x.len() % 2 == 0,
+        "packed parameter vector must be even-length"
+    );
     x.split_at(x.len() / 2)
 }
 
@@ -84,7 +87,10 @@ mod tests {
         for (gi, bi) in g.iter().zip(b.iter()) {
             assert!(*gi > 0.0 && *gi < 0.75);
             assert!(*bi < 0.0 && *bi > -0.75, "mixer angles are negative");
-            assert!((gi - bi - 0.75).abs() < 1e-12, "γ + |β| = dt at every layer");
+            assert!(
+                (gi - bi - 0.75).abs() < 1e-12,
+                "γ + |β| = dt at every layer"
+            );
         }
     }
 

@@ -55,7 +55,10 @@ where
     let mut best_x = bounds.iter().map(|&(lo, _)| lo).collect::<Vec<_>>();
     let mut history = Vec::with_capacity(samples);
     for _ in 0..samples {
-        let x: Vec<f64> = bounds.iter().map(|&(lo, hi)| rng.gen_range(lo..hi)).collect();
+        let x: Vec<f64> = bounds
+            .iter()
+            .map(|&(lo, hi)| rng.gen_range(lo..hi))
+            .collect();
         let v = f(&x);
         if v < best_f {
             best_f = v;

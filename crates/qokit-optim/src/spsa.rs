@@ -140,7 +140,11 @@ mod tests {
     fn deterministic_given_seed() {
         let run = || {
             let mut rng = StdRng::seed_from_u64(11);
-            Spsa::default().minimize(|x| (x[0] - 0.5).powi(2) + x[1] * x[1], &[1.0, 1.0], &mut rng)
+            Spsa::default().minimize(
+                |x| (x[0] - 0.5).powi(2) + x[1] * x[1],
+                &[1.0, 1.0],
+                &mut rng,
+            )
         };
         let (a, b) = (run(), run());
         assert_eq!(a.best_x, b.best_x);

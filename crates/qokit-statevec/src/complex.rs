@@ -333,7 +333,11 @@ mod tests {
 
     #[test]
     fn sum_of_slice() {
-        let v = [C64::new(1.0, 1.0), C64::new(2.0, -0.5), C64::new(-3.0, 0.25)];
+        let v = [
+            C64::new(1.0, 1.0),
+            C64::new(2.0, -0.5),
+            C64::new(-3.0, 0.25),
+        ];
         let s: C64 = v.iter().sum();
         assert!(s.approx_eq(C64::new(0.0, 0.75), TOL));
     }

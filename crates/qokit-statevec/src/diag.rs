@@ -49,7 +49,13 @@ pub fn apply_phase(amps: &mut [C64], costs: &[f64], gamma: f64, backend: Backend
 
 /// Serial phase operator over a quantized `u16` cost vector with
 /// `c_k = offset + scale·q_k`.
-pub fn apply_phase_u16_serial(amps: &mut [C64], costs: &[u16], offset: f64, scale: f64, gamma: f64) {
+pub fn apply_phase_u16_serial(
+    amps: &mut [C64],
+    costs: &[u16],
+    offset: f64,
+    scale: f64,
+    gamma: f64,
+) {
     assert_eq!(amps.len(), costs.len(), "cost vector length mismatch");
     for (a, &q) in amps.iter_mut().zip(costs.iter()) {
         *a *= C64::cis(-gamma * (offset + scale * q as f64));
@@ -121,7 +127,13 @@ pub fn expectation(amps: &[C64], costs: &[f64], backend: Backend) -> f64 {
 }
 
 /// Objective over a quantized `u16` cost vector.
-pub fn expectation_u16(amps: &[C64], costs: &[u16], offset: f64, scale: f64, backend: Backend) -> f64 {
+pub fn expectation_u16(
+    amps: &[C64],
+    costs: &[u16],
+    offset: f64,
+    scale: f64,
+    backend: Backend,
+) -> f64 {
     assert_eq!(amps.len(), costs.len(), "cost vector length mismatch");
     let raw: f64 = match backend {
         Backend::Serial => amps

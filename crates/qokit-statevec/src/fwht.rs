@@ -9,7 +9,7 @@
 //!    CPU substitute for the paper's massively parallel GPU precompute
 //!    kernel (see `qokit-costvec`).
 //!
-//! 2. **The Ref.[43] ablation.** The paper's conclusion contrasts its
+//! 2. **The Ref.\[43\] ablation.** The paper's conclusion contrasts its
 //!    one-pass in-place mixer (Algorithms 1–2) with the earlier
 //!    FWHT-sandwich approach, which needs a forward transform, a diagonal,
 //!    an inverse transform, and an extra state copy. We implement that
@@ -143,7 +143,7 @@ pub fn fwht_f64(vals: &mut [f64], backend: Backend) {
     }
 }
 
-/// The transverse-field mixer via the Ref.[43] FWHT sandwich, **in place**:
+/// The transverse-field mixer via the Ref.\[43\] FWHT sandwich, **in place**:
 /// `e^{-iβΣX} = H^{⊗n} · diag(e^{-iβ(n-2·popcount)}) · H^{⊗n}`.
 ///
 /// Costs two full FWHT passes plus a diagonal pass — versus one butterfly
@@ -174,7 +174,7 @@ pub fn apply_x_mixer_fwht_inplace(amps: &mut [C64], beta: f64, backend: Backend)
     fwht(amps, backend);
 }
 
-/// The Ref.[43] mixer as literally described: allocates a scratch copy of
+/// The Ref.\[43\] mixer as literally described: allocates a scratch copy of
 /// the state (their FWHT is out-of-place). Functionally identical to
 /// [`apply_x_mixer_fwht_inplace`]; exists so the `abl_fwht` benchmark can
 /// charge the extra `2^n` allocation the paper calls out.
@@ -201,9 +201,8 @@ mod tests {
             z = z ^ (z >> 31);
             (z as f64 / u64::MAX as f64) - 0.5
         };
-        let mut v = StateVec::from_amplitudes(
-            (0..1usize << n).map(|_| C64::new(next(), next())).collect(),
-        );
+        let mut v =
+            StateVec::from_amplitudes((0..1usize << n).map(|_| C64::new(next(), next())).collect());
         v.normalize();
         v
     }
@@ -227,7 +226,11 @@ mod tests {
         let mut via_gates = via_fwht.clone();
         fwht_serial(via_fwht.amplitudes_mut());
         // Unnormalized FWHT = (√2 H)^{⊗n} = 2^{n/2}·H^{⊗n}.
-        apply_uniform_mat2(via_gates.amplitudes_mut(), &Mat2::hadamard(), Backend::Serial);
+        apply_uniform_mat2(
+            via_gates.amplitudes_mut(),
+            &Mat2::hadamard(),
+            Backend::Serial,
+        );
         let scale = 1.0 / (via_fwht.dim() as f64).sqrt();
         for (a, b) in via_fwht
             .amplitudes()
@@ -275,7 +278,11 @@ mod tests {
         v[m] = C64::ONE;
         fwht_serial(&mut v);
         for (x, a) in v.iter().enumerate() {
-            let sign = if (x & m).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+            let sign = if (x & m).count_ones() % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
             assert!(a.approx_eq(C64::from_re(sign), 1e-12), "x = {x}");
         }
     }

@@ -20,6 +20,10 @@
 //! assert!((state.norm_sqr() - 1.0).abs() < 1e-10);
 //! ```
 
+//!
+//! *Part of the qokit workspace — see the top-level `README.md` for the
+//! crate-by-crate architecture table and build/test/bench instructions.*
+
 #![warn(missing_docs)]
 
 pub mod complex;
@@ -32,7 +36,7 @@ pub mod state;
 pub mod su2;
 pub mod su4;
 
-pub use complex::{C64, AMP_BYTES};
+pub use complex::{AMP_BYTES, C64};
 pub use exec::Backend;
 pub use matrices::{Mat2, Mat4};
 pub use state::{binomial, StateVec, MAX_QUBITS};

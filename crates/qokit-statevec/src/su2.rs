@@ -130,9 +130,8 @@ mod tests {
             z = z ^ (z >> 31);
             (z as f64 / u64::MAX as f64) - 0.5
         };
-        let mut v = StateVec::from_amplitudes(
-            (0..1usize << n).map(|_| C64::new(next(), next())).collect(),
-        );
+        let mut v =
+            StateVec::from_amplitudes((0..1usize << n).map(|_| C64::new(next(), next())).collect());
         v.normalize();
         v
     }

@@ -35,7 +35,13 @@ fn mix_quad(amps: &mut [C64], base: usize, ma: usize, mb: usize, u: &Mat4) {
 /// the two-qubit analogue of Algorithm 1's index enumeration. Public so the
 /// gate-based baseline can reuse the same blocking for CX/SWAP kernels.
 #[inline]
-pub fn for_each_base(chunk_start: usize, chunk_len: usize, ql: usize, qh: usize, mut f: impl FnMut(usize)) {
+pub fn for_each_base(
+    chunk_start: usize,
+    chunk_len: usize,
+    ql: usize,
+    qh: usize,
+    mut f: impl FnMut(usize),
+) {
     let sl = 1usize << ql;
     let sh = 1usize << qh;
     let mut a = chunk_start;
@@ -62,7 +68,9 @@ pub fn apply_mat4_serial(amps: &mut [C64], qa: usize, qb: usize, u: &Mat4) {
     let (ql, qh) = if qa < qb { (qa, qb) } else { (qb, qa) };
     assert!(1usize << (qh + 1) <= amps.len(), "qubit {qh} out of range");
     let (ma, mb) = (1usize << qa, 1usize << qb);
-    for_each_base(0, amps.len(), ql, qh, |base| mix_quad(amps, base, ma, mb, u));
+    for_each_base(0, amps.len(), ql, qh, |base| {
+        mix_quad(amps, base, ma, mb, u)
+    });
 }
 
 /// Rayon-parallel two-qubit gate application. Parallelizes over chunks that
@@ -116,7 +124,11 @@ pub fn apply_mat4_rayon(amps: &mut [C64], qa: usize, qb: usize, u: &Mat4) {
                                 + u.m[r][2] * x[2]
                                 + u.m[r][3] * x[3];
                         }
-                        let (y_l, y_h) = if qa_is_low { (y[1], y[2]) } else { (y[2], y[1]) };
+                        let (y_l, y_h) = if qa_is_low {
+                            (y[1], y[2])
+                        } else {
+                            (y[2], y[1])
+                        };
                         lc[c] = y[0];
                         lc[c | sl] = y_l;
                         hc[c] = y_h;
@@ -214,9 +226,8 @@ mod tests {
             z = z ^ (z >> 31);
             (z as f64 / u64::MAX as f64) - 0.5
         };
-        let mut v = StateVec::from_amplitudes(
-            (0..1usize << n).map(|_| C64::new(next(), next())).collect(),
-        );
+        let mut v =
+            StateVec::from_amplitudes((0..1usize << n).map(|_| C64::new(next(), next())).collect());
         v.normalize();
         v
     }

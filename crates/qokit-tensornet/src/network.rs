@@ -4,7 +4,7 @@
 //! The network computes a single amplitude `⟨x|QAOA(γ,β)|+⟩` (the paper's
 //! TN timing protocol: one amplitude per contraction, total time divided
 //! by `p`). Diagonal cost terms are attached as hyperedge tensors directly
-//! on the qubit wires — the diagonal-gate trick of the paper's Ref. [23] —
+//! on the qubit wires — the diagonal-gate trick of the paper's Ref. \[23\] —
 //! so the phase operator adds no new wire segments; only mixers do.
 //!
 //! Deep LABS circuits still force the greedy contraction into
@@ -112,12 +112,8 @@ impl TensorNetwork {
                         .copied()
                         .filter(|l| leg_count[l] == 2)
                         .collect();
-                    let union: std::collections::HashSet<usize> = ti
-                        .legs
-                        .iter()
-                        .chain(tj.legs.iter())
-                        .copied()
-                        .collect();
+                    let union: std::collections::HashSet<usize> =
+                        ti.legs.iter().chain(tj.legs.iter()).copied().collect();
                     let rank = union.len() - sum.len();
                     if best.as_ref().map_or(true, |b| rank < b.2) {
                         best = Some((i, j, rank, sum));
@@ -135,7 +131,10 @@ impl TensorNetwork {
                 }
             };
             if rank > width_cap {
-                return Err(TnError::WidthExceeded { rank, cap: width_cap });
+                return Err(TnError::WidthExceeded {
+                    rank,
+                    cap: width_cap,
+                });
             }
             max_width = max_width.max(rank);
             let tj = self.tensors.swap_remove(j); // j > i, so i stays valid

@@ -97,8 +97,9 @@ impl Tensor {
         let sa = strides(&self.legs);
         let sb = strides(&other.legs);
         let flat = |enumv: usize, s: &[(usize, usize)]| -> usize {
-            s.iter()
-                .fold(0usize, |acc, &(src, dst)| acc | (((enumv >> src) & 1) << dst))
+            s.iter().fold(0usize, |acc, &(src, dst)| {
+                acc | (((enumv >> src) & 1) << dst)
+            })
         };
         let mut out = vec![C64::ZERO; 1usize << out_rank];
         for (o, out_o) in out.iter_mut().enumerate() {

@@ -3,7 +3,7 @@
 //! The paper's §III singles out "objectives with higher order terms, such
 //! as k-SAT with k > 3" as the case where compiling the phase operator
 //! into gates is most expensive, and its motivation (§I) cites the
-//! Boulebnane–Montanaro random-8-SAT QAOA study [4]. A k-clause maps to a
+//! Boulebnane–Montanaro random-8-SAT QAOA study \[4\]. A k-clause maps to a
 //! degree-k spin polynomial, so k-SAT exercises exactly the high-order
 //! path the precomputed diagonal collapses to one vector pass.
 //!
@@ -59,7 +59,7 @@ pub struct KsatInstance {
 
 impl KsatInstance {
     /// Uniformly random k-SAT: `m` clauses, each over k distinct uniform
-    /// variables with fair-coin negations (the Ref. [4] ensemble).
+    /// variables with fair-coin negations (the Ref. \[4\] ensemble).
     ///
     /// # Panics
     /// If `k > n` or `k = 0`.

@@ -99,8 +99,8 @@ pub fn energy_polynomial(n: usize) -> SpinPolynomial {
 /// extends the verification via the FWHT cost-vector precompute.
 pub fn known_optimal_energy(n: usize) -> Option<i64> {
     const TABLE: [i64; 30] = [
-        1, 2, 2, 7, 3, 8, 12, 13, 5, 10, 6, 19, 15, 24, 32, 25, 29, 26, 26, 39, 47, 36, 36, 45,
-        37, 50, 62, 59, 67, 64,
+        1, 2, 2, 7, 3, 8, 12, 13, 5, 10, 6, 19, 15, 24, 32, 25, 29, 26, 26, 39, 47, 36, 36, 45, 37,
+        50, 62, 59, 67, 64,
     ];
     if (3..=32).contains(&n) {
         Some(TABLE[n - 3])

@@ -14,6 +14,10 @@
 //! assert_eq!(poly.degree(), 4); // LABS has 4-local interactions
 //! ```
 
+//!
+//! *Part of the qokit workspace — see the top-level `README.md` for the
+//! crate-by-crate architecture table and build/test/bench instructions.*
+
 #![warn(missing_docs)]
 
 pub mod graphs;

@@ -187,7 +187,9 @@ mod tests {
     fn evaluate_spins_agrees() {
         let f = example();
         for x in 0u64..8 {
-            let spins: Vec<i8> = (0..3).map(|i| if x >> i & 1 == 0 { 1 } else { -1 }).collect();
+            let spins: Vec<i8> = (0..3)
+                .map(|i| if x >> i & 1 == 0 { 1 } else { -1 })
+                .collect();
             assert_eq!(f.evaluate_bits(x), f.evaluate_spins(&spins));
         }
     }

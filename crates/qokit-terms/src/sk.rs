@@ -124,7 +124,10 @@ mod tests {
         ] {
             let poly = sk.to_terms();
             for x in 0u64..128 {
-                assert!((poly.evaluate_bits(x) - sk.energy(x)).abs() < 1e-9, "x = {x:b}");
+                assert!(
+                    (poly.evaluate_bits(x) - sk.energy(x)).abs() < 1e-9,
+                    "x = {x:b}"
+                );
             }
         }
     }
@@ -145,7 +148,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let sk = SkInstance::random_pm1(8, &mut rng);
         let (min, _) = sk.to_terms().brute_force_minimum();
-        assert!((min - min.round()).abs() < 1e-9, "±1 couplings ⇒ integer energies");
+        assert!(
+            (min - min.round()).abs() < 1e-9,
+            "±1 couplings ⇒ integer energies"
+        );
         assert!(min < 0.0, "frustrated glass has negative ground energy");
     }
 

@@ -157,7 +157,9 @@ mod tests {
     fn eval_bits_matches_eval_spins() {
         let t = Term::new(-0.75, &[1, 2, 4]);
         for x in 0u64..32 {
-            let spins: Vec<i8> = (0..5).map(|i| if x >> i & 1 == 0 { 1 } else { -1 }).collect();
+            let spins: Vec<i8> = (0..5)
+                .map(|i| if x >> i & 1 == 0 { 1 } else { -1 })
+                .collect();
             assert_eq!(t.eval_bits(x), t.eval_spins(&spins), "x = {x:b}");
         }
     }

@@ -9,6 +9,11 @@
 //! sequence.
 //!
 //! Run with: `cargo run --release --example labs_deep_qaoa`
+//!
+//! Expected output: the LABS term census (252 terms at n = 15, 4-local),
+//! a depth sweep p ∈ {1, 5, 10, 20, 40} of `<C>` and ground-state overlap,
+//! and a most-likely sequence achieving the known optimal merit factor
+//! 7.5 for n = 15.
 
 use qokit::prelude::*;
 use qokit::terms::labs;

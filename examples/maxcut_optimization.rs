@@ -7,6 +7,11 @@
 //! baseline.
 //!
 //! Run with: `cargo run --release --example maxcut_optimization`
+//!
+//! Expected output: the brute-force optimal cut, the optimized p = 6
+//! expectation with an approximation ratio above 0.9, and a timing line
+//! showing the fast simulator completing ~300 objective evaluations in the
+//! time the gate baseline spends on a handful.
 
 use qokit::optim::{schedules, NelderMead};
 use qokit::prelude::*;
@@ -21,7 +26,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(42);
     let graph = Graph::random_regular(n, degree, &mut rng);
     let poly = qokit::terms::maxcut::maxcut_polynomial(&graph);
-    println!("problem: MaxCut on a random {degree}-regular graph, n = {n}, |E| = {}", graph.n_edges());
+    println!(
+        "problem: MaxCut on a random {degree}-regular graph, n = {n}, |E| = {}",
+        graph.n_edges()
+    );
 
     let sim = FurSimulator::new(&poly);
     let (best_cut, _) = poly.brute_force_minimum(); // f = −cut

@@ -9,6 +9,11 @@
 //! probability into infeasible states).
 //!
 //! Run with: `cargo run --release --example portfolio_xy_mixer`
+//!
+//! Expected output: a three-row comparison (X, XY-ring, XY-complete) of
+//! feasible probability mass, probability of the optimum, and conditional
+//! expectation — the XY rows keep feasible mass = 1.0000 while the X mixer
+//! leaks most of it.
 
 use qokit::prelude::*;
 use qokit::terms::portfolio::PortfolioInstance;
@@ -31,7 +36,10 @@ fn main() {
     let inst = PortfolioInstance::random(n, budget, 0.7, &mut rng);
     let poly = inst.to_terms();
     let (best_f, best_x) = inst.brute_force_optimum();
-    println!("problem: pick {budget} of {n} assets, q = {}", inst.risk_aversion);
+    println!(
+        "problem: pick {budget} of {n} assets, q = {}",
+        inst.risk_aversion
+    );
     println!("optimal feasible selection: |{best_x:0n$b}> with f = {best_f:.4}\n");
 
     let (gammas, betas) = qokit::optim::schedules::linear_ramp(8, 0.5);

@@ -39,6 +39,12 @@
 //! assert!(energy >= costs.extrema().0 - 1e-9);
 //! ```
 
+//!
+//! *Part of the qokit workspace — see the top-level `README.md` for the
+//! crate-by-crate architecture table and build/test/bench instructions.*
+
+#![warn(missing_docs)]
+
 pub use qokit_core as core;
 pub use qokit_costvec as costvec;
 pub use qokit_dist as dist;

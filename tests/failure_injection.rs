@@ -41,7 +41,10 @@ fn dist_error_messages_are_actionable() {
 fn quantization_overflow_is_reported_with_span() {
     let costs = vec![0.0, 1.0e6];
     match CostVec::quantize_exact(&costs, 1.0) {
-        Err(QuantizeError::RangeTooWide { span, representable }) => {
+        Err(QuantizeError::RangeTooWide {
+            span,
+            representable,
+        }) => {
             assert_eq!(span, 1.0e6);
             assert!(representable < span);
         }
@@ -94,9 +97,7 @@ fn dicke_weight_out_of_range_panics() {
 
 #[test]
 fn polynomial_variable_bounds_are_enforced() {
-    let err = std::panic::catch_unwind(|| {
-        SpinPolynomial::new(3, vec![Term::new(1.0, &[3])])
-    });
+    let err = std::panic::catch_unwind(|| SpinPolynomial::new(3, vec![Term::new(1.0, &[3])]));
     assert!(err.is_err());
 }
 

@@ -91,7 +91,10 @@ fn interp_ladder_tracks_depth() {
         &schedules::pack(&g_ext, &b_ext),
     );
     assert!(r2.best_f <= extended_start + 1e-9);
-    assert!(r2.best_f <= r.best_f + 0.2, "depth increase should not hurt");
+    assert!(
+        r2.best_f <= r.best_f + 0.2,
+        "depth increase should not hurt"
+    );
 }
 
 #[test]
@@ -119,7 +122,11 @@ fn spsa_improves_labs_objective() {
         &schedules::pack(&g0, &b0),
         &mut rng,
     );
-    assert!(r.best_f <= start, "SPSA went uphill: {start} → {}", r.best_f);
+    assert!(
+        r.best_f <= start,
+        "SPSA went uphill: {start} → {}",
+        r.best_f
+    );
 }
 
 #[test]

@@ -1,0 +1,216 @@
+//! # criterion (offline shim)
+//!
+//! A minimal, dependency-free stand-in for the `criterion` benchmarking
+//! crate, vendored so the qokit workspace builds without network access. It
+//! supports the subset `qokit-bench/benches/kernels.rs` uses — benchmark
+//! groups, [`BenchmarkId`], per-group tuning knobs, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — and reports a simple
+//! median wall-clock time per benchmark instead of criterion's full
+//! statistical analysis.
+//!
+//! Passing `--test` (which `cargo test` does for benchmark targets) runs each
+//! benchmark body exactly once, so the benches double as smoke tests.
+//!
+//! ```
+//! use criterion::{Criterion, BenchmarkId};
+//!
+//! let mut c = Criterion::test_mode();
+//! let mut g = c.benchmark_group("demo");
+//! g.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &x| {
+//!     b.iter(|| x * x);
+//! });
+//! g.finish();
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement strategies (only wall-clock time is provided).
+pub mod measurement {
+    /// Wall-clock time measurement — the shim's only measurement.
+    pub struct WallTime;
+}
+
+/// Identifies one benchmark within a group: a function name plus a parameter.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `pad` (rather than `write!`) honors width/alignment flags, so the
+        // bench report columns line up.
+        f.pad(&format!("{}/{}", self.function, self.parameter))
+    }
+}
+
+/// Drives closures under measurement inside [`Bencher::iter`].
+pub struct Bencher {
+    iterations: u64,
+    /// Median per-iteration time of the last `iter` call.
+    last_median: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the median per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let mut samples = Vec::with_capacity(self.iterations as usize);
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            samples.push(start.elapsed());
+        }
+        samples.sort_unstable();
+        self.last_median = samples[samples.len() / 2];
+    }
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    iterations: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test` the harness passes `--test`: run once, as a
+        // smoke test. Otherwise take a handful of samples per benchmark.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            iterations: if test_mode { 1 } else { 15 },
+        }
+    }
+}
+
+impl Criterion {
+    /// A driver that runs every benchmark exactly once (smoke-test mode).
+    pub fn test_mode() -> Self {
+        Criterion { iterations: 1 }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_, measurement::WallTime> {
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing tuning settings.
+pub struct BenchmarkGroup<'a, M> {
+    criterion: &'a mut Criterion,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the sample count (accepted for API compatibility; the shim uses
+    /// a fixed iteration count).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up duration (ignored by the shim).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement duration (ignored by the shim).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark identified by `id` over `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iterations: self.criterion.iterations,
+            last_median: Duration::ZERO,
+        };
+        f(&mut b, input);
+        println!("  {id:<40} {:>12.3?}", b.last_median);
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iterations: self.criterion.iterations,
+            last_median: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("  {name:<40} {:>12.3?}", b.last_median);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export of `std::hint::black_box` under criterion's customary name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into one runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given [`criterion_group!`] runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::test_mode();
+        let mut g = c.benchmark_group("t");
+        let mut runs = 0u64;
+        g.sample_size(10).warm_up_time(Duration::from_millis(1));
+        g.bench_function("inc", |b| b.iter(|| runs += 1));
+        g.bench_with_input(BenchmarkId::new("id", 3), &3u64, |b, &x| {
+            b.iter(|| x + 1);
+        });
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+}

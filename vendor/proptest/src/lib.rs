@@ -1,0 +1,385 @@
+//! # proptest (offline shim)
+//!
+//! A minimal, dependency-free stand-in for the `proptest` crate, vendored so
+//! the qokit workspace builds without network access. It provides:
+//!
+//! * the [`Strategy`] trait with [`Strategy::prop_map`] and
+//!   [`Strategy::prop_flat_map`] combinators,
+//! * strategies for numeric ranges, tuples, [`collection::vec()`] and
+//!   [`bits::u64::between`],
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]` support) plus
+//!   [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Unlike real proptest there is **no shrinking and no failure persistence**:
+//! each test runs `cases` deterministic random inputs (seeded from the test
+//! name, so failures reproduce run-to-run) and panics on the first violation.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(16))]
+//!
+//!     #[test]
+//!     fn addition_commutes(a in -1.0f64..1.0, b in -1.0f64..1.0) {
+//!         prop_assert!((a + b - (b + a)).abs() < 1e-12);
+//!     }
+//! }
+//! ```
+//!
+//! (The `#[test]` functions the macro emits are picked up by the normal test
+//! harness; this shim's own unit tests run the macro end-to-end.)
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration. Only `cases` is honored by this shim.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-test generator: seeded from the test name and case index
+/// so each case is independent and every run is reproducible.
+pub fn test_rng(test_name: &str, case: u32) -> StdRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x9e37_79b9))
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.base.new_value(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn new_value(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.base.new_value(rng)).new_value(rng)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn new_value(&self, rng: &mut StdRng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// A constant strategy; also the building block for `Just`-style usage.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Element-count specification for [`vec()`]: an exact size, `lo..hi`, or
+    /// `lo..=hi`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Bit-pattern strategies (`prop::bits`).
+pub mod bits {
+    /// Strategies over `u64` bit masks.
+    pub mod u64 {
+        use crate::{StdRng, Strategy};
+        use rand::RngCore;
+
+        /// Strategy for `u64` values whose set bits all lie in positions
+        /// `[lo, hi)` (mirrors `proptest::bits::u64::between`).
+        pub fn between(lo: usize, hi: usize) -> Between {
+            assert!(lo <= hi && hi <= 64, "invalid bit range {lo}..{hi}");
+            Between { lo, hi }
+        }
+
+        /// Strategy returned by [`between`].
+        pub struct Between {
+            lo: usize,
+            hi: usize,
+        }
+
+        impl Strategy for Between {
+            type Value = u64;
+            fn new_value(&self, rng: &mut StdRng) -> u64 {
+                let width = self.hi - self.lo;
+                if width == 0 {
+                    return 0;
+                }
+                let mask = if width == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << width) - 1
+                };
+                (rng.next_u64() & mask) << self.lo
+            }
+        }
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] body (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: munches one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_rng(stringify!($name), __case);
+                $(let $pat = $crate::Strategy::new_value(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// The customary glob-import module, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_respects_size((v, k) in (prop::collection::vec(0.0f64..1.0, 2..5), 1usize..4)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(k >= 1 && k < 4);
+            for x in v { prop_assert!((0.0..1.0).contains(&x)); }
+        }
+
+        #[test]
+        fn bits_between_masks(m in prop::bits::u64::between(2, 6)) {
+            prop_assert_eq!(m & !0b111100, 0);
+        }
+
+        #[test]
+        fn flat_map_links_sizes(v in (1usize..=3).prop_flat_map(|n| prop::collection::vec(0u32..10, n))) {
+            prop_assert!(!v.is_empty() && v.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn runs_all_generated_tests() {
+        vec_respects_size();
+        bits_between_masks();
+        flat_map_links_sizes();
+    }
+}

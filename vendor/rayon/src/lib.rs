@@ -1,0 +1,169 @@
+//! # rayon (offline shim)
+//!
+//! A minimal, dependency-free stand-in for the `rayon` crate, vendored so the
+//! qokit workspace builds without network access.
+//!
+//! **Execution is sequential.** `par_iter`, `par_iter_mut`, `par_chunks`, and
+//! `par_chunks_mut` return the corresponding *standard-library* iterators, and
+//! rayon-specific tuning knobs ([`ParallelTuning::with_min_len`] /
+//! [`ParallelTuning::with_max_len`]) are identity adapters. Every kernel that
+//! offers a `Backend::Rayon` flavor therefore computes the same result as its
+//! serial twin, just without the speedup — swapping this shim for crates.io
+//! rayon (same prelude imports) restores real parallelism. Replacing this shim
+//! with a true work-stealing pool is tracked on the ROADMAP.
+//!
+//! ```
+//! use rayon::prelude::*;
+//!
+//! let mut xs = vec![1.0f64; 8];
+//! xs.par_iter_mut().with_min_len(4).for_each(|x| *x *= 2.0);
+//! let total: f64 = xs.par_iter().sum();
+//! assert_eq!(total, 16.0);
+//! ```
+
+#![warn(missing_docs)]
+
+/// Slice extension: shared parallel-style iterators (sequential here).
+pub trait ParallelSlice<T> {
+    /// Sequential stand-in for rayon's `par_iter`.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    /// Sequential stand-in for rayon's `par_chunks`.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// Slice extension: mutable parallel-style iterators (sequential here).
+pub trait ParallelSliceMut<T> {
+    /// Sequential stand-in for rayon's `par_iter_mut`.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    /// Sequential stand-in for rayon's `par_chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// Rayon's per-task granularity knobs, as identity adapters on any iterator.
+pub trait ParallelTuning: Iterator + Sized {
+    /// No-op: granularity hints are meaningless for sequential execution.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+    /// No-op: granularity hints are meaningless for sequential execution.
+    fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Iterator> ParallelTuning for I {}
+
+/// The customary glob-import module, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{ParallelSlice, ParallelSliceMut, ParallelTuning};
+}
+
+/// Returns the number of threads a real pool would use (hardware threads).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (never constructed).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`; the pool it builds runs
+/// closures on the calling thread.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the requested thread count (informational only in this shim).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the (sequential) pool. Never fails.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                current_num_threads()
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A "pool" that executes installed closures on the calling thread.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` (on the calling thread) and returns its result.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    /// The thread count this pool was configured with.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn shim_matches_std_iterators() {
+        let mut v: Vec<i64> = (0..100).collect();
+        v.par_iter_mut().with_min_len(8).for_each(|x| *x += 1);
+        let sum: i64 = v.par_iter().with_min_len(8).map(|&x| x).sum();
+        assert_eq!(sum, (1..=100).sum::<i64>());
+        let chunk_sums: Vec<i64> = v.par_chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(chunk_sums.len(), 10);
+    }
+
+    #[test]
+    fn pool_install_runs_closure() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 2 + 2), 4);
+        assert_eq!(pool.current_num_threads(), 4);
+    }
+}
