@@ -115,7 +115,7 @@ fn bench_layer_comparison(c: &mut Criterion) {
     let gate = GateSimulator::new(
         poly.clone(),
         GateSimOptions {
-            backend: Backend::Rayon,
+            exec: Backend::Rayon.into(),
             ..GateSimOptions::default()
         },
     );
@@ -126,7 +126,7 @@ fn bench_layer_comparison(c: &mut Criterion) {
     let native = GateSimulator::new(
         poly,
         GateSimOptions {
-            backend: Backend::Rayon,
+            exec: Backend::Rayon.into(),
             style: PhaseStyle::NativeDiagonal,
             ..GateSimOptions::default()
         },

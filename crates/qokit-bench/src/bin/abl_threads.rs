@@ -1,54 +1,109 @@
 //! Parallel-scaling ablation — one QAOA layer vs worker count.
 //!
 //! The paper's kernels are data-parallel sweeps; this measures how they
-//! scale with rayon thread-pool size on this machine (the CPU analogue of
-//! the paper's GPU-parallelism claim). Each pool size runs the identical
-//! phase+mixer layer.
+//! scale with thread-pool size on this machine (the CPU analogue of the
+//! paper's GPU-parallelism claim). The baseline row is `Backend::Serial` —
+//! the actual single-threaded kernels, not a one-worker pool — and each
+//! pool size runs the identical phase+mixer layer under
+//! `ThreadPool::install`, so speedups are honest end-to-end numbers.
+//!
+//! Besides the human-readable table, the run is recorded to
+//! `BENCH_threads.json` (override the path with `QOKIT_BENCH_JSON`) so the
+//! repository's performance trajectory is machine-readable.
+//!
+//! With `QOKIT_ABL_ASSERT=1` the binary exits non-zero unless the best
+//! parallel configuration reaches at least 0.8× the serial throughput —
+//! the CI guard that the pool never *costs* performance.
 
 use qokit_bench::{bench_n, fast_mode, fmt_time, print_table, time_median};
 use qokit_core::Mixer;
 use qokit_costvec::{precompute_fwht, CostVec};
 use qokit_statevec::{Backend, StateVec};
 use qokit_terms::labs::labs_terms;
+use std::io::Write;
+
+fn layer(costs: &CostVec, state: &mut StateVec, backend: Backend) {
+    costs.apply_phase(state.amplitudes_mut(), 0.2, backend);
+    Mixer::X.apply(state.amplitudes_mut(), -0.5, backend);
+}
 
 fn main() {
     let n = bench_n(if fast_mode() { 14 } else { 20 });
-    let reps = if fast_mode() { 1 } else { 5 };
+    let reps = if fast_mode() { 2 } else { 5 };
     let poly = labs_terms(n);
     let costs = CostVec::F64(precompute_fwht(&poly, Backend::Rayon));
     let hw = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
 
-    let mut pool_sizes = vec![1usize, 2, 4, 8];
-    pool_sizes.retain(|&t| t <= 2 * hw);
+    // Serial baseline: the single-threaded kernels themselves.
+    let mut state = StateVec::uniform_superposition(n);
+    let t_serial = time_median(reps, || layer(&costs, &mut state, Backend::Serial));
 
-    let mut rows = Vec::new();
-    let mut t1 = None;
+    // Pool sweep: 1, 2, 4, … up to at least 4 and at most 2× the hardware
+    // count, so small machines still demonstrate oversubscription behavior.
+    let mut pool_sizes = Vec::new();
+    let mut t = 1usize;
+    while t <= (2 * hw).max(4) {
+        pool_sizes.push(t);
+        t *= 2;
+    }
+
+    let mut rows = vec![vec![
+        "serial".to_string(),
+        fmt_time(t_serial),
+        "1.00x".to_string(),
+        "-".to_string(),
+    ]];
+    let mut records = Vec::new();
+    let mut best_speedup = 0.0f64;
     for &threads in &pool_sizes {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
             .expect("pool");
         let mut state = StateVec::uniform_superposition(n);
-        let t = pool.install(|| {
-            time_median(reps, || {
-                costs.apply_phase(state.amplitudes_mut(), 0.2, Backend::Rayon);
-                Mixer::X.apply(state.amplitudes_mut(), -0.5, Backend::Rayon);
-            })
-        });
-        let t1v = *t1.get_or_insert(t);
+        let t_par =
+            pool.install(|| time_median(reps, || layer(&costs, &mut state, Backend::Rayon)));
+        let speedup = t_serial / t_par;
+        best_speedup = best_speedup.max(speedup);
         rows.push(vec![
             threads.to_string(),
-            fmt_time(t),
-            format!("{:.2}x", t1v / t),
-            format!("{:.0}%", 100.0 * t1v / (t * threads as f64)),
+            fmt_time(t_par),
+            format!("{speedup:.2}x"),
+            format!("{:.0}%", 100.0 * speedup / threads as f64),
         ]);
+        records.push(format!(
+            "    {{\"threads\": {threads}, \"seconds\": {t_par:.6e}, \"speedup_vs_serial\": {speedup:.4}}}"
+        ));
     }
     print_table(
-        &format!("Layer time vs rayon threads, LABS n = {n} (machine has {hw} hw threads)"),
+        &format!("Layer time vs pool threads, LABS n = {n} (machine has {hw} hw threads)"),
         &["threads", "layer", "speedup", "efficiency"],
         &rows,
     );
-    println!("\n(memory-bound butterfly sweeps: expect near-linear scaling up to the physical\n core count, then saturation — the same profile the paper exploits on GPUs)");
+    println!(
+        "\n(memory-bound butterfly sweeps: expect near-linear scaling up to the physical\n core count, then saturation — the same profile the paper exploits on GPUs)"
+    );
+
+    let json_path =
+        std::env::var("QOKIT_BENCH_JSON").unwrap_or_else(|_| "BENCH_threads.json".to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"abl_threads\",\n  \"n_qubits\": {n},\n  \"hw_threads\": {hw},\n  \"reps\": {reps},\n  \"serial_seconds\": {t_serial:.6e},\n  \"best_speedup\": {best_speedup:.4},\n  \"pools\": [\n{}\n  ]\n}}\n",
+        records.join(",\n")
+    );
+    match std::fs::File::create(&json_path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(e) => eprintln!("\ncould not write {json_path}: {e}"),
+    }
+
+    if std::env::var("QOKIT_ABL_ASSERT").map_or(false, |v| v == "1") {
+        // CI gate: the parallel backend must never be slower than 0.8× the
+        // serial kernels on the large case (real speedup requires >1 core).
+        if best_speedup < 0.8 {
+            eprintln!("ASSERT FAILED: best parallel speedup {best_speedup:.2}x < 0.8x serial");
+            std::process::exit(1);
+        }
+        println!("assert ok: best parallel speedup {best_speedup:.2}x >= 0.8x serial");
+    }
 }

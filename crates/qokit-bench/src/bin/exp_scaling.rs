@@ -30,7 +30,7 @@ fn main() {
         let sim = FurSimulator::with_options(
             &poly,
             SimOptions {
-                backend: Backend::Rayon,
+                exec: Backend::Rayon.into(),
                 quantize_u16: true,
                 ..SimOptions::default()
             },

@@ -38,7 +38,7 @@ fn main() {
                 let sim = GateSimulator::new(
                     poly.clone(),
                     GateSimOptions {
-                        backend: Backend::Serial,
+                        exec: Backend::Serial.into(),
                         ..GateSimOptions::default()
                     },
                 );
@@ -52,7 +52,7 @@ fn main() {
                 let sim = GateSimulator::new(
                     poly.clone(),
                     GateSimOptions {
-                        backend: Backend::Rayon,
+                        exec: Backend::Rayon.into(),
                         ..GateSimOptions::default()
                     },
                 );
@@ -65,7 +65,7 @@ fn main() {
             let sim = FurSimulator::with_options(
                 &poly,
                 SimOptions {
-                    backend: Backend::Serial,
+                    exec: Backend::Serial.into(),
                     ..SimOptions::default()
                 },
             );
@@ -75,7 +75,7 @@ fn main() {
             let sim = FurSimulator::with_options(
                 &poly,
                 SimOptions {
-                    backend: Backend::Rayon,
+                    exec: Backend::Rayon.into(),
                     ..SimOptions::default()
                 },
             );

@@ -52,7 +52,7 @@ fn main() {
                 poly.clone(),
                 GateSimOptions {
                     style,
-                    backend,
+                    exec: backend.into(),
                     fuse,
                     ..GateSimOptions::default()
                 },

@@ -56,7 +56,7 @@ fn main() {
     let gate = GateSimulator::new(
         poly.clone(),
         GateSimOptions {
-            backend: Backend::Rayon,
+            exec: Backend::Rayon.into(),
             ..GateSimOptions::default()
         },
     );

@@ -39,7 +39,7 @@ fn main() {
         let sim = FurSimulator::with_options(
             &poly,
             SimOptions {
-                backend: Backend::Rayon,
+                exec: Backend::Rayon.into(),
                 ..SimOptions::default()
             },
         );
@@ -59,7 +59,7 @@ fn main() {
         let sim = GateSimulator::new(
             poly.clone(),
             GateSimOptions {
-                backend: Backend::Rayon,
+                exec: Backend::Rayon.into(),
                 ..GateSimOptions::default()
             },
         );

@@ -10,7 +10,7 @@
 //!   fixed order (a first-order Trotter form of `e^{-iβΣ(XX+YY)/2}`); every
 //!   factor conserves Hamming weight, hence so does the product.
 
-use qokit_statevec::exec::Backend;
+use qokit_statevec::exec::ExecPolicy;
 use qokit_statevec::matrices::Mat2;
 use qokit_statevec::su2::apply_uniform_mat2;
 use qokit_statevec::su4::apply_xy;
@@ -29,20 +29,21 @@ pub enum Mixer {
 
 impl Mixer {
     /// Applies one mixer layer with angle `beta` in place.
-    pub fn apply(&self, amps: &mut [C64], beta: f64, backend: Backend) {
+    pub fn apply(&self, amps: &mut [C64], beta: f64, exec: impl Into<ExecPolicy>) {
+        let policy = exec.into();
         match self {
-            Mixer::X => apply_uniform_mat2(amps, &Mat2::rx(beta), backend),
+            Mixer::X => apply_uniform_mat2(amps, &Mat2::rx(beta), policy),
             Mixer::XyRing => {
                 let n = amps.len().trailing_zeros() as usize;
                 for (a, b) in ring_edges(n) {
-                    apply_xy(amps, a, b, beta, backend);
+                    apply_xy(amps, a, b, beta, policy);
                 }
             }
             Mixer::XyComplete => {
                 let n = amps.len().trailing_zeros() as usize;
                 for a in 0..n {
                     for b in a + 1..n {
-                        apply_xy(amps, a, b, beta, backend);
+                        apply_xy(amps, a, b, beta, policy);
                     }
                 }
             }
@@ -90,7 +91,7 @@ pub fn ring_edges(n: usize) -> Vec<(usize, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qokit_statevec::StateVec;
+    use qokit_statevec::{Backend, StateVec};
 
     fn hamming_mass(amps: &[C64], k: u32) -> f64 {
         amps.iter()

@@ -7,21 +7,85 @@
 //! studies can record energy/overlap trajectories without re-simulating
 //! prefixes — the pattern behind depth-scaling analyses like the paper's
 //! Ref. \[6\].
+//!
+//! The `O(2^n)` cumulative table is the hot part of sampling; under a
+//! parallel [`ExecPolicy`] it is built with a two-pass blocked scan
+//! (parallel per-block inclusive scans, serial block-offset accumulation,
+//! parallel offset add) instead of one serial sweep.
 
 use crate::simulator::{FurSimulator, QaoaSimulator, SimResult};
-use qokit_statevec::StateVec;
+use qokit_statevec::{ExecPolicy, StateVec};
 use rand::Rng;
+use rayon::prelude::*;
+
+/// Inclusive prefix sum of the measurement probabilities `|ψ_x|²` — the
+/// cumulative table inverse-CDF sampling binary-searches. Parallel policies
+/// use a blocked two-pass scan; block boundaries follow
+/// [`ExecPolicy::min_chunk`], so the result is deterministic for a given
+/// policy (associativity differs from the serial sweep only at the ~1e-16
+/// rounding level).
+pub fn cumulative_probabilities(state: &StateVec, exec: impl Into<ExecPolicy>) -> Vec<f64> {
+    let policy = exec.into();
+    let amps = state.amplitudes();
+    let len = amps.len();
+    if !policy.parallel(len) {
+        let mut cdf = Vec::with_capacity(len);
+        let mut acc = 0.0f64;
+        for a in amps {
+            acc += a.norm_sqr();
+            cdf.push(acc);
+        }
+        return cdf;
+    }
+    // Run inside the policy's pool so an explicit thread count caps the
+    // scan's workers just like the evolution kernels.
+    policy.install(|| {
+        let chunk = policy.min_chunk.max(1);
+        let mut cdf = vec![0.0f64; len];
+        // Pass 1: independent inclusive scans within each block.
+        cdf.par_chunks_mut(chunk)
+            .zip(amps.par_chunks(chunk))
+            .for_each(|(c, a)| {
+                let mut acc = 0.0f64;
+                for (dst, amp) in c.iter_mut().zip(a.iter()) {
+                    acc += amp.norm_sqr();
+                    *dst = acc;
+                }
+            });
+        // Block offsets: running sum of the per-block totals (serial over
+        // len/chunk values — negligible next to the element passes).
+        let n_blocks = len.div_ceil(chunk);
+        let mut offsets = Vec::with_capacity(n_blocks);
+        let mut acc = 0.0f64;
+        for b in 0..n_blocks {
+            offsets.push(acc);
+            let last = ((b + 1) * chunk).min(len) - 1;
+            acc += cdf[last];
+        }
+        // Pass 2: shift each block by its offset.
+        cdf.par_chunks_mut(chunk).enumerate().for_each(|(b, c)| {
+            let offset = offsets[b];
+            if offset != 0.0 {
+                for v in c {
+                    *v += offset;
+                }
+            }
+        });
+        cdf
+    })
+}
 
 /// Draws `shots` bitstring samples from the measurement distribution of a
-/// state. `O(2^n + shots·log 2^n)` via a cumulative table + binary search.
-pub fn sample_bitstrings<R: Rng>(state: &StateVec, shots: usize, rng: &mut R) -> Vec<u64> {
-    let mut cdf = Vec::with_capacity(state.dim());
-    let mut acc = 0.0f64;
-    for a in state.amplitudes() {
-        acc += a.norm_sqr();
-        cdf.push(acc);
-    }
-    let total = acc.max(f64::MIN_POSITIVE);
+/// state under an explicit execution policy.
+/// `O(2^n + shots·log 2^n)` via the cumulative table + binary search.
+pub fn sample_bitstrings_with<R: Rng>(
+    state: &StateVec,
+    shots: usize,
+    rng: &mut R,
+    exec: impl Into<ExecPolicy>,
+) -> Vec<u64> {
+    let cdf = cumulative_probabilities(state, exec);
+    let total = cdf.last().copied().unwrap_or(0.0).max(f64::MIN_POSITIVE);
     (0..shots)
         .map(|_| {
             let u: f64 = rng.gen::<f64>() * total;
@@ -41,15 +105,21 @@ pub fn sample_bitstrings<R: Rng>(state: &StateVec, shots: usize, rng: &mut R) ->
         .collect()
 }
 
+/// Draws `shots` bitstring samples with the automatic execution policy.
+pub fn sample_bitstrings<R: Rng>(state: &StateVec, shots: usize, rng: &mut R) -> Vec<u64> {
+    sample_bitstrings_with(state, shots, rng, ExecPolicy::auto())
+}
+
 /// Empirical best-cost estimate from samples: the minimum cost observed
-/// over `shots` draws — the quantity a hardware run reports.
+/// over `shots` draws — the quantity a hardware run reports. Sampling uses
+/// the simulator's configured execution policy.
 pub fn best_sampled_cost<R: Rng>(
     sim: &FurSimulator,
     result: &SimResult,
     shots: usize,
     rng: &mut R,
 ) -> f64 {
-    let samples = sample_bitstrings(result.state(), shots, rng);
+    let samples = sample_bitstrings_with(result.state(), shots, rng, sim.options().exec);
     samples
         .into_iter()
         .map(|x| sim.cost_diagonal().value(x as usize))
@@ -85,7 +155,7 @@ where
         sim.evolve_in_place(&mut state, &[g], &[b]);
         let energy = sim
             .cost_diagonal()
-            .expectation(state.amplitudes(), sim.options().backend);
+            .expectation(state.amplitudes(), sim.options().exec);
         let overlap = sim.cost_diagonal().overlap(state.amplitudes());
         observer(LayerSnapshot {
             layer: l + 1,
@@ -109,7 +179,7 @@ mod tests {
         FurSimulator::with_options(
             &labs_terms(n),
             SimOptions {
-                backend: Backend::Serial,
+                exec: ExecPolicy::serial(),
                 ..SimOptions::default()
             },
         )
@@ -143,6 +213,32 @@ mod tests {
         let s = StateVec::dicke_state(8, 3);
         let mut rng = StdRng::seed_from_u64(3);
         for x in sample_bitstrings(&s, 300, &mut rng) {
+            assert_eq!(x.count_ones(), 3);
+        }
+    }
+
+    #[test]
+    fn parallel_cdf_matches_serial() {
+        let forced = ExecPolicy::rayon().with_min_len(1).with_min_chunk(16);
+        for n in [4usize, 9, 12] {
+            let sim = sim(n);
+            let r = sim.simulate_qaoa(&[0.3], &[0.7]);
+            let serial = cumulative_probabilities(r.state(), Backend::Serial);
+            let parallel = cumulative_probabilities(r.state(), forced);
+            assert_eq!(serial.len(), parallel.len());
+            for (i, (a, b)) in serial.iter().zip(parallel.iter()).enumerate() {
+                assert!((a - b).abs() < 1e-12, "n = {n}, index {i}: {a} vs {b}");
+            }
+            assert!((serial.last().unwrap() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_sampling_matches_distribution() {
+        let forced = ExecPolicy::rayon().with_min_len(1).with_min_chunk(8);
+        let s = StateVec::dicke_state(8, 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        for x in sample_bitstrings_with(&s, 300, &mut rng, forced) {
             assert_eq!(x.count_ones(), 3);
         }
     }

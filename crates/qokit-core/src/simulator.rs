@@ -3,7 +3,7 @@
 
 use crate::mixers::Mixer;
 use qokit_costvec::{CostVec, PrecomputeMethod};
-use qokit_statevec::exec::Backend;
+use qokit_statevec::exec::{Backend, ExecPolicy};
 use qokit_statevec::{StateVec, C64};
 use qokit_terms::SpinPolynomial;
 
@@ -29,8 +29,9 @@ pub enum InitialState {
 pub struct SimOptions {
     /// Mixing operator.
     pub mixer: Mixer,
-    /// Execution backend for every kernel.
-    pub backend: Backend,
+    /// Execution policy for every kernel: backend, worker count, and split
+    /// thresholds. A bare [`Backend`] converts via `.into()`.
+    pub exec: ExecPolicy,
     /// Cost-vector precompute algorithm.
     pub precompute: PrecomputeMethod,
     /// Store the diagonal as `u16` when it fits exactly on an integer grid
@@ -44,7 +45,7 @@ impl Default for SimOptions {
     fn default() -> Self {
         SimOptions {
             mixer: Mixer::X,
-            backend: Backend::auto(),
+            exec: ExecPolicy::auto(),
             precompute: PrecomputeMethod::Fwht,
             quantize_u16: false,
             initial: InitialState::Auto,
@@ -97,7 +98,7 @@ pub trait QaoaSimulator {
     /// The QAOA objective `⟨ψ|Ĉ|ψ⟩` (QOKit's `get_expectation`).
     fn get_expectation(&self, result: &SimResult) -> f64 {
         self.cost_diagonal()
-            .expectation(result.state().amplitudes(), Backend::auto())
+            .expectation(result.state().amplitudes(), ExecPolicy::auto())
     }
 
     /// Ground-state overlap `Σ_{x: c_x = min} |ψ_x|²` (QOKit's
@@ -151,7 +152,7 @@ impl FurSimulator {
     /// precomputed (and optionally quantized) here, at construction — the
     /// "Precompute diagonal" box of Fig. 1.
     pub fn with_options(poly: &SpinPolynomial, options: SimOptions) -> Self {
-        let costs_f64 = qokit_costvec::precompute(poly, options.precompute, options.backend);
+        let costs_f64 = qokit_costvec::precompute(poly, options.precompute, options.exec);
         let costs = if options.quantize_u16 {
             match CostVec::quantize_exact(&costs_f64, 1.0) {
                 Ok(q) => q,
@@ -209,6 +210,10 @@ impl FurSimulator {
 
     /// Applies the `p` QAOA layers to an existing state in place — exposed
     /// so benchmarks can time layers without re-allocating initial states.
+    ///
+    /// Runs under the policy's executor: when [`ExecPolicy::threads`] is
+    /// set, the whole evolution is installed into a pool of that size so
+    /// every kernel splits across exactly those workers.
     pub fn evolve_in_place(&self, state: &mut StateVec, gammas: &[f64], betas: &[f64]) {
         assert_eq!(
             gammas.len(),
@@ -216,14 +221,16 @@ impl FurSimulator {
             "gamma and beta must have the same length p"
         );
         assert_eq!(state.n_qubits(), self.n, "state has wrong qubit count");
-        let backend = self.options.backend;
-        for (&gamma, &beta) in gammas.iter().zip(betas.iter()) {
-            self.costs
-                .apply_phase(state.amplitudes_mut(), gamma, backend);
-            self.options
-                .mixer
-                .apply(state.amplitudes_mut(), beta, backend);
-        }
+        let policy = self.options.exec;
+        policy.install(|| {
+            for (&gamma, &beta) in gammas.iter().zip(betas.iter()) {
+                self.costs
+                    .apply_phase(state.amplitudes_mut(), gamma, policy);
+                self.options
+                    .mixer
+                    .apply(state.amplitudes_mut(), beta, policy);
+            }
+        });
     }
 }
 
@@ -243,8 +250,8 @@ impl QaoaSimulator for FurSimulator {
     }
 
     fn get_expectation(&self, result: &SimResult) -> f64 {
-        self.costs
-            .expectation(result.state().amplitudes(), self.options.backend)
+        let policy = self.options.exec;
+        policy.install(|| self.costs.expectation(result.state().amplitudes(), policy))
     }
 }
 
@@ -267,7 +274,7 @@ pub fn choose_simulator(name: &str) -> Option<SimOptions> {
         _ => return None,
     };
     Some(SimOptions {
-        backend,
+        exec: backend.into(),
         ..SimOptions::default()
     })
 }
@@ -298,7 +305,7 @@ mod tests {
 
     fn serial_options() -> SimOptions {
         SimOptions {
-            backend: Backend::Serial,
+            exec: ExecPolicy::serial(),
             ..SimOptions::default()
         }
     }
@@ -362,7 +369,7 @@ mod tests {
             &poly,
             SimOptions {
                 quantize_u16: true,
-                backend: Backend::Serial,
+                exec: ExecPolicy::serial(),
                 ..SimOptions::default()
             },
         );
@@ -395,7 +402,7 @@ mod tests {
         let rayon = FurSimulator::with_options(
             &poly,
             SimOptions {
-                backend: Backend::Rayon,
+                exec: ExecPolicy::rayon(),
                 ..SimOptions::default()
             },
         );
@@ -463,8 +470,11 @@ mod tests {
     #[test]
     fn choose_simulator_names() {
         assert!(choose_simulator("auto").is_some());
-        assert_eq!(choose_simulator("c").unwrap().backend, Backend::Serial);
-        assert_eq!(choose_simulator("gpu").unwrap().backend, Backend::Rayon);
+        assert_eq!(choose_simulator("c").unwrap().exec.backend, Backend::Serial);
+        assert_eq!(
+            choose_simulator("gpu").unwrap().exec.backend,
+            Backend::Rayon
+        );
         assert!(choose_simulator("fpga").is_none());
         assert_eq!(
             choose_simulator_xyring("auto").unwrap().mixer,

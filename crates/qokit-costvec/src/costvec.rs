@@ -8,7 +8,7 @@
 
 use crate::precompute::{precompute, PrecomputeMethod};
 use qokit_statevec::diag;
-use qokit_statevec::exec::Backend;
+use qokit_statevec::exec::ExecPolicy;
 use qokit_statevec::C64;
 use qokit_terms::SpinPolynomial;
 
@@ -74,9 +74,9 @@ impl CostVec {
     pub fn from_polynomial(
         poly: &SpinPolynomial,
         method: PrecomputeMethod,
-        backend: Backend,
+        exec: impl Into<ExecPolicy>,
     ) -> Self {
-        CostVec::F64(precompute(poly, method, backend))
+        CostVec::F64(precompute(poly, method, exec))
     }
 
     /// Exact `u16` quantization on the integer grid `offset + step·k`:
@@ -178,23 +178,22 @@ impl CostVec {
 
     /// Applies the QAOA phase operator `ψ_x ← e^{-iγ c_x} ψ_x` in place —
     /// the paper's single elementwise product per layer.
-    pub fn apply_phase(&self, amps: &mut [C64], gamma: f64, backend: Backend) {
+    pub fn apply_phase(&self, amps: &mut [C64], gamma: f64, exec: impl Into<ExecPolicy>) {
         match self {
-            CostVec::F64(v) => diag::apply_phase(amps, v, gamma, backend),
-            CostVec::U16 { data, offset, step } => match backend {
-                Backend::Serial => diag::apply_phase_u16_serial(amps, data, *offset, *step, gamma),
-                Backend::Rayon => diag::apply_phase_u16_rayon(amps, data, *offset, *step, gamma),
-            },
+            CostVec::F64(v) => diag::apply_phase(amps, v, gamma, exec),
+            CostVec::U16 { data, offset, step } => {
+                diag::apply_phase_u16(amps, data, *offset, *step, gamma, exec)
+            }
         }
     }
 
     /// The QAOA objective `⟨ψ|Ĉ|ψ⟩ = Σ c_x |ψ_x|²` — the paper's single
     /// inner product.
-    pub fn expectation(&self, amps: &[C64], backend: Backend) -> f64 {
+    pub fn expectation(&self, amps: &[C64], exec: impl Into<ExecPolicy>) -> f64 {
         match self {
-            CostVec::F64(v) => diag::expectation(amps, v, backend),
+            CostVec::F64(v) => diag::expectation(amps, v, exec),
             CostVec::U16 { data, offset, step } => {
-                diag::expectation_u16(amps, data, *offset, *step, backend)
+                diag::expectation_u16(amps, data, *offset, *step, exec)
             }
         }
     }
@@ -251,7 +250,7 @@ impl CostVec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qokit_statevec::StateVec;
+    use qokit_statevec::{Backend, StateVec};
     use qokit_terms::labs::labs_terms;
     use qokit_terms::maxcut::maxcut_polynomial;
     use qokit_terms::Graph;

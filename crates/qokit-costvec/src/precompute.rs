@@ -16,7 +16,7 @@
 //!   `O(n·2^n)` — independent of `|T|`, a large win for LABS where
 //!   `|T| ≈ 87n`. Both algorithms are exact; tests assert they agree.
 
-use qokit_statevec::exec::{Backend, PAR_MIN_CHUNK, PAR_MIN_LEN};
+use qokit_statevec::exec::ExecPolicy;
 use qokit_statevec::fwht::fwht_f64;
 use qokit_terms::SpinPolynomial;
 use rayon::prelude::*;
@@ -46,29 +46,26 @@ pub fn fill_direct_slice(poly: &SpinPolynomial, start: u64, out: &mut [f64]) {
 }
 
 /// Direct-kernel precompute of the full `2^n` cost vector.
-pub fn precompute_direct(poly: &SpinPolynomial, backend: Backend) -> Vec<f64> {
+pub fn precompute_direct(poly: &SpinPolynomial, exec: impl Into<ExecPolicy>) -> Vec<f64> {
+    let policy = exec.into();
     let n = poly.n_vars();
     let dim = 1usize << n;
     let mut out = vec![0.0f64; dim];
-    match backend {
-        Backend::Serial => fill_direct_slice(poly, 0, &mut out),
-        Backend::Rayon => {
-            if dim < PAR_MIN_LEN {
-                fill_direct_slice(poly, 0, &mut out);
-            } else {
-                out.par_chunks_mut(PAR_MIN_CHUNK)
-                    .enumerate()
-                    .for_each(|(ci, chunk)| {
-                        fill_direct_slice(poly, (ci * PAR_MIN_CHUNK) as u64, chunk);
-                    });
-            }
-        }
+    if policy.parallel(dim) {
+        let chunk = policy.min_chunk;
+        policy.install(|| {
+            out.par_chunks_mut(chunk).enumerate().for_each(|(ci, c)| {
+                fill_direct_slice(poly, (ci * chunk) as u64, c);
+            });
+        });
+    } else {
+        fill_direct_slice(poly, 0, &mut out);
     }
     out
 }
 
 /// FWHT-spectrum precompute of the full `2^n` cost vector.
-pub fn precompute_fwht(poly: &SpinPolynomial, backend: Backend) -> Vec<f64> {
+pub fn precompute_fwht(poly: &SpinPolynomial, exec: impl Into<ExecPolicy>) -> Vec<f64> {
     let n = poly.n_vars();
     let dim = 1usize << n;
     let mut out = vec![0.0f64; dim];
@@ -76,38 +73,42 @@ pub fn precompute_fwht(poly: &SpinPolynomial, backend: Backend) -> Vec<f64> {
         // Duplicate masks simply accumulate — no canonicalization needed.
         out[t.mask as usize] += t.weight;
     }
-    fwht_f64(&mut out, backend);
+    fwht_f64(&mut out, exec);
     out
 }
 
 /// Dispatches on [`PrecomputeMethod`].
-pub fn precompute(poly: &SpinPolynomial, method: PrecomputeMethod, backend: Backend) -> Vec<f64> {
+pub fn precompute(
+    poly: &SpinPolynomial,
+    method: PrecomputeMethod,
+    exec: impl Into<ExecPolicy>,
+) -> Vec<f64> {
     match method {
-        PrecomputeMethod::Direct => precompute_direct(poly, backend),
-        PrecomputeMethod::Fwht => precompute_fwht(poly, backend),
+        PrecomputeMethod::Direct => precompute_direct(poly, exec),
+        PrecomputeMethod::Fwht => precompute_fwht(poly, exec),
     }
 }
 
 /// Precomputes from an arbitrary cost closure (`f(bitstring) → cost`), the
 /// analogue of QOKit's Python-lambda input path. Always direct (a closure
 /// has no Walsh spectrum to exploit).
-pub fn precompute_from_fn<F>(n: usize, f: F, backend: Backend) -> Vec<f64>
+pub fn precompute_from_fn<F>(n: usize, f: F, exec: impl Into<ExecPolicy>) -> Vec<f64>
 where
     F: Fn(u64) -> f64 + Sync,
 {
+    let policy = exec.into();
     let dim = 1usize << n;
     let mut out = vec![0.0f64; dim];
-    match backend {
-        Backend::Rayon if dim >= PAR_MIN_LEN => {
+    if policy.parallel(dim) {
+        policy.install(|| {
             out.par_iter_mut()
-                .with_min_len(PAR_MIN_CHUNK)
+                .with_min_len(policy.min_chunk)
                 .enumerate()
                 .for_each(|(x, o)| *o = f(x as u64));
-        }
-        _ => {
-            for (x, o) in out.iter_mut().enumerate() {
-                *o = f(x as u64);
-            }
+        });
+    } else {
+        for (x, o) in out.iter_mut().enumerate() {
+            *o = f(x as u64);
         }
     }
     out
@@ -116,6 +117,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qokit_statevec::exec::Backend;
     use qokit_terms::labs::{labs_terms, sidelobe_energy};
     use qokit_terms::maxcut::maxcut_polynomial;
     use qokit_terms::{Graph, SpinPolynomial, Term};
@@ -184,6 +186,23 @@ mod tests {
         let s_fwht = precompute_fwht(&poly, Backend::Serial);
         let p_fwht = precompute_fwht(&poly, Backend::Rayon);
         for (a, b) in s_fwht.iter().zip(p_fwht.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forced_parallel_matches_serial_small() {
+        // Engage the parallel path on a small instance regardless of the
+        // machine's default thresholds.
+        let forced = ExecPolicy::rayon().with_min_len(1).with_min_chunk(8);
+        let poly = random_poly(9, 20, 13);
+        assert_eq!(
+            precompute_direct(&poly, Backend::Serial),
+            precompute_direct(&poly, forced),
+        );
+        let s = precompute_fwht(&poly, Backend::Serial);
+        let p = precompute_fwht(&poly, forced);
+        for (a, b) in s.iter().zip(p.iter()) {
             assert!((a - b).abs() < 1e-9);
         }
     }

@@ -283,7 +283,7 @@ mod tests {
         FurSimulator::with_options(
             poly,
             SimOptions {
-                backend: Backend::Serial,
+                exec: Backend::Serial.into(),
                 ..SimOptions::default()
             },
         )

@@ -1,7 +1,7 @@
 //! Gate-list circuits and their execution.
 
 use crate::gate::Gate;
-use qokit_statevec::exec::Backend;
+use qokit_statevec::exec::ExecPolicy;
 use qokit_statevec::StateVec;
 
 /// A quantum circuit: an ordered gate list on `n` qubits.
@@ -75,17 +75,18 @@ impl Circuit {
 
     /// Executes the circuit on a state in place, one sweep per gate — the
     /// defining cost model of a gate-based state-vector simulator.
-    pub fn apply(&self, state: &mut StateVec, backend: Backend) {
+    pub fn apply(&self, state: &mut StateVec, exec: impl Into<ExecPolicy>) {
         assert_eq!(state.n_qubits(), self.n, "state has wrong qubit count");
+        let policy = exec.into();
         for g in &self.gates {
-            g.apply(state.amplitudes_mut(), backend);
+            g.apply(state.amplitudes_mut(), policy);
         }
     }
 
     /// Runs the circuit from `|0…0⟩`.
-    pub fn run(&self, backend: Backend) -> StateVec {
+    pub fn run(&self, exec: impl Into<ExecPolicy>) -> StateVec {
         let mut s = StateVec::zero_state(self.n);
-        self.apply(&mut s, backend);
+        self.apply(&mut s, exec);
         s
     }
 
@@ -130,7 +131,7 @@ mod tests {
         let mut c = Circuit::new(2);
         c.push(Gate::H(0));
         c.push(Gate::Cx(0, 1));
-        let s = c.run(Backend::Serial);
+        let s = c.run(ExecPolicy::serial());
         let h = std::f64::consts::FRAC_1_SQRT_2;
         assert!(s.amplitudes()[0b00].approx_eq(C64::from_re(h), 1e-12));
         assert!(s.amplitudes()[0b11].approx_eq(C64::from_re(h), 1e-12));
@@ -178,7 +179,7 @@ mod tests {
     fn hh_is_identity() {
         let mut c = Circuit::new(3);
         c.extend([Gate::H(1), Gate::H(1)]);
-        let s = c.run(Backend::Serial);
+        let s = c.run(ExecPolicy::serial());
         assert!(s.amplitudes()[0].approx_eq(C64::ONE, 1e-12));
     }
 }

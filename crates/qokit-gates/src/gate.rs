@@ -12,7 +12,7 @@
 //! `Rx(θ) = e^{-i(θ/2)X}`, `Rzz(θ) = e^{-i(θ/2)Z⊗Z}`, and
 //! `MultiZRot(mask, θ) = e^{-i(θ/2)Z^{⊗k}}` on the qubits in `mask`.
 
-use qokit_statevec::exec::{Backend, PAR_MIN_CHUNK, PAR_MIN_LEN};
+use qokit_statevec::exec::ExecPolicy;
 use qokit_statevec::matrices::{Mat2, Mat4};
 use qokit_statevec::su2::apply_mat2;
 use qokit_statevec::su4::{apply_mat4, for_each_base};
@@ -90,35 +90,38 @@ impl Gate {
     }
 
     /// Applies the gate to the state in one sweep.
-    pub fn apply(&self, amps: &mut [C64], backend: Backend) {
+    pub fn apply(&self, amps: &mut [C64], exec: impl Into<ExecPolicy>) {
+        let policy = exec.into();
         match *self {
-            Gate::H(q) => apply_mat2(amps, q, &Mat2::hadamard(), backend),
-            Gate::X(q) => apply_mat2(amps, q, &Mat2::pauli_x(), backend),
-            Gate::Rx(q, theta) => apply_mat2(amps, q, &Mat2::rx(theta / 2.0), backend),
-            Gate::Ry(q, theta) => apply_mat2(amps, q, &Mat2::ry(theta / 2.0), backend),
+            Gate::H(q) => apply_mat2(amps, q, &Mat2::hadamard(), policy),
+            Gate::X(q) => apply_mat2(amps, q, &Mat2::pauli_x(), policy),
+            Gate::Rx(q, theta) => apply_mat2(amps, q, &Mat2::rx(theta / 2.0), policy),
+            Gate::Ry(q, theta) => apply_mat2(amps, q, &Mat2::ry(theta / 2.0), policy),
             Gate::Rz(q, theta) => apply_diag_1q(
                 amps,
                 q,
                 C64::cis(-theta / 2.0),
                 C64::cis(theta / 2.0),
-                backend,
+                policy,
             ),
-            Gate::Phase(q, phi) => apply_diag_1q(amps, q, C64::ONE, C64::cis(phi), backend),
-            Gate::Cx(c, t) => apply_cx(amps, c, t, backend),
+            Gate::Phase(q, phi) => apply_diag_1q(amps, q, C64::ONE, C64::cis(phi), policy),
+            Gate::Cx(c, t) => apply_cx(amps, c, t, policy),
             Gate::Rzz(a, b, theta) => {
-                apply_parity_phase(amps, (1u64 << a) | (1u64 << b), theta, backend)
+                apply_parity_phase(amps, (1u64 << a) | (1u64 << b), theta, policy)
             }
-            Gate::MultiZRot(mask, theta) => apply_parity_phase(amps, mask, theta, backend),
-            Gate::U1(q, ref u) => apply_mat2(amps, q, u, backend),
-            Gate::U2(a, b, ref u) => apply_mat4(amps, a, b, u, backend),
+            Gate::MultiZRot(mask, theta) => apply_parity_phase(amps, mask, theta, policy),
+            Gate::U1(q, ref u) => apply_mat2(amps, q, u, policy),
+            Gate::U2(a, b, ref u) => apply_mat4(amps, a, b, u, policy),
             Gate::GlobalPhase(phi) => {
                 let f = C64::cis(phi);
-                match backend {
-                    Backend::Serial => amps.iter_mut().for_each(|a| *a *= f),
-                    Backend::Rayon => amps
-                        .par_iter_mut()
-                        .with_min_len(PAR_MIN_CHUNK)
-                        .for_each(|a| *a *= f),
+                if policy.parallel(amps.len()) {
+                    policy.install(|| {
+                        amps.par_iter_mut()
+                            .with_min_len(policy.min_chunk)
+                            .for_each(|a| *a *= f);
+                    });
+                } else {
+                    amps.iter_mut().for_each(|a| *a *= f);
                 }
             }
         }
@@ -127,7 +130,8 @@ impl Gate {
 
 /// Diagonal single-qubit gate `diag(d0, d1)` on qubit `q`: phases only, no
 /// amplitude mixing.
-pub fn apply_diag_1q(amps: &mut [C64], q: usize, d0: C64, d1: C64, backend: Backend) {
+pub fn apply_diag_1q(amps: &mut [C64], q: usize, d0: C64, d1: C64, exec: impl Into<ExecPolicy>) {
+    let policy = exec.into();
     let stride = 1usize << q;
     let block = stride * 2;
     debug_assert!(block <= amps.len(), "qubit {q} out of range");
@@ -142,18 +146,18 @@ pub fn apply_diag_1q(amps: &mut [C64], q: usize, d0: C64, d1: C64, backend: Back
             }
         }
     };
-    match backend {
-        Backend::Rayon if amps.len() >= PAR_MIN_LEN && block < amps.len() => {
-            let chunk = qokit_statevec::exec::par_chunk_len(amps.len(), block);
-            amps.par_chunks_mut(chunk).for_each(sweep);
-        }
-        _ => sweep(amps),
+    if policy.parallel(amps.len()) && block < amps.len() {
+        let chunk = policy.chunk_len(amps.len(), block);
+        policy.install(|| amps.par_chunks_mut(chunk).for_each(sweep));
+    } else {
+        sweep(amps);
     }
 }
 
 /// CNOT kernel: swaps `|…c=1…t=0…⟩ ↔ |…c=1…t=1…⟩` pairs — a permutation,
 /// no arithmetic.
-pub fn apply_cx(amps: &mut [C64], control: usize, target: usize, backend: Backend) {
+pub fn apply_cx(amps: &mut [C64], control: usize, target: usize, exec: impl Into<ExecPolicy>) {
+    let policy = exec.into();
     assert_ne!(control, target, "CX needs distinct qubits");
     let (ql, qh) = (control.min(target), control.max(target));
     assert!(1usize << (qh + 1) <= amps.len(), "qubit {qh} out of range");
@@ -166,38 +170,34 @@ pub fn apply_cx(amps: &mut [C64], control: usize, target: usize, backend: Backen
             chunk.swap(base | cm, base | cm | tm);
         });
     };
-    match backend {
-        Backend::Rayon if len >= PAR_MIN_LEN && block < len => {
-            let chunk = qokit_statevec::exec::par_chunk_len(len, block);
-            amps.par_chunks_mut(chunk).for_each(run);
-        }
-        _ => run(amps),
+    if policy.parallel(len) && block < len {
+        let chunk = policy.chunk_len(len, block);
+        policy.install(|| amps.par_chunks_mut(chunk).for_each(run));
+    } else {
+        run(amps);
     }
 }
 
 /// Parity-phase kernel for `e^{-i(θ/2)Z^{⊗k}}`:
 /// `ψ_x ← e^{∓i θ/2} ψ_x` with the sign given by `popcount(x & mask)`.
-pub fn apply_parity_phase(amps: &mut [C64], mask: u64, theta: f64, backend: Backend) {
+pub fn apply_parity_phase(amps: &mut [C64], mask: u64, theta: f64, exec: impl Into<ExecPolicy>) {
+    let policy = exec.into();
     let plus = C64::cis(-theta / 2.0); // even parity
     let minus = C64::cis(theta / 2.0); // odd parity
-    match backend {
-        Backend::Serial => {
-            for (x, a) in amps.iter_mut().enumerate() {
-                let odd = (x as u64 & mask).count_ones() & 1 == 1;
-                *a *= if odd { minus } else { plus };
-            }
-        }
-        Backend::Rayon => {
-            if amps.len() < PAR_MIN_LEN {
-                return apply_parity_phase(amps, mask, theta, Backend::Serial);
-            }
+    if policy.parallel(amps.len()) {
+        policy.install(|| {
             amps.par_iter_mut()
-                .with_min_len(PAR_MIN_CHUNK)
+                .with_min_len(policy.min_chunk)
                 .enumerate()
                 .for_each(|(x, a)| {
                     let odd = (x as u64 & mask).count_ones() & 1 == 1;
                     *a *= if odd { minus } else { plus };
                 });
+        });
+    } else {
+        for (x, a) in amps.iter_mut().enumerate() {
+            let odd = (x as u64 & mask).count_ones() & 1 == 1;
+            *a *= if odd { minus } else { plus };
         }
     }
 }
@@ -206,7 +206,7 @@ pub fn apply_parity_phase(amps: &mut [C64], mask: u64, theta: f64, backend: Back
 mod tests {
     use super::*;
     use qokit_statevec::reference;
-    use qokit_statevec::StateVec;
+    use qokit_statevec::{Backend, StateVec};
 
     fn random_state(n: usize, seed: u64) -> StateVec {
         let mut s = seed;

@@ -14,7 +14,7 @@
 use crate::circuit::Circuit;
 use crate::compile::{compile_mixer, compile_phase, CompiledMixer, PhaseStyle};
 use crate::fusion::fuse_2q;
-use qokit_statevec::exec::{Backend, PAR_MIN_CHUNK, PAR_MIN_LEN};
+use qokit_statevec::exec::ExecPolicy;
 use qokit_statevec::StateVec;
 use qokit_terms::SpinPolynomial;
 use rayon::prelude::*;
@@ -26,8 +26,8 @@ pub struct GateSimOptions {
     pub style: PhaseStyle,
     /// Mixer compilation.
     pub mixer: CompiledMixer,
-    /// Execution backend.
-    pub backend: Backend,
+    /// Execution policy (backend + split thresholds).
+    pub exec: ExecPolicy,
     /// Apply greedy F=2 fusion before executing each layer.
     pub fuse: bool,
 }
@@ -37,7 +37,7 @@ impl Default for GateSimOptions {
         GateSimOptions {
             style: PhaseStyle::DecomposedCx,
             mixer: CompiledMixer::X,
-            backend: Backend::auto(),
+            exec: ExecPolicy::auto(),
             fuse: false,
         }
     }
@@ -89,7 +89,7 @@ impl GateSimulator {
             gates
         };
         for g in &gates {
-            g.apply(state.amplitudes_mut(), self.options.backend);
+            g.apply(state.amplitudes_mut(), self.options.exec);
         }
     }
 
@@ -124,18 +124,20 @@ impl GateSimulator {
     pub fn expectation(&self, state: &StateVec) -> f64 {
         let amps = state.amplitudes();
         let poly = &self.poly;
-        match self.options.backend {
-            Backend::Rayon if amps.len() >= PAR_MIN_LEN => amps
-                .par_iter()
-                .with_min_len(PAR_MIN_CHUNK)
+        let policy = self.options.exec;
+        if policy.parallel(amps.len()) {
+            policy.install(|| {
+                amps.par_iter()
+                    .with_min_len(policy.min_chunk)
+                    .enumerate()
+                    .map(|(x, a)| poly.evaluate_bits(x as u64) * a.norm_sqr())
+                    .sum()
+            })
+        } else {
+            amps.iter()
                 .enumerate()
                 .map(|(x, a)| poly.evaluate_bits(x as u64) * a.norm_sqr())
-                .sum(),
-            _ => amps
-                .iter()
-                .enumerate()
-                .map(|(x, a)| poly.evaluate_bits(x as u64) * a.norm_sqr())
-                .sum(),
+                .sum()
         }
     }
 
@@ -158,7 +160,7 @@ mod tests {
         GateSimOptions {
             style,
             mixer: CompiledMixer::X,
-            backend: Backend::Serial,
+            exec: ExecPolicy::serial(),
             fuse,
         }
     }
@@ -232,14 +234,14 @@ mod tests {
         let a = GateSimulator::new(
             poly.clone(),
             GateSimOptions {
-                backend: Backend::Serial,
+                exec: ExecPolicy::serial(),
                 ..GateSimOptions::default()
             },
         );
         let b = GateSimulator::new(
             poly,
             GateSimOptions {
-                backend: Backend::Rayon,
+                exec: ExecPolicy::rayon(),
                 ..GateSimOptions::default()
             },
         );

@@ -10,9 +10,12 @@
 //! on the quantized cost vector of §V-B of the paper (`value = offset +
 //! scale·q`), decoding on the fly so the 2-byte representation never
 //! inflates to 8 bytes in memory.
+//!
+//! Every dispatcher takes `impl Into<ExecPolicy>`; parallel sweeps split by
+//! the policy's chunking thresholds.
 
 use crate::complex::C64;
-use crate::exec::{Backend, PAR_MIN_CHUNK, PAR_MIN_LEN};
+use crate::exec::ExecPolicy;
 use rayon::prelude::*;
 
 /// Serial phase operator: `ψ_k ← e^{-iγ c_k} ψ_k`.
@@ -26,24 +29,25 @@ pub fn apply_phase_serial(amps: &mut [C64], costs: &[f64], gamma: f64) {
     }
 }
 
-/// Rayon-parallel phase operator.
+/// Pool-parallel phase operator with default thresholds.
 pub fn apply_phase_rayon(amps: &mut [C64], costs: &[f64], gamma: f64) {
-    assert_eq!(amps.len(), costs.len(), "cost vector length mismatch");
-    if amps.len() < PAR_MIN_LEN {
-        return apply_phase_serial(amps, costs, gamma);
-    }
-    amps.par_iter_mut()
-        .with_min_len(PAR_MIN_CHUNK)
-        .zip(costs.par_iter().with_min_len(PAR_MIN_CHUNK))
-        .for_each(|(a, &c)| *a *= C64::cis(-gamma * c));
+    apply_phase(amps, costs, gamma, ExecPolicy::rayon());
 }
 
-/// Backend-dispatched phase operator.
+/// Policy-dispatched phase operator.
 #[inline]
-pub fn apply_phase(amps: &mut [C64], costs: &[f64], gamma: f64, backend: Backend) {
-    match backend {
-        Backend::Serial => apply_phase_serial(amps, costs, gamma),
-        Backend::Rayon => apply_phase_rayon(amps, costs, gamma),
+pub fn apply_phase(amps: &mut [C64], costs: &[f64], gamma: f64, exec: impl Into<ExecPolicy>) {
+    assert_eq!(amps.len(), costs.len(), "cost vector length mismatch");
+    let policy = exec.into();
+    if policy.parallel(amps.len()) {
+        policy.install(|| {
+            amps.par_iter_mut()
+                .with_min_len(policy.min_chunk)
+                .zip(costs.par_iter().with_min_len(policy.min_chunk))
+                .for_each(|(a, &c)| *a *= C64::cis(-gamma * c));
+        });
+    } else {
+        apply_phase_serial(amps, costs, gamma);
     }
 }
 
@@ -62,35 +66,49 @@ pub fn apply_phase_u16_serial(
     }
 }
 
-/// Rayon-parallel phase operator over a quantized `u16` cost vector.
+/// Pool-parallel phase operator over a quantized `u16` cost vector with
+/// default thresholds.
 pub fn apply_phase_u16_rayon(amps: &mut [C64], costs: &[u16], offset: f64, scale: f64, gamma: f64) {
+    apply_phase_u16(amps, costs, offset, scale, gamma, ExecPolicy::rayon());
+}
+
+/// Policy-dispatched phase operator over a quantized `u16` cost vector.
+pub fn apply_phase_u16(
+    amps: &mut [C64],
+    costs: &[u16],
+    offset: f64,
+    scale: f64,
+    gamma: f64,
+    exec: impl Into<ExecPolicy>,
+) {
     assert_eq!(amps.len(), costs.len(), "cost vector length mismatch");
-    if amps.len() < PAR_MIN_LEN {
-        return apply_phase_u16_serial(amps, costs, offset, scale, gamma);
+    let policy = exec.into();
+    if policy.parallel(amps.len()) {
+        policy.install(|| {
+            amps.par_iter_mut()
+                .with_min_len(policy.min_chunk)
+                .zip(costs.par_iter().with_min_len(policy.min_chunk))
+                .for_each(|(a, &q)| *a *= C64::cis(-gamma * (offset + scale * q as f64)));
+        });
+    } else {
+        apply_phase_u16_serial(amps, costs, offset, scale, gamma);
     }
-    amps.par_iter_mut()
-        .with_min_len(PAR_MIN_CHUNK)
-        .zip(costs.par_iter().with_min_len(PAR_MIN_CHUNK))
-        .for_each(|(a, &q)| *a *= C64::cis(-gamma * (offset + scale * q as f64)));
 }
 
 /// Applies an arbitrary complex diagonal: `ψ_k ← d_k ψ_k`.
-pub fn apply_diagonal(amps: &mut [C64], diag: &[C64], backend: Backend) {
+pub fn apply_diagonal(amps: &mut [C64], diag: &[C64], exec: impl Into<ExecPolicy>) {
     assert_eq!(amps.len(), diag.len(), "diagonal length mismatch");
-    match backend {
-        Backend::Serial => {
-            for (a, d) in amps.iter_mut().zip(diag.iter()) {
-                *a *= *d;
-            }
-        }
-        Backend::Rayon => {
-            if amps.len() < PAR_MIN_LEN {
-                return apply_diagonal(amps, diag, Backend::Serial);
-            }
+    let policy = exec.into();
+    if policy.parallel(amps.len()) {
+        policy.install(|| {
             amps.par_iter_mut()
-                .with_min_len(PAR_MIN_CHUNK)
-                .zip(diag.par_iter().with_min_len(PAR_MIN_CHUNK))
+                .with_min_len(policy.min_chunk)
+                .zip(diag.par_iter().with_min_len(policy.min_chunk))
                 .for_each(|(a, d)| *a *= *d);
+        });
+    } else {
+        for (a, d) in amps.iter_mut().zip(diag.iter()) {
+            *a *= *d;
         }
     }
 }
@@ -104,25 +122,26 @@ pub fn expectation_serial(amps: &[C64], costs: &[f64]) -> f64 {
         .sum()
 }
 
-/// Rayon-parallel objective.
+/// Pool-parallel objective with default thresholds.
 pub fn expectation_rayon(amps: &[C64], costs: &[f64]) -> f64 {
-    assert_eq!(amps.len(), costs.len(), "cost vector length mismatch");
-    if amps.len() < PAR_MIN_LEN {
-        return expectation_serial(amps, costs);
-    }
-    amps.par_iter()
-        .with_min_len(PAR_MIN_CHUNK)
-        .zip(costs.par_iter().with_min_len(PAR_MIN_CHUNK))
-        .map(|(a, &c)| c * a.norm_sqr())
-        .sum()
+    expectation(amps, costs, ExecPolicy::rayon())
 }
 
-/// Backend-dispatched objective.
+/// Policy-dispatched objective.
 #[inline]
-pub fn expectation(amps: &[C64], costs: &[f64], backend: Backend) -> f64 {
-    match backend {
-        Backend::Serial => expectation_serial(amps, costs),
-        Backend::Rayon => expectation_rayon(amps, costs),
+pub fn expectation(amps: &[C64], costs: &[f64], exec: impl Into<ExecPolicy>) -> f64 {
+    assert_eq!(amps.len(), costs.len(), "cost vector length mismatch");
+    let policy = exec.into();
+    if policy.parallel(amps.len()) {
+        policy.install(|| {
+            amps.par_iter()
+                .with_min_len(policy.min_chunk)
+                .zip(costs.par_iter().with_min_len(policy.min_chunk))
+                .map(|(a, &c)| c * a.norm_sqr())
+                .sum()
+        })
+    } else {
+        expectation_serial(amps, costs)
     }
 }
 
@@ -132,30 +151,37 @@ pub fn expectation_u16(
     costs: &[u16],
     offset: f64,
     scale: f64,
-    backend: Backend,
+    exec: impl Into<ExecPolicy>,
 ) -> f64 {
     assert_eq!(amps.len(), costs.len(), "cost vector length mismatch");
-    let raw: f64 = match backend {
-        Backend::Serial => amps
-            .iter()
-            .zip(costs.iter())
-            .map(|(a, &q)| q as f64 * a.norm_sqr())
-            .sum(),
-        Backend::Rayon => {
-            if amps.len() < PAR_MIN_LEN {
-                return expectation_u16(amps, costs, offset, scale, Backend::Serial);
-            }
-            amps.par_iter()
-                .with_min_len(PAR_MIN_CHUNK)
-                .zip(costs.par_iter().with_min_len(PAR_MIN_CHUNK))
-                .map(|(a, &q)| q as f64 * a.norm_sqr())
-                .sum()
-        }
-    };
+    let policy = exec.into();
     // Σ (offset + scale·q)|ψ|² = offset·‖ψ‖² + scale·Σ q|ψ|². Using the
     // actual norm (not assuming 1) keeps the identity exact for unnormalized
     // test vectors.
-    let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+    let (raw, norm): (f64, f64) = if policy.parallel(amps.len()) {
+        policy.install(|| {
+            let raw = amps
+                .par_iter()
+                .with_min_len(policy.min_chunk)
+                .zip(costs.par_iter().with_min_len(policy.min_chunk))
+                .map(|(a, &q)| q as f64 * a.norm_sqr())
+                .sum();
+            let norm = amps
+                .par_iter()
+                .with_min_len(policy.min_chunk)
+                .map(|a| a.norm_sqr())
+                .sum();
+            (raw, norm)
+        })
+    } else {
+        (
+            amps.iter()
+                .zip(costs.iter())
+                .map(|(a, &q)| q as f64 * a.norm_sqr())
+                .sum(),
+            amps.iter().map(|a| a.norm_sqr()).sum(),
+        )
+    };
     offset * norm + scale * raw
 }
 
@@ -168,6 +194,7 @@ pub fn probability_mass(amps: &[C64], indices: &[usize]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::Backend;
     use crate::reference;
     use crate::state::StateVec;
 
@@ -197,6 +224,19 @@ mod tests {
         apply_phase_serial(a.amplitudes_mut(), &costs, 1.3);
         apply_phase_rayon(b.amplitudes_mut(), &costs, 1.3);
         assert!(a.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn phase_forced_parallel_matches_serial_small() {
+        let forced = ExecPolicy::rayon().with_min_len(1).with_min_chunk(2);
+        let n = 7;
+        let mut a = StateVec::uniform_superposition(n);
+        let mut b = a.clone();
+        let costs = ramp_costs(a.dim());
+        apply_phase_serial(a.amplitudes_mut(), &costs, 1.3);
+        apply_phase(b.amplitudes_mut(), &costs, 1.3, forced);
+        // Elementwise kernels are bit-identical regardless of the split.
+        assert!(a.max_abs_diff(&b) == 0.0);
     }
 
     #[test]
@@ -240,6 +280,8 @@ mod tests {
         let expect = reference::expectation_reference(s.amplitudes(), &costs);
         assert!((expectation_serial(s.amplitudes(), &costs) - expect).abs() < 1e-12);
         assert!((expectation_rayon(s.amplitudes(), &costs) - expect).abs() < 1e-12);
+        let forced = ExecPolicy::rayon().with_min_len(1).with_min_chunk(2);
+        assert!((expectation(s.amplitudes(), &costs, forced) - expect).abs() < 1e-12);
     }
 
     #[test]
@@ -261,6 +303,9 @@ mod tests {
         assert!((e_f - e_q).abs() < 1e-10);
         let e_qr = expectation_u16(s.amplitudes(), &costs_q, -2.0, 0.5, Backend::Rayon);
         assert!((e_f - e_qr).abs() < 1e-10);
+        let forced = ExecPolicy::rayon().with_min_len(1).with_min_chunk(2);
+        let e_qf = expectation_u16(s.amplitudes(), &costs_q, -2.0, 0.5, forced);
+        assert!((e_f - e_qf).abs() < 1e-10);
     }
 
     #[test]

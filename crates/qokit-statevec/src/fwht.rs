@@ -15,10 +15,29 @@
 //!    an inverse transform, and an extra state copy. We implement that
 //!    approach too (`apply_x_mixer_fwht*`) so the comparison can be
 //!    benchmarked (`abl_fwht`).
+//!
+//! Every entry point takes `impl Into<ExecPolicy>`, so both a bare
+//! [`Backend`](crate::exec::Backend) and a tuned [`ExecPolicy`] select the
+//! executor and split sizes.
 
 use crate::complex::C64;
-use crate::exec::{par_chunk_len, Backend, PAR_MIN_LEN};
+use crate::exec::ExecPolicy;
 use rayon::prelude::*;
+
+/// One serial butterfly pass at the given stride:
+/// `(x0, x1) ← (x0 + x1, x0 − x1)` over every pair.
+#[inline]
+fn butterfly_pass_serial(amps: &mut [C64], stride: usize) {
+    for block in amps.chunks_exact_mut(stride * 2) {
+        let (lo, hi) = block.split_at_mut(stride);
+        for (l, h) in lo.iter_mut().zip(hi.iter_mut()) {
+            let x0 = *l;
+            let x1 = *h;
+            *l = x0 + x1;
+            *h = x0 - x1;
+        }
+    }
+}
 
 /// In-place unnormalized FWHT of a complex vector: applies the butterfly
 /// `(x0, x1) ← (x0 + x1, x0 − x1)` over every bit. Self-inverse up to a
@@ -28,25 +47,14 @@ pub fn fwht_serial(amps: &mut [C64]) {
     debug_assert!(len.is_power_of_two());
     let mut stride = 1usize;
     while stride < len {
-        for block in amps.chunks_exact_mut(stride * 2) {
-            let (lo, hi) = block.split_at_mut(stride);
-            for (l, h) in lo.iter_mut().zip(hi.iter_mut()) {
-                let x0 = *l;
-                let x1 = *h;
-                *l = x0 + x1;
-                *h = x0 - x1;
-            }
-        }
+        butterfly_pass_serial(amps, stride);
         stride <<= 1;
     }
 }
 
-/// Rayon-parallel unnormalized FWHT.
-pub fn fwht_rayon(amps: &mut [C64]) {
+/// Parallel unnormalized FWHT splitting by `policy`.
+fn fwht_parallel(amps: &mut [C64], policy: &ExecPolicy) {
     let len = amps.len();
-    if len < PAR_MIN_LEN {
-        return fwht_serial(amps);
-    }
     debug_assert!(len.is_power_of_two());
     let mut stride = 1usize;
     while stride < len {
@@ -55,7 +63,7 @@ pub fn fwht_rayon(amps: &mut [C64]) {
             let (lo, hi) = amps.split_at_mut(stride);
             lo.par_iter_mut()
                 .zip(hi.par_iter_mut())
-                .with_min_len(crate::exec::PAR_MIN_CHUNK)
+                .with_min_len(policy.min_chunk)
                 .for_each(|(l, h)| {
                     let x0 = *l;
                     let x1 = *h;
@@ -63,16 +71,10 @@ pub fn fwht_rayon(amps: &mut [C64]) {
                     *h = x0 - x1;
                 });
         } else {
-            let chunk = par_chunk_len(len, block);
+            let chunk = policy.chunk_len(len, block);
             amps.par_chunks_mut(chunk).for_each(|c| {
                 for b in c.chunks_exact_mut(block) {
-                    let (lo, hi) = b.split_at_mut(stride);
-                    for (l, h) in lo.iter_mut().zip(hi.iter_mut()) {
-                        let x0 = *l;
-                        let x1 = *h;
-                        *l = x0 + x1;
-                        *h = x0 - x1;
-                    }
+                    butterfly_pass_serial(b, stride);
                 }
             });
         }
@@ -80,66 +82,81 @@ pub fn fwht_rayon(amps: &mut [C64]) {
     }
 }
 
-/// Backend-dispatched unnormalized FWHT.
+/// Pool-parallel unnormalized FWHT with default thresholds (falls back to
+/// the serial sweep below [`crate::exec::PAR_MIN_LEN`]).
+pub fn fwht_rayon(amps: &mut [C64]) {
+    fwht(amps, ExecPolicy::rayon());
+}
+
+/// Policy-dispatched unnormalized FWHT.
 #[inline]
-pub fn fwht(amps: &mut [C64], backend: Backend) {
-    match backend {
-        Backend::Serial => fwht_serial(amps),
-        Backend::Rayon => fwht_rayon(amps),
+pub fn fwht(amps: &mut [C64], exec: impl Into<ExecPolicy>) {
+    let policy = exec.into();
+    if policy.parallel(amps.len()) {
+        policy.install(|| fwht_parallel(amps, &policy));
+    } else {
+        fwht_serial(amps);
+    }
+}
+
+/// One serial butterfly pass of the real-vector transform.
+#[inline]
+fn butterfly_pass_serial_f64(vals: &mut [f64], stride: usize) {
+    for block in vals.chunks_exact_mut(stride * 2) {
+        let (lo, hi) = block.split_at_mut(stride);
+        for (l, h) in lo.iter_mut().zip(hi.iter_mut()) {
+            let x0 = *l;
+            let x1 = *h;
+            *l = x0 + x1;
+            *h = x0 - x1;
+        }
+    }
+}
+
+/// Parallel real-vector FWHT splitting by `policy`.
+fn fwht_f64_parallel(vals: &mut [f64], policy: &ExecPolicy) {
+    let len = vals.len();
+    let mut stride = 1usize;
+    while stride < len {
+        let block = stride * 2;
+        if block >= len {
+            let (lo, hi) = vals.split_at_mut(stride);
+            lo.par_iter_mut()
+                .zip(hi.par_iter_mut())
+                .with_min_len(policy.min_chunk)
+                .for_each(|(l, h)| {
+                    let x0 = *l;
+                    let x1 = *h;
+                    *l = x0 + x1;
+                    *h = x0 - x1;
+                });
+        } else {
+            let chunk = policy.chunk_len(len, block);
+            vals.par_chunks_mut(chunk).for_each(|c| {
+                for b in c.chunks_exact_mut(block) {
+                    butterfly_pass_serial_f64(b, stride);
+                }
+            });
+        }
+        stride <<= 1;
     }
 }
 
 /// In-place unnormalized FWHT of a **real** vector — the form used by the
 /// cost-vector precompute, where both the sparse spectrum and the result
 /// are real.
-pub fn fwht_f64(vals: &mut [f64], backend: Backend) {
+pub fn fwht_f64(vals: &mut [f64], exec: impl Into<ExecPolicy>) {
     let len = vals.len();
     debug_assert!(len.is_power_of_two());
-    let serial_pass = |vals: &mut [f64], stride: usize| {
-        for block in vals.chunks_exact_mut(stride * 2) {
-            let (lo, hi) = block.split_at_mut(stride);
-            for (l, h) in lo.iter_mut().zip(hi.iter_mut()) {
-                let x0 = *l;
-                let x1 = *h;
-                *l = x0 + x1;
-                *h = x0 - x1;
-            }
+    let policy = exec.into();
+    if policy.parallel(len) {
+        policy.install(|| fwht_f64_parallel(vals, &policy));
+    } else {
+        let mut stride = 1usize;
+        while stride < len {
+            butterfly_pass_serial_f64(vals, stride);
+            stride <<= 1;
         }
-    };
-    let mut stride = 1usize;
-    while stride < len {
-        match backend {
-            Backend::Rayon if len >= PAR_MIN_LEN => {
-                let block = stride * 2;
-                if block >= len {
-                    let (lo, hi) = vals.split_at_mut(stride);
-                    lo.par_iter_mut()
-                        .zip(hi.par_iter_mut())
-                        .with_min_len(crate::exec::PAR_MIN_CHUNK)
-                        .for_each(|(l, h)| {
-                            let x0 = *l;
-                            let x1 = *h;
-                            *l = x0 + x1;
-                            *h = x0 - x1;
-                        });
-                } else {
-                    let chunk = par_chunk_len(len, block);
-                    vals.par_chunks_mut(chunk).for_each(|c| {
-                        for b in c.chunks_exact_mut(block) {
-                            let (lo, hi) = b.split_at_mut(stride);
-                            for (l, h) in lo.iter_mut().zip(hi.iter_mut()) {
-                                let x0 = *l;
-                                let x1 = *h;
-                                *l = x0 + x1;
-                                *h = x0 - x1;
-                            }
-                        }
-                    });
-                }
-            }
-            _ => serial_pass(vals, stride),
-        }
-        stride <<= 1;
     }
 }
 
@@ -149,44 +166,47 @@ pub fn fwht_f64(vals: &mut [f64], backend: Backend) {
 /// Costs two full FWHT passes plus a diagonal pass — versus one butterfly
 /// pass for Algorithm 2. The `1/N` normalization of the double transform is
 /// folded into the diagonal.
-pub fn apply_x_mixer_fwht_inplace(amps: &mut [C64], beta: f64, backend: Backend) {
-    let len = amps.len();
-    let n = len.trailing_zeros() as i32;
-    fwht(amps, backend);
-    let inv_n = 1.0 / len as f64;
-    let diag_at = |x: usize| {
-        let z = n - 2 * (x.count_ones() as i32);
-        C64::cis(-beta * z as f64).scale(inv_n)
-    };
-    match backend {
-        Backend::Serial => {
+pub fn apply_x_mixer_fwht_inplace(amps: &mut [C64], beta: f64, exec: impl Into<ExecPolicy>) {
+    let policy = exec.into();
+    // One install for the whole sandwich; the inner fwht calls run inline
+    // on the already-entered pool.
+    policy.install(|| {
+        let len = amps.len();
+        let n = len.trailing_zeros() as i32;
+        fwht(amps, policy);
+        let inv_n = 1.0 / len as f64;
+        let diag_at = |x: usize| {
+            let z = n - 2 * (x.count_ones() as i32);
+            C64::cis(-beta * z as f64).scale(inv_n)
+        };
+        if policy.parallel(len) {
+            amps.par_iter_mut()
+                .with_min_len(policy.min_chunk)
+                .enumerate()
+                .for_each(|(x, a)| *a *= diag_at(x));
+        } else {
             for (x, a) in amps.iter_mut().enumerate() {
                 *a *= diag_at(x);
             }
         }
-        Backend::Rayon => {
-            amps.par_iter_mut()
-                .with_min_len(crate::exec::PAR_MIN_CHUNK)
-                .enumerate()
-                .for_each(|(x, a)| *a *= diag_at(x));
-        }
-    }
-    fwht(amps, backend);
+        fwht(amps, policy);
+    });
 }
 
 /// The Ref.\[43\] mixer as literally described: allocates a scratch copy of
 /// the state (their FWHT is out-of-place). Functionally identical to
 /// [`apply_x_mixer_fwht_inplace`]; exists so the `abl_fwht` benchmark can
 /// charge the extra `2^n` allocation the paper calls out.
-pub fn apply_x_mixer_fwht_copying(amps: &mut [C64], beta: f64, backend: Backend) {
+pub fn apply_x_mixer_fwht_copying(amps: &mut [C64], beta: f64, exec: impl Into<ExecPolicy>) {
     let mut scratch = amps.to_vec();
-    apply_x_mixer_fwht_inplace(&mut scratch, beta, backend);
+    apply_x_mixer_fwht_inplace(&mut scratch, beta, exec);
     amps.copy_from_slice(&scratch);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::Backend;
     use crate::matrices::Mat2;
     use crate::state::StateVec;
     use crate::su2::apply_uniform_mat2;
@@ -251,6 +271,27 @@ mod tests {
     }
 
     #[test]
+    fn fwht_forced_parallel_matches_serial_small() {
+        // min_len = 1 engages the parallel path even on tiny vectors; the
+        // odd min_chunk values check block alignment survives hand tuning.
+        for min_chunk in [2usize, 3, 7] {
+            let forced = ExecPolicy::rayon()
+                .with_min_len(1)
+                .with_min_chunk(min_chunk);
+            for n in [2usize, 5, 9] {
+                let mut a = random_state(n, 11 + n as u64);
+                let mut b = a.clone();
+                fwht_serial(a.amplitudes_mut());
+                fwht(b.amplitudes_mut(), forced);
+                assert!(
+                    a.max_abs_diff(&b) < 1e-9,
+                    "n = {n}, min_chunk = {min_chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn fwht_f64_matches_complex() {
         let n = 10;
         let vals: Vec<f64> = (0..1usize << n).map(|i| (i as f64 * 0.37).sin()).collect();
@@ -263,7 +304,10 @@ mod tests {
             assert!(c.im.abs() < 1e-12);
         }
         let mut rp = vals.clone();
-        fwht_f64(&mut rp, Backend::Rayon);
+        fwht_f64(
+            &mut rp,
+            ExecPolicy::rayon().with_min_len(1).with_min_chunk(4),
+        );
         for (a, b) in rp.iter().zip(re.iter()) {
             assert!((a - b).abs() < 1e-9);
         }

@@ -6,9 +6,13 @@
 //! diagonal phase/objective kernels enabled by cost-vector precomputation,
 //! and the fast Walsh–Hadamard transform.
 //!
-//! Every kernel comes in a serial and a rayon-parallel flavor with identical
-//! index arithmetic — mirroring the paper's CPU/GPU split (see
-//! [`exec::Backend`]).
+//! Every kernel comes in a serial and a pool-parallel flavor with identical
+//! index arithmetic — mirroring the paper's CPU/GPU split. Which executor
+//! runs, and how sweeps are split across it, is decided by one
+//! [`exec::ExecPolicy`] object (backend + thread count + split thresholds);
+//! a bare [`exec::Backend`] converts into a default policy, so both work as
+//! the `exec` argument of every kernel. The parallel flavor runs on the real
+//! work-stealing pool in `vendor/rayon`, sized by `QOKIT_THREADS`.
 //!
 //! ```
 //! use qokit_statevec::{Backend, Mat2, StateVec};
@@ -37,6 +41,6 @@ pub mod su2;
 pub mod su4;
 
 pub use complex::{AMP_BYTES, C64};
-pub use exec::Backend;
+pub use exec::{Backend, ExecPolicy};
 pub use matrices::{Mat2, Mat4};
 pub use state::{binomial, StateVec, MAX_QUBITS};

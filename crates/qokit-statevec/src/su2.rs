@@ -9,9 +9,12 @@
 //! in sequence, which for `U = e^{-iβX}` is the whole transverse-field mixer
 //! `e^{-iβΣᵢXᵢ}` in `n` passes, in place, with no scratch memory — the
 //! paper's key advantage over the FWHT-sandwich approach (see `fwht`).
+//!
+//! Every entry point takes `impl Into<ExecPolicy>`; parallel sweeps split by
+//! the policy's chunking thresholds.
 
 use crate::complex::C64;
-use crate::exec::{par_chunk_len, Backend, PAR_MIN_LEN};
+use crate::exec::ExecPolicy;
 use crate::matrices::Mat2;
 use rayon::prelude::*;
 
@@ -47,13 +50,9 @@ pub fn apply_mat2_serial(amps: &mut [C64], q: usize, u: &Mat2) {
     }
 }
 
-/// Rayon-parallel Algorithm 1. Falls back to the serial sweep for small
-/// vectors where task overhead dominates.
-pub fn apply_mat2_rayon(amps: &mut [C64], q: usize, u: &Mat2) {
+/// Parallel Algorithm 1 splitting by `policy`.
+fn apply_mat2_parallel(amps: &mut [C64], q: usize, u: &Mat2, policy: &ExecPolicy) {
     let len = amps.len();
-    if len < PAR_MIN_LEN {
-        return apply_mat2_serial(amps, q, u);
-    }
     let stride = 1usize << q;
     let block = stride * 2;
     debug_assert!(block <= len, "qubit {q} out of range");
@@ -62,11 +61,11 @@ pub fn apply_mat2_rayon(amps: &mut [C64], q: usize, u: &Mat2) {
         let (lo, hi) = amps.split_at_mut(stride);
         lo.par_iter_mut()
             .zip(hi.par_iter_mut())
-            .with_min_len(crate::exec::PAR_MIN_CHUNK)
+            .with_min_len(policy.min_chunk)
             .for_each(|(l, h)| mix_pair(l, h, u));
         return;
     }
-    let chunk = par_chunk_len(len, block);
+    let chunk = policy.chunk_len(len, block);
     amps.par_chunks_mut(chunk).for_each(|c| {
         for b in c.chunks_exact_mut(block) {
             mix_block(b, stride, u);
@@ -74,23 +73,35 @@ pub fn apply_mat2_rayon(amps: &mut [C64], q: usize, u: &Mat2) {
     });
 }
 
-/// Backend-dispatched Algorithm 1.
+/// Pool-parallel Algorithm 1 with default thresholds. Falls back to the
+/// serial sweep for small vectors where task overhead dominates.
+pub fn apply_mat2_rayon(amps: &mut [C64], q: usize, u: &Mat2) {
+    apply_mat2(amps, q, u, ExecPolicy::rayon());
+}
+
+/// Policy-dispatched Algorithm 1.
 #[inline]
-pub fn apply_mat2(amps: &mut [C64], q: usize, u: &Mat2, backend: Backend) {
-    match backend {
-        Backend::Serial => apply_mat2_serial(amps, q, u),
-        Backend::Rayon => apply_mat2_rayon(amps, q, u),
+pub fn apply_mat2(amps: &mut [C64], q: usize, u: &Mat2, exec: impl Into<ExecPolicy>) {
+    let policy = exec.into();
+    if policy.parallel(amps.len()) {
+        policy.install(|| apply_mat2_parallel(amps, q, u, &policy));
+    } else {
+        apply_mat2_serial(amps, q, u);
     }
 }
 
 /// Algorithm 2: applies the same `U` to **every** qubit, i.e. `U^{⊗n}`,
 /// in place. For `U = Mat2::rx(β)` this is the full transverse-field mixer.
-pub fn apply_uniform_mat2(amps: &mut [C64], u: &Mat2, backend: Backend) {
+pub fn apply_uniform_mat2(amps: &mut [C64], u: &Mat2, exec: impl Into<ExecPolicy>) {
+    let policy = exec.into();
     let n = amps.len().trailing_zeros() as usize;
     debug_assert!(amps.len().is_power_of_two());
-    for q in 0..n {
-        apply_mat2(amps, q, u, backend);
-    }
+    // One install covers all n per-qubit sweeps.
+    policy.install(|| {
+        for q in 0..n {
+            apply_mat2(amps, q, u, policy);
+        }
+    });
 }
 
 /// Generalized Algorithm 2 with a per-qubit matrix: applies
@@ -98,17 +109,21 @@ pub fn apply_uniform_mat2(amps: &mut [C64], u: &Mat2, backend: Backend) {
 ///
 /// # Panics
 /// If `us.len()` does not match the qubit count of the vector.
-pub fn apply_mat2_sequence(amps: &mut [C64], us: &[Mat2], backend: Backend) {
+pub fn apply_mat2_sequence(amps: &mut [C64], us: &[Mat2], exec: impl Into<ExecPolicy>) {
+    let policy = exec.into();
     let n = amps.len().trailing_zeros() as usize;
     assert_eq!(us.len(), n, "need one matrix per qubit");
-    for (q, u) in us.iter().enumerate() {
-        apply_mat2(amps, q, u, backend);
-    }
+    policy.install(|| {
+        for (q, u) in us.iter().enumerate() {
+            apply_mat2(amps, q, u, policy);
+        }
+    });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::Backend;
     use crate::reference;
     use crate::state::StateVec;
 
@@ -157,6 +172,23 @@ mod tests {
                 let mut b = a.clone();
                 apply_mat2_serial(a.amplitudes_mut(), q, &u);
                 apply_mat2_rayon(b.amplitudes_mut(), q, &u);
+                assert_close(a.amplitudes(), b.amplitudes(), 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn forced_parallel_matches_serial_small() {
+        // A min_len/min_chunk of 1 drives the parallel path on small states,
+        // exercising real pool splits regardless of the machine size.
+        let forced = ExecPolicy::rayon().with_min_len(1).with_min_chunk(1);
+        for n in [3usize, 6, 10] {
+            for q in 0..n {
+                let u = Mat2::ry(0.7).matmul(&Mat2::rz(1.9));
+                let mut a = random_state(n, 100 + q as u64);
+                let mut b = a.clone();
+                apply_mat2_serial(a.amplitudes_mut(), q, &u);
+                apply_mat2(b.amplitudes_mut(), q, &u, forced);
                 assert_close(a.amplitudes(), b.amplitudes(), 1e-12);
             }
         }

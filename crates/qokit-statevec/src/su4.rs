@@ -5,9 +5,12 @@
 //! `(qa, qb)` in place. `apply_xy` is the specialized Givens rotation
 //! `e^{-iβ(XX+YY)/2}` which only touches the |01⟩/|10⟩ amplitude pairs —
 //! half the memory traffic of the dense path.
+//!
+//! Every entry point takes `impl Into<ExecPolicy>`; parallel sweeps split by
+//! the policy's chunking thresholds.
 
 use crate::complex::C64;
-use crate::exec::{par_chunk_len, Backend, PAR_MIN_LEN};
+use crate::exec::ExecPolicy;
 use crate::matrices::Mat4;
 use rayon::prelude::*;
 
@@ -73,13 +76,11 @@ pub fn apply_mat4_serial(amps: &mut [C64], qa: usize, qb: usize, u: &Mat4) {
     });
 }
 
-/// Rayon-parallel two-qubit gate application. Parallelizes over chunks that
-/// are multiples of the larger stride's block so quads never straddle tasks.
-pub fn apply_mat4_rayon(amps: &mut [C64], qa: usize, qb: usize, u: &Mat4) {
+/// Parallel two-qubit gate application splitting by `policy`. Parallelizes
+/// over chunks that are multiples of the larger stride's block so quads
+/// never straddle tasks.
+fn apply_mat4_parallel(amps: &mut [C64], qa: usize, qb: usize, u: &Mat4, policy: &ExecPolicy) {
     let len = amps.len();
-    if len < PAR_MIN_LEN {
-        return apply_mat4_serial(amps, qa, qb, u);
-    }
     assert_ne!(qa, qb, "two-qubit gate needs distinct qubits");
     let (ql, qh) = if qa < qb { (qa, qb) } else { (qb, qa) };
     assert!(1usize << (qh + 1) <= len, "qubit {qh} out of range");
@@ -96,7 +97,7 @@ pub fn apply_mat4_rayon(amps: &mut [C64], qa: usize, qb: usize, u: &Mat4) {
             // without splitting a quad; the serial sweep is cheap here.
             return apply_mat4_serial(amps, qa, qb, u);
         }
-        let chunk = par_chunk_len(sh, sub_block);
+        let chunk = policy.chunk_len(sh, sub_block);
         let (lo, hi) = amps.split_at_mut(sh);
         let sl = 1usize << ql;
         // Sub-index row for the amplitude living in `lo[c | sl]` / `hi[c]`
@@ -139,7 +140,7 @@ pub fn apply_mat4_rayon(amps: &mut [C64], qa: usize, qb: usize, u: &Mat4) {
             });
         return;
     }
-    let chunk = par_chunk_len(len, block);
+    let chunk = policy.chunk_len(len, block);
     // Base enumeration is translation-invariant per block, so local
     // coordinates within each chunk enumerate exactly the chunk's bases.
     amps.par_chunks_mut(chunk).for_each(|c| {
@@ -149,12 +150,19 @@ pub fn apply_mat4_rayon(amps: &mut [C64], qa: usize, qb: usize, u: &Mat4) {
     });
 }
 
-/// Backend-dispatched two-qubit gate application.
+/// Pool-parallel two-qubit gate application with default thresholds.
+pub fn apply_mat4_rayon(amps: &mut [C64], qa: usize, qb: usize, u: &Mat4) {
+    apply_mat4(amps, qa, qb, u, ExecPolicy::rayon());
+}
+
+/// Policy-dispatched two-qubit gate application.
 #[inline]
-pub fn apply_mat4(amps: &mut [C64], qa: usize, qb: usize, u: &Mat4, backend: Backend) {
-    match backend {
-        Backend::Serial => apply_mat4_serial(amps, qa, qb, u),
-        Backend::Rayon => apply_mat4_rayon(amps, qa, qb, u),
+pub fn apply_mat4(amps: &mut [C64], qa: usize, qb: usize, u: &Mat4, exec: impl Into<ExecPolicy>) {
+    let policy = exec.into();
+    if policy.parallel(amps.len()) {
+        policy.install(|| apply_mat4_parallel(amps, qa, qb, u, &policy));
+    } else {
+        apply_mat4_serial(amps, qa, qb, u);
     }
 }
 
@@ -176,37 +184,36 @@ pub fn apply_xy_serial(amps: &mut [C64], qa: usize, qb: usize, beta: f64) {
     });
 }
 
-/// Rayon-parallel specialized XY gate.
+/// Pool-parallel specialized XY gate with default thresholds.
 pub fn apply_xy_rayon(amps: &mut [C64], qa: usize, qb: usize, beta: f64) {
+    apply_xy(amps, qa, qb, beta, ExecPolicy::rayon());
+}
+
+/// Policy-dispatched XY gate.
+pub fn apply_xy(amps: &mut [C64], qa: usize, qb: usize, beta: f64, exec: impl Into<ExecPolicy>) {
+    let policy = exec.into();
     let len = amps.len();
     let (ql, qh) = if qa < qb { (qa, qb) } else { (qb, qa) };
     let block = 1usize << (qh + 1);
-    if len < PAR_MIN_LEN || block >= len {
+    if !policy.parallel(len) || block >= len {
         return apply_xy_serial(amps, qa, qb, beta);
     }
     assert_ne!(qa, qb, "XY gate needs distinct qubits");
     let (ma, mb) = (1usize << qa, 1usize << qb);
     let (s, c) = beta.sin_cos();
-    let chunk = par_chunk_len(len, block);
-    amps.par_chunks_mut(chunk).for_each(|ch| {
-        for_each_base(0, ch.len(), ql, qh, |base| {
-            let i01 = base | ma;
-            let i10 = base | mb;
-            let x01 = ch[i01];
-            let x10 = ch[i10];
-            ch[i01] = x01.scale(c) + x10.scale(s).mul_neg_i();
-            ch[i10] = x01.scale(s).mul_neg_i() + x10.scale(c);
+    let chunk = policy.chunk_len(len, block);
+    policy.install(|| {
+        amps.par_chunks_mut(chunk).for_each(|ch| {
+            for_each_base(0, ch.len(), ql, qh, |base| {
+                let i01 = base | ma;
+                let i10 = base | mb;
+                let x01 = ch[i01];
+                let x10 = ch[i10];
+                ch[i01] = x01.scale(c) + x10.scale(s).mul_neg_i();
+                ch[i10] = x01.scale(s).mul_neg_i() + x10.scale(c);
+            });
         });
     });
-}
-
-/// Backend-dispatched XY gate.
-#[inline]
-pub fn apply_xy(amps: &mut [C64], qa: usize, qb: usize, beta: f64, backend: Backend) {
-    match backend {
-        Backend::Serial => apply_xy_serial(amps, qa, qb, beta),
-        Backend::Rayon => apply_xy_rayon(amps, qa, qb, beta),
-    }
 }
 
 #[cfg(test)]
@@ -322,6 +329,33 @@ mod tests {
             apply_xy_serial(c.amplitudes_mut(), qa, qb, 0.9);
             apply_xy_rayon(d.amplitudes_mut(), qa, qb, 0.9);
             assert_close(c.amplitudes(), d.amplitudes(), 1e-12);
+        }
+    }
+
+    #[test]
+    fn forced_parallel_matches_serial_all_pairs() {
+        // Small states with a forced-parallel policy: every split shape of
+        // the two-qubit kernels must agree with the serial sweep.
+        let forced = ExecPolicy::rayon().with_min_len(1).with_min_chunk(4);
+        let n = 7;
+        let u = Mat4::xx_plus_yy(0.8).matmul(&Mat4::rzz(0.3));
+        for qa in 0..n {
+            for qb in 0..n {
+                if qa == qb {
+                    continue;
+                }
+                let mut a = random_state(n, (qa * 11 + qb) as u64);
+                let mut b = a.clone();
+                apply_mat4_serial(a.amplitudes_mut(), qa, qb, &u);
+                apply_mat4(b.amplitudes_mut(), qa, qb, &u, forced);
+                assert_close(a.amplitudes(), b.amplitudes(), 1e-12);
+
+                let mut c = a.clone();
+                let mut d = a.clone();
+                apply_xy_serial(c.amplitudes_mut(), qa, qb, 1.1);
+                apply_xy(d.amplitudes_mut(), qa, qb, 1.1, forced);
+                assert_close(c.amplitudes(), d.amplitudes(), 1e-12);
+            }
         }
     }
 

@@ -266,7 +266,7 @@ mod tests {
         let sim = FurSimulator::with_options(
             poly,
             SimOptions {
-                backend: Backend::Serial,
+                exec: Backend::Serial.into(),
                 ..SimOptions::default()
             },
         );

@@ -24,6 +24,25 @@
 //! | [`dist`] | simulated-MPI distributed simulation + cluster model |
 //! | [`optim`] | Nelder–Mead/SPSA/grid optimizers and schedules |
 //!
+//! ## Execution backends and `QOKIT_THREADS`
+//!
+//! Every kernel runs under an [`statevec::ExecPolicy`] — backend, worker
+//! count, and split thresholds in one object; a bare [`statevec::Backend`]
+//! converts into a default policy, and [`core::SimOptions::exec`] carries
+//! it through the simulator. `Backend::Rayon` executes on a real
+//! work-stealing thread pool (the vendored `rayon`), so parallel runs use
+//! every core while producing the same amplitudes as `Backend::Serial`.
+//!
+//! The **`QOKIT_THREADS`** environment variable governs thread resolution:
+//!
+//! * unset or `0` — the global pool is sized to the hardware thread count,
+//!   and `Backend::auto()` picks `Rayon` when that count exceeds 1;
+//! * `1` — `Backend::auto()` / `ExecPolicy::auto()` resolve to `Serial`;
+//! * `k > 1` — the global pool gets `k` workers and `auto()` picks `Rayon`.
+//!
+//! `ExecPolicy::with_threads(k)` pins one simulator to a cached `k`-worker
+//! pool regardless of the global setting.
+//!
 //! ## Quickstart (Listing 1 of the paper)
 //!
 //! ```
@@ -60,6 +79,6 @@ pub mod prelude {
         choose_simulator, FurSimulator, InitialState, Mixer, QaoaSimulator, SimOptions, SimResult,
     };
     pub use qokit_costvec::{CostVec, PrecomputeMethod};
-    pub use qokit_statevec::{Backend, StateVec, C64};
+    pub use qokit_statevec::{Backend, ExecPolicy, StateVec, C64};
     pub use qokit_terms::{Graph, SpinPolynomial, Term};
 }

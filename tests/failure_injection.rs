@@ -133,7 +133,7 @@ fn non_integral_quantized_simulator_degrades_gracefully() {
         &sk.to_terms(),
         SimOptions {
             quantize_u16: true,
-            backend: Backend::Serial,
+            exec: Backend::Serial.into(),
             ..SimOptions::default()
         },
     );

@@ -15,7 +15,7 @@ fn serial_fur(poly: &SpinPolynomial) -> FurSimulator {
     FurSimulator::with_options(
         poly,
         SimOptions {
-            backend: Backend::Serial,
+            exec: Backend::Serial.into(),
             ..SimOptions::default()
         },
     )
@@ -53,7 +53,7 @@ fn fast_simulator_matches_gate_baseline_on_all_problems() {
                 GateSimOptions {
                     style,
                     mixer: CompiledMixer::X,
-                    backend: Backend::Serial,
+                    exec: Backend::Serial.into(),
                     fuse: false,
                 },
             );
@@ -74,7 +74,7 @@ fn fused_baseline_matches_unfused() {
     let base = GateSimulator::new(
         poly.clone(),
         GateSimOptions {
-            backend: Backend::Serial,
+            exec: Backend::Serial.into(),
             ..GateSimOptions::default()
         },
     );
@@ -82,7 +82,7 @@ fn fused_baseline_matches_unfused() {
         poly,
         GateSimOptions {
             fuse: true,
-            backend: Backend::Serial,
+            exec: Backend::Serial.into(),
             ..GateSimOptions::default()
         },
     );
@@ -133,7 +133,7 @@ fn precompute_methods_agree_at_pipeline_level() {
             &poly,
             SimOptions {
                 precompute: PrecomputeMethod::Direct,
-                backend: Backend::Serial,
+                exec: Backend::Serial.into(),
                 ..SimOptions::default()
             },
         );
@@ -141,7 +141,7 @@ fn precompute_methods_agree_at_pipeline_level() {
             &poly,
             SimOptions {
                 precompute: PrecomputeMethod::Fwht,
-                backend: Backend::Serial,
+                exec: Backend::Serial.into(),
                 ..SimOptions::default()
             },
         );
@@ -159,7 +159,7 @@ fn quantized_pipeline_matches_f64_for_labs() {
         &poly,
         SimOptions {
             quantize_u16: true,
-            backend: Backend::Serial,
+            exec: Backend::Serial.into(),
             ..SimOptions::default()
         },
     );
@@ -181,7 +181,7 @@ fn xy_mixer_gate_baseline_matches_fast_simulator() {
         SimOptions {
             mixer: Mixer::XyRing,
             initial: InitialState::Dicke(3),
-            backend: Backend::Serial,
+            exec: Backend::Serial.into(),
             ..SimOptions::default()
         },
     );
@@ -206,7 +206,7 @@ fn parallel_backend_full_pipeline_agrees() {
     let parallel = FurSimulator::with_options(
         &poly,
         SimOptions {
-            backend: Backend::Rayon,
+            exec: Backend::Rayon.into(),
             ..SimOptions::default()
         },
     );

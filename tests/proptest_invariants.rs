@@ -58,7 +58,7 @@ proptest! {
     #[test]
     fn qaoa_preserves_norm((g, b) in params_strategy(), poly in poly_strategy(7, 16)) {
         let sim = FurSimulator::with_options(&poly, SimOptions {
-            backend: Backend::Serial, ..SimOptions::default()
+            exec: Backend::Serial.into(), ..SimOptions::default()
         });
         let r = sim.simulate_qaoa(&g, &b);
         prop_assert!((r.state().norm_sqr() - 1.0).abs() < 1e-9);
@@ -67,7 +67,7 @@ proptest! {
     #[test]
     fn expectation_lies_within_cost_extrema((g, b) in params_strategy(), poly in poly_strategy(7, 16)) {
         let sim = FurSimulator::with_options(&poly, SimOptions {
-            backend: Backend::Serial, ..SimOptions::default()
+            exec: Backend::Serial.into(), ..SimOptions::default()
         });
         let (lo, hi) = sim.cost_diagonal().extrema();
         let e = sim.objective(&g, &b);
@@ -77,7 +77,7 @@ proptest! {
     #[test]
     fn overlap_is_a_probability((g, b) in params_strategy(), poly in poly_strategy(6, 12)) {
         let sim = FurSimulator::with_options(&poly, SimOptions {
-            backend: Backend::Serial, ..SimOptions::default()
+            exec: Backend::Serial.into(), ..SimOptions::default()
         });
         let r = sim.simulate_qaoa(&g, &b);
         let ov = sim.get_overlap(&r);
@@ -87,10 +87,10 @@ proptest! {
     #[test]
     fn gate_baseline_equals_fast_simulator((g, b) in params_strategy(), poly in poly_strategy(6, 10)) {
         let fast = FurSimulator::with_options(&poly, SimOptions {
-            backend: Backend::Serial, ..SimOptions::default()
+            exec: Backend::Serial.into(), ..SimOptions::default()
         });
         let gate = GateSimulator::new(poly.clone(), GateSimOptions {
-            backend: Backend::Serial,
+            exec: Backend::Serial.into(),
             style: PhaseStyle::DecomposedCx,
             ..GateSimOptions::default()
         });
@@ -201,7 +201,7 @@ proptest! {
     ) {
         let ranks = 1usize << ranks_log;
         let fast = FurSimulator::with_options(&poly, SimOptions {
-            backend: Backend::Serial, ..SimOptions::default()
+            exec: Backend::Serial.into(), ..SimOptions::default()
         });
         let reference = fast.simulate_qaoa(&[0.3], &[-0.6]);
         let dist = qokit::dist::DistSimulator::new(poly.clone(), ranks).unwrap();

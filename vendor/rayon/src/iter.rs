@@ -1,0 +1,515 @@
+//! Parallel iterators over slices, with the adapter surface the qokit
+//! kernels use: `zip`, `enumerate`, `map`, `with_min_len`, and the
+//! `for_each` / `sum` / `reduce` / `collect` terminals.
+//!
+//! # Model
+//!
+//! Every chain bottoms out in a slice, so every iterator here is *indexed*:
+//! it knows its length and can produce the item at any index independently.
+//! Terminal operations split the index range `[0, len)` recursively with
+//! [`crate::join`] — honoring the `with_min_len` floor — and drain each leaf
+//! range sequentially. Splitting is by index arithmetic only, so results and
+//! work decomposition are deterministic for a given pool size; which worker
+//! executes which leaf is decided by work stealing at runtime.
+//!
+//! Mutable iterators hand out `&mut` references produced from raw pointers.
+//! This is sound because the engine visits every index exactly once and
+//! disjoint indices alias nothing.
+
+use crate::registry::effective_parallelism;
+
+/// How many splittable pieces to create per worker thread: slack for the
+/// work-stealing scheduler to balance uneven leaves.
+const SPLITS_PER_THREAD: usize = 4;
+
+/// Raw-pointer wrapper that crosses thread boundaries. Safety rests on the
+/// exactly-once index contract above.
+struct SendPtr<T>(*mut T);
+
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        SendPtr(self.0)
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// ---------------------------------------------------------------- engine
+
+/// Runs `body` over `[0, len)` in parallel pieces of at least `min_len`.
+pub(crate) fn parallel_for(len: usize, min_len: usize, body: &(dyn Fn(usize, usize) + Sync)) {
+    if len == 0 {
+        return;
+    }
+    let min_len = min_len.max(1);
+    let threads = effective_parallelism();
+    if threads <= 1 || len < 2 * min_len {
+        body(0, len);
+        return;
+    }
+    let splits = (threads * SPLITS_PER_THREAD).next_power_of_two();
+    split_for(0, len, min_len, splits, body);
+}
+
+fn split_for(
+    lo: usize,
+    hi: usize,
+    min_len: usize,
+    splits: usize,
+    body: &(dyn Fn(usize, usize) + Sync),
+) {
+    if splits <= 1 || hi - lo < 2 * min_len {
+        body(lo, hi);
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    crate::join(
+        || split_for(lo, mid, min_len, splits / 2, body),
+        || split_for(mid, hi, min_len, splits / 2, body),
+    );
+}
+
+/// Parallel reduction over `[0, len)`: `leaf` folds a range sequentially,
+/// `combine` merges two partial results. Combination order follows the
+/// (deterministic) split tree.
+pub(crate) fn parallel_reduce<R: Send>(
+    len: usize,
+    min_len: usize,
+    leaf: &(dyn Fn(usize, usize) -> R + Sync),
+    combine: &(dyn Fn(R, R) -> R + Sync),
+) -> R {
+    let min_len = min_len.max(1);
+    let threads = effective_parallelism();
+    if threads <= 1 || len < 2 * min_len {
+        return leaf(0, len);
+    }
+    let splits = (threads * SPLITS_PER_THREAD).next_power_of_two();
+    split_reduce(0, len, min_len, splits, leaf, combine)
+}
+
+fn split_reduce<R: Send>(
+    lo: usize,
+    hi: usize,
+    min_len: usize,
+    splits: usize,
+    leaf: &(dyn Fn(usize, usize) -> R + Sync),
+    combine: &(dyn Fn(R, R) -> R + Sync),
+) -> R {
+    if splits <= 1 || hi - lo < 2 * min_len {
+        return leaf(lo, hi);
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (left, right) = crate::join(
+        || split_reduce(lo, mid, min_len, splits / 2, leaf, combine),
+        || split_reduce(mid, hi, min_len, splits / 2, leaf, combine),
+    );
+    combine(left, right)
+}
+
+// ---------------------------------------------------------------- trait
+
+/// An indexed parallel iterator. Mirrors the slice-relevant subset of
+/// rayon's `ParallelIterator`/`IndexedParallelIterator` in one trait.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+
+    #[doc(hidden)]
+    fn pi_len(&self) -> usize;
+
+    #[doc(hidden)]
+    fn pi_min_len(&self) -> usize;
+
+    #[doc(hidden)]
+    fn pi_set_min_len(&mut self, min_len: usize);
+
+    /// # Safety
+    /// `index < pi_len()`, and the engine calls each index at most once per
+    /// traversal (mutable sources rely on this for aliasing soundness).
+    #[doc(hidden)]
+    unsafe fn pi_get(&self, index: usize) -> Self::Item;
+
+    /// Sets the minimum number of items a parallel task may own.
+    fn with_min_len(mut self, min_len: usize) -> Self {
+        self.pi_set_min_len(min_len.max(1));
+        self
+    }
+
+    /// Granularity ceiling — accepted for rayon API compatibility; the
+    /// engine splits by thread count and `with_min_len` only.
+    fn with_max_len(self, _max_len: usize) -> Self {
+        self
+    }
+
+    /// Pairs this iterator's items with `other`'s, index by index
+    /// (truncating to the shorter length).
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Attaches each item's index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Maps each item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Consumes every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+        Self: Sync,
+    {
+        parallel_for(self.pi_len(), self.pi_min_len(), &|lo, hi| {
+            for i in lo..hi {
+                f(unsafe { self.pi_get(i) });
+            }
+        });
+    }
+
+    /// Parallel sum. Floating-point partial sums associate along the
+    /// deterministic split tree, so results are reproducible for a given
+    /// pool size (though not bit-identical to the sequential order).
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+        Self: Sync,
+    {
+        parallel_reduce(
+            self.pi_len(),
+            self.pi_min_len(),
+            &|lo, hi| (lo..hi).map(|i| unsafe { self.pi_get(i) }).sum::<S>(),
+            &|a, b| [a, b].into_iter().sum(),
+        )
+    }
+
+    /// Parallel reduction with an identity element.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+        Self: Sync,
+    {
+        parallel_reduce(
+            self.pi_len(),
+            self.pi_min_len(),
+            &|lo, hi| {
+                (lo..hi)
+                    .map(|i| unsafe { self.pi_get(i) })
+                    .fold(identity(), &op)
+            },
+            &|a, b| op(a, b),
+        )
+    }
+
+    /// Collects into `C` (Vec is supported), writing items to their final
+    /// positions in parallel.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+        Self: Sync,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection types constructible from a parallel iterator.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds `Self`, consuming the iterator in parallel.
+    fn from_par_iter<I>(iter: I) -> Self
+    where
+        I: ParallelIterator<Item = T> + Sync;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I>(iter: I) -> Vec<T>
+    where
+        I: ParallelIterator<Item = T> + Sync,
+    {
+        let len = iter.pi_len();
+        let mut out: Vec<T> = Vec::with_capacity(len);
+        let base = SendPtr(out.as_mut_ptr());
+        parallel_for(len, iter.pi_min_len(), &|lo, hi| {
+            // Copy the whole wrapper so the closure captures `SendPtr<T>`
+            // (Sync) rather than the raw pointer field.
+            let dst = base;
+            for i in lo..hi {
+                // SAFETY: disjoint ranges write disjoint cells within
+                // capacity; `set_len` below happens only after all writes.
+                unsafe { dst.0.add(i).write(iter.pi_get(i)) };
+            }
+        });
+        // SAFETY: all `len` cells were initialized above.
+        unsafe { out.set_len(len) };
+        out
+    }
+}
+
+// ---------------------------------------------------------------- sources
+
+/// Shared parallel iterator over a slice (`par_iter`).
+pub struct Iter<'data, T> {
+    ptr: *const T,
+    len: usize,
+    min_len: usize,
+    marker: std::marker::PhantomData<&'data [T]>,
+}
+
+unsafe impl<T: Sync> Send for Iter<'_, T> {}
+unsafe impl<T: Sync> Sync for Iter<'_, T> {}
+
+impl<'data, T: Sync> ParallelIterator for Iter<'data, T> {
+    type Item = &'data T;
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+    fn pi_min_len(&self) -> usize {
+        self.min_len
+    }
+    fn pi_set_min_len(&mut self, min_len: usize) {
+        self.min_len = min_len;
+    }
+    unsafe fn pi_get(&self, index: usize) -> &'data T {
+        debug_assert!(index < self.len);
+        &*self.ptr.add(index)
+    }
+}
+
+/// Exclusive parallel iterator over a slice (`par_iter_mut`).
+pub struct IterMut<'data, T> {
+    ptr: *mut T,
+    len: usize,
+    min_len: usize,
+    marker: std::marker::PhantomData<&'data mut [T]>,
+}
+
+unsafe impl<T: Send> Send for IterMut<'_, T> {}
+// SAFETY: `pi_get` hands out `&mut` from a shared `&self`, which is sound
+// only under the engine's exactly-once index contract.
+unsafe impl<T: Send> Sync for IterMut<'_, T> {}
+
+impl<'data, T: Send> ParallelIterator for IterMut<'data, T> {
+    type Item = &'data mut T;
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+    fn pi_min_len(&self) -> usize {
+        self.min_len
+    }
+    fn pi_set_min_len(&mut self, min_len: usize) {
+        self.min_len = min_len;
+    }
+    unsafe fn pi_get(&self, index: usize) -> &'data mut T {
+        debug_assert!(index < self.len);
+        &mut *self.ptr.add(index)
+    }
+}
+
+/// Parallel iterator over non-overlapping subslices (`par_chunks`).
+/// `with_min_len` counts *chunks*, not elements.
+pub struct Chunks<'data, T> {
+    ptr: *const T,
+    len: usize,
+    chunk_size: usize,
+    min_len: usize,
+    marker: std::marker::PhantomData<&'data [T]>,
+}
+
+unsafe impl<T: Sync> Send for Chunks<'_, T> {}
+unsafe impl<T: Sync> Sync for Chunks<'_, T> {}
+
+impl<'data, T: Sync> ParallelIterator for Chunks<'data, T> {
+    type Item = &'data [T];
+    fn pi_len(&self) -> usize {
+        self.len.div_ceil(self.chunk_size)
+    }
+    fn pi_min_len(&self) -> usize {
+        self.min_len
+    }
+    fn pi_set_min_len(&mut self, min_len: usize) {
+        self.min_len = min_len;
+    }
+    unsafe fn pi_get(&self, index: usize) -> &'data [T] {
+        let start = index * self.chunk_size;
+        debug_assert!(start < self.len);
+        let len = self.chunk_size.min(self.len - start);
+        std::slice::from_raw_parts(self.ptr.add(start), len)
+    }
+}
+
+/// Exclusive parallel iterator over non-overlapping subslices
+/// (`par_chunks_mut`). `with_min_len` counts *chunks*, not elements.
+pub struct ChunksMut<'data, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk_size: usize,
+    min_len: usize,
+    marker: std::marker::PhantomData<&'data mut [T]>,
+}
+
+unsafe impl<T: Send> Send for ChunksMut<'_, T> {}
+// SAFETY: chunks at distinct indices are disjoint; see IterMut.
+unsafe impl<T: Send> Sync for ChunksMut<'_, T> {}
+
+impl<'data, T: Send> ParallelIterator for ChunksMut<'data, T> {
+    type Item = &'data mut [T];
+    fn pi_len(&self) -> usize {
+        self.len.div_ceil(self.chunk_size)
+    }
+    fn pi_min_len(&self) -> usize {
+        self.min_len
+    }
+    fn pi_set_min_len(&mut self, min_len: usize) {
+        self.min_len = min_len;
+    }
+    unsafe fn pi_get(&self, index: usize) -> &'data mut [T] {
+        let start = index * self.chunk_size;
+        debug_assert!(start < self.len);
+        let len = self.chunk_size.min(self.len - start);
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
+}
+
+// ---------------------------------------------------------------- adapters
+
+/// Index-aligned pairing of two parallel iterators.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
+    }
+    fn pi_min_len(&self) -> usize {
+        self.a.pi_min_len().max(self.b.pi_min_len())
+    }
+    fn pi_set_min_len(&mut self, min_len: usize) {
+        self.a.pi_set_min_len(min_len);
+        self.b.pi_set_min_len(min_len);
+    }
+    unsafe fn pi_get(&self, index: usize) -> Self::Item {
+        (self.a.pi_get(index), self.b.pi_get(index))
+    }
+}
+
+/// Item-with-index adapter.
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    fn pi_min_len(&self) -> usize {
+        self.base.pi_min_len()
+    }
+    fn pi_set_min_len(&mut self, min_len: usize) {
+        self.base.pi_set_min_len(min_len);
+    }
+    unsafe fn pi_get(&self, index: usize) -> Self::Item {
+        (index, self.base.pi_get(index))
+    }
+}
+
+/// Mapping adapter.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Sync + Send,
+    R: Send,
+{
+    type Item = R;
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    fn pi_min_len(&self) -> usize {
+        self.base.pi_min_len()
+    }
+    fn pi_set_min_len(&mut self, min_len: usize) {
+        self.base.pi_set_min_len(min_len);
+    }
+    unsafe fn pi_get(&self, index: usize) -> R {
+        (self.f)(self.base.pi_get(index))
+    }
+}
+
+// ---------------------------------------------------------------- slices
+
+/// Slice extension: shared parallel iterators.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over the elements.
+    fn par_iter(&self) -> Iter<'_, T>;
+    /// Parallel iterator over `chunk_size`-element subslices (last may be
+    /// shorter).
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Iter<'_, T> {
+        Iter {
+            ptr: self.as_ptr(),
+            len: self.len(),
+            min_len: 1,
+            marker: std::marker::PhantomData,
+        }
+    }
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Chunks {
+            ptr: self.as_ptr(),
+            len: self.len(),
+            chunk_size,
+            min_len: 1,
+            marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Slice extension: exclusive parallel iterators.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable elements.
+    fn par_iter_mut(&mut self) -> IterMut<'_, T>;
+    /// Parallel iterator over mutable `chunk_size`-element subslices (last
+    /// may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> IterMut<'_, T> {
+        IterMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            min_len: 1,
+            marker: std::marker::PhantomData,
+        }
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            chunk_size,
+            min_len: 1,
+            marker: std::marker::PhantomData,
+        }
+    }
+}

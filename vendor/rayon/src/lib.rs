@@ -1,89 +1,73 @@
-//! # rayon (offline shim)
+//! # rayon (offline work-stealing runtime)
 //!
-//! A minimal, dependency-free stand-in for the `rayon` crate, vendored so the
-//! qokit workspace builds without network access.
+//! A dependency-free, genuinely parallel stand-in for the `rayon` crate,
+//! vendored so the qokit workspace builds without network access. It
+//! implements the subset of rayon's API this workspace uses — same prelude,
+//! same names — so swapping in crates.io rayon is a one-line
+//! `[workspace.dependencies]` change when a registry is available.
 //!
-//! **Execution is sequential.** `par_iter`, `par_iter_mut`, `par_chunks`, and
-//! `par_chunks_mut` return the corresponding *standard-library* iterators, and
-//! rayon-specific tuning knobs ([`ParallelTuning::with_min_len`] /
-//! [`ParallelTuning::with_max_len`]) are identity adapters. Every kernel that
-//! offers a `Backend::Rayon` flavor therefore computes the same result as its
-//! serial twin, just without the speedup — swapping this shim for crates.io
-//! rayon (same prelude imports) restores real parallelism. Replacing this shim
-//! with a true work-stealing pool is tracked on the ROADMAP.
+//! **Execution is parallel.** A lazily-initialized global pool of
+//! work-stealing workers (per-worker deques plus an injector queue, built on
+//! `std::sync::{Mutex, Condvar}` and atomics) backs:
+//!
+//! * [`join`] / [`scope`] — recursive fork-join primitives;
+//! * [`prelude::ParallelSlice`] / [`prelude::ParallelSliceMut`] —
+//!   `par_iter`, `par_iter_mut`, `par_chunks`, `par_chunks_mut` with the
+//!   `zip` / `enumerate` / `map` / `with_min_len` adapters and the
+//!   `for_each` / `sum` / `reduce` / `collect` terminals;
+//! * [`ThreadPool`] — explicitly sized pools; [`ThreadPool::install`] scopes
+//!   parallel execution to that pool.
+//!
+//! The global pool's size comes from `QOKIT_THREADS` (then
+//! `RAYON_NUM_THREADS`); `0`, garbage, or absence mean the hardware thread
+//! count. Workers park on a condvar when idle — an oversubscribed pool costs
+//! context switches, not spin cycles.
+//!
+//! Index-range splitting is deterministic for a given pool size; only the
+//! assignment of ranges to workers is dynamic. Elementwise kernels therefore
+//! produce bit-identical results run to run, and reductions associate along
+//! a fixed tree.
 //!
 //! ```
 //! use rayon::prelude::*;
 //!
-//! let mut xs = vec![1.0f64; 8];
-//! xs.par_iter_mut().with_min_len(4).for_each(|x| *x *= 2.0);
-//! let total: f64 = xs.par_iter().sum();
-//! assert_eq!(total, 16.0);
+//! let mut xs = vec![1.0f64; 1 << 14];
+//! xs.par_iter_mut().with_min_len(1024).for_each(|x| *x *= 2.0);
+//! let total: f64 = xs.par_iter().with_min_len(1024).sum();
+//! assert_eq!(total, 2.0 * (1 << 14) as f64);
+//!
+//! let (a, b) = rayon::join(|| 1 + 1, || 2 + 4);
+//! assert_eq!((a, b), (2, 6));
 //! ```
 
 #![warn(missing_docs)]
 
-/// Slice extension: shared parallel-style iterators (sequential here).
-pub trait ParallelSlice<T> {
-    /// Sequential stand-in for rayon's `par_iter`.
-    fn par_iter(&self) -> std::slice::Iter<'_, T>;
-    /// Sequential stand-in for rayon's `par_chunks`.
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-}
+mod iter;
+mod registry;
 
-impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> std::slice::Iter<'_, T> {
-        self.iter()
-    }
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-        self.chunks(chunk_size)
-    }
-}
+pub use iter::{
+    Chunks, ChunksMut, Enumerate, FromParallelIterator, Iter, IterMut, Map, ParallelIterator,
+    ParallelSlice, ParallelSliceMut, Zip,
+};
+pub use registry::{join, scope, Scope};
 
-/// Slice extension: mutable parallel-style iterators (sequential here).
-pub trait ParallelSliceMut<T> {
-    /// Sequential stand-in for rayon's `par_iter_mut`.
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-    /// Sequential stand-in for rayon's `par_chunks_mut`.
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-}
-
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-        self.iter_mut()
-    }
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-        self.chunks_mut(chunk_size)
-    }
-}
-
-/// Rayon's per-task granularity knobs, as identity adapters on any iterator.
-pub trait ParallelTuning: Iterator + Sized {
-    /// No-op: granularity hints are meaningless for sequential execution.
-    fn with_min_len(self, _min: usize) -> Self {
-        self
-    }
-    /// No-op: granularity hints are meaningless for sequential execution.
-    fn with_max_len(self, _max: usize) -> Self {
-        self
-    }
-}
-
-impl<I: Iterator> ParallelTuning for I {}
+use registry::Registry;
+use std::sync::Arc;
 
 /// The customary glob-import module, mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::{ParallelSlice, ParallelSliceMut, ParallelTuning};
+    pub use crate::iter::{
+        FromParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
 }
 
-/// Returns the number of threads a real pool would use (hardware threads).
+/// Number of threads parallel work on the current thread splits over: the
+/// current pool's size on a worker thread, the global pool's size elsewhere.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
+    registry::effective_parallelism()
 }
 
-/// Error type returned by [`ThreadPoolBuilder::build`] (never constructed).
+/// Error type returned by [`ThreadPoolBuilder::build`].
 #[derive(Debug)]
 pub struct ThreadPoolBuildError;
 
@@ -95,8 +79,7 @@ impl std::fmt::Display for ThreadPoolBuildError {
 
 impl std::error::Error for ThreadPoolBuildError {}
 
-/// Builder mirroring `rayon::ThreadPoolBuilder`; the pool it builds runs
-/// closures on the calling thread.
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
 #[derive(Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
@@ -108,62 +91,174 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Records the requested thread count (informational only in this shim).
-    pub fn num_threads(mut self, n: usize) -> Self {
-        self.num_threads = n;
+    /// Requests `num_threads` workers; `0` (the default) means the
+    /// environment-configured count (`QOKIT_THREADS`, else hardware).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
         self
     }
 
-    /// Builds the (sequential) pool. Never fails.
+    /// Builds the pool, spawning its workers.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool {
-            num_threads: if self.num_threads == 0 {
-                current_num_threads()
-            } else {
-                self.num_threads
-            },
-        })
+        let num_threads = if self.num_threads == 0 {
+            registry::default_num_threads()
+        } else {
+            self.num_threads
+        };
+        let registry = Registry::new(num_threads);
+        let handles = registry.spawn_workers();
+        Ok(ThreadPool { registry, handles })
     }
 }
 
-/// A "pool" that executes installed closures on the calling thread.
+/// An explicitly-sized work-stealing thread pool. Dropping the pool shuts
+/// its workers down (after any in-flight `install` has returned).
 pub struct ThreadPool {
-    num_threads: usize,
+    registry: Arc<Registry>,
+    handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ThreadPool {
-    /// Runs `op` (on the calling thread) and returns its result.
-    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
-        op()
+    /// Runs `op` inside this pool and returns its result: parallel
+    /// operations within `op` split across *this* pool's workers. Executes
+    /// inline when the calling thread already belongs to the pool.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        registry::in_registry(&self.registry, op)
     }
 
-    /// The thread count this pool was configured with.
+    /// The worker count this pool was built with.
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        self.registry.num_threads()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
-    fn shim_matches_std_iterators() {
-        let mut v: Vec<i64> = (0..100).collect();
-        v.par_iter_mut().with_min_len(8).for_each(|x| *x += 1);
-        let sum: i64 = v.par_iter().with_min_len(8).map(|&x| x).sum();
-        assert_eq!(sum, (1..=100).sum::<i64>());
-        let chunk_sums: Vec<i64> = v.par_chunks(10).map(|c| c.iter().sum()).collect();
-        assert_eq!(chunk_sums.len(), 10);
+    fn par_iter_matches_sequential() {
+        let mut v: Vec<i64> = (0..10_000).collect();
+        v.par_iter_mut().with_min_len(64).for_each(|x| *x += 1);
+        let sum: i64 = v.par_iter().with_min_len(64).map(|&x| x).sum();
+        assert_eq!(sum, (1..=10_000).sum::<i64>());
+        let chunk_sums: Vec<i64> = v.par_chunks(100).map(|c| c.iter().sum()).collect();
+        assert_eq!(chunk_sums.len(), 100);
+        assert_eq!(chunk_sums.iter().sum::<i64>(), sum);
     }
 
     #[test]
-    fn pool_install_runs_closure() {
-        let pool = super::ThreadPoolBuilder::new()
-            .num_threads(4)
-            .build()
-            .unwrap();
-        assert_eq!(pool.install(|| 2 + 2), 4);
-        assert_eq!(pool.current_num_threads(), 4);
+    fn zip_enumerate_shapes() {
+        let a: Vec<f64> = (0..4096).map(|i| i as f64).collect();
+        let mut b = vec![0.0f64; 4096];
+        b.par_iter_mut()
+            .with_min_len(32)
+            .zip(a.par_iter().with_min_len(32))
+            .enumerate()
+            .for_each(|(i, (dst, &src))| *dst = src + i as f64);
+        for (i, x) in b.iter().enumerate() {
+            assert_eq!(*x, 2.0 * i as f64);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_disjoint_writes() {
+        let mut v = vec![0u64; 8192];
+        v.par_chunks_mut(128).enumerate().for_each(|(ci, chunk)| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = (ci * 128 + i) as u64;
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| (0..1000).sum::<u64>(), || "right");
+        assert_eq!(a, 499_500);
+        assert_eq!(b, "right");
+    }
+
+    #[test]
+    fn join_nests_deeply() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(fib(16), 987);
+    }
+
+    #[test]
+    fn pool_install_scopes_execution() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3, "ops inside install must see the pool's size");
+        let n = pool.install(|| {
+            let v: Vec<usize> = (0..100).collect();
+            v.par_iter().with_min_len(1).map(|&x| x).sum::<usize>()
+        });
+        assert_eq!(n, 4950);
+    }
+
+    #[test]
+    fn scope_runs_all_spawns() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn reduce_with_identity() {
+        let v: Vec<u64> = (1..=64).collect();
+        let max = v.par_iter().map(|&x| x).reduce(|| 0, u64::max);
+        assert_eq!(max, 64);
+    }
+
+    #[test]
+    fn sum_of_empty_is_zero() {
+        let v: Vec<f64> = Vec::new();
+        let s: f64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn thread_env_parsing() {
+        use crate::registry::parse_thread_env;
+        // "0 or unset (or garbage) → hardware threads" — the contract
+        // Backend::auto() in qokit-statevec relies on via
+        // current_num_threads().
+        assert_eq!(parse_thread_env(None), None);
+        assert_eq!(parse_thread_env(Some("0")), None);
+        assert_eq!(parse_thread_env(Some("not-a-number")), None);
+        assert_eq!(parse_thread_env(Some("1")), Some(1));
+        assert_eq!(parse_thread_env(Some("4")), Some(4));
+        assert_eq!(parse_thread_env(Some(" 2 ")), Some(2));
     }
 }

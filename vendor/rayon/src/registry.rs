@@ -1,0 +1,604 @@
+//! The work-stealing execution engine: worker registries, jobs, latches.
+//!
+//! One [`Registry`] owns `num_threads` worker threads. Each worker has its
+//! own deque (newest-first for the owner, oldest-first for thieves) and the
+//! registry has a shared injector queue for work arriving from threads
+//! outside the pool. Everything is built on `std::sync` primitives —
+//! `Mutex`/`Condvar` for sleeping and atomics for latches — so the crate
+//! stays dependency-free.
+//!
+//! Blocking protocol: every state change another thread might be waiting on
+//! (job pushed, latch set, scope counter hitting zero, terminate flag) bumps
+//! an event counter under the sleep mutex and notifies the condvar. Sleepers
+//! snapshot the counter *before* searching for work and go to sleep only if
+//! it is unchanged, so no wakeup can be lost.
+
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+// ---------------------------------------------------------------- jobs
+
+/// Type-erased pointer to an executable job. The creator guarantees the
+/// pointee stays alive until `execute` completes (stack jobs are owned by a
+/// frame that blocks on the job's latch; heap jobs own themselves).
+pub(crate) struct JobRef {
+    data: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef is a one-shot handle moved to exactly one executor; the
+// Job impl is responsible for any interior synchronization.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    pub(crate) unsafe fn new<J: Job>(data: *const J) -> JobRef {
+        JobRef {
+            data: data as *const (),
+            execute_fn: exec_job::<J>,
+        }
+    }
+
+    pub(crate) fn data(&self) -> *const () {
+        self.data
+    }
+
+    pub(crate) fn execute(self) {
+        unsafe { (self.execute_fn)(self.data) }
+    }
+}
+
+unsafe fn exec_job<J: Job>(data: *const ()) {
+    J::execute(data as *const J);
+}
+
+/// Something executable through a type-erased [`JobRef`].
+pub(crate) trait Job {
+    /// # Safety
+    /// Called at most once, with `this` valid for the duration of the call.
+    unsafe fn execute(this: *const Self);
+}
+
+/// A job whose closure and result slot live on the owner's stack. Sound
+/// because the owner never leaves `join`/`install` until the job's latch is
+/// set, which keeps the borrowed frame alive for the job's whole run.
+pub(crate) struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<thread::Result<R>>>,
+    latch: Latch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F, registry: *const Registry) -> Self {
+        StackJob {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            latch: Latch::new(registry),
+        }
+    }
+
+    pub(crate) fn latch(&self) -> &Latch {
+        &self.latch
+    }
+
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef::new(self)
+    }
+
+    /// Runs the closure on the owner's thread (the job never escaped, or was
+    /// popped back before any thief saw it).
+    pub(crate) fn run_inline(self) -> R {
+        let func = self.func.into_inner().expect("job executed twice");
+        func()
+    }
+
+    /// Takes the stolen-execution result; re-raises the job's panic, if any.
+    /// Only valid after the latch is set.
+    pub(crate) fn into_result(self) -> R {
+        match self
+            .result
+            .into_inner()
+            .expect("latch set but no result stored")
+        {
+            Ok(r) => r,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+}
+
+impl<F, R> Job for StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    unsafe fn execute(this: *const Self) {
+        let this = &*this;
+        let func = (*this.func.get()).take().expect("job executed twice");
+        // Catch panics so a panicking task can never leave its joiner
+        // blocked forever; the payload is re-raised by `into_result`.
+        let result = panic::catch_unwind(AssertUnwindSafe(func));
+        *this.result.get() = Some(result);
+        this.latch.set();
+    }
+}
+
+/// A boxed, self-owning job (used by `scope::spawn`). The closure performs
+/// its own panic containment and completion signalling.
+pub(crate) struct HeapJob {
+    func: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl HeapJob {
+    pub(crate) fn new(func: Box<dyn FnOnce() + Send>) -> Box<Self> {
+        Box::new(HeapJob { func: Some(func) })
+    }
+
+    pub(crate) unsafe fn into_job_ref(self: Box<Self>) -> JobRef {
+        JobRef::new(Box::into_raw(self))
+    }
+}
+
+impl Job for HeapJob {
+    unsafe fn execute(this: *const Self) {
+        let mut job = Box::from_raw(this as *mut Self);
+        (job.func.take().expect("heap job executed twice"))();
+    }
+}
+
+// ---------------------------------------------------------------- latch
+
+/// One-shot completion flag that publishes through the registry's event
+/// counter so sleeping waiters wake up.
+pub(crate) struct Latch {
+    flag: AtomicBool,
+    registry: *const Registry,
+}
+
+// SAFETY: the raw registry pointer outlives every latch created against it —
+// worker threads hold an `Arc<Registry>` for as long as any job can run, and
+// the global registry is never dropped.
+unsafe impl Send for Latch {}
+unsafe impl Sync for Latch {}
+
+impl Latch {
+    pub(crate) fn new(registry: *const Registry) -> Latch {
+        Latch {
+            flag: AtomicBool::new(false),
+            registry,
+        }
+    }
+
+    pub(crate) fn probe(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn set(&self) {
+        // Copy the pointer out first: the instant the flag becomes visible,
+        // the owner may return and pop the stack frame holding `self`.
+        let registry = self.registry;
+        self.flag.store(true, Ordering::Release);
+        unsafe { (*registry).notify_all() };
+    }
+}
+
+// ---------------------------------------------------------------- registry
+
+/// A set of worker threads plus the queues that feed them.
+pub(crate) struct Registry {
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    injector: Mutex<VecDeque<JobRef>>,
+    num_threads: usize,
+    /// Event counter guarded by the sleep mutex; see module docs.
+    sleep: Mutex<u64>,
+    condvar: Condvar,
+    terminate: AtomicBool,
+}
+
+impl Registry {
+    pub(crate) fn new(num_threads: usize) -> Arc<Registry> {
+        let num_threads = num_threads.max(1);
+        Arc::new(Registry {
+            deques: (0..num_threads)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            injector: Mutex::new(VecDeque::new()),
+            num_threads,
+            sleep: Mutex::new(0),
+            condvar: Condvar::new(),
+            terminate: AtomicBool::new(false),
+        })
+    }
+
+    pub(crate) fn spawn_workers(self: &Arc<Self>) -> Vec<thread::JoinHandle<()>> {
+        (0..self.num_threads)
+            .map(|idx| {
+                let registry = Arc::clone(self);
+                thread::Builder::new()
+                    .name(format!("qokit-rayon-{idx}"))
+                    .spawn(move || worker_main(registry, idx))
+                    .expect("failed to spawn thread-pool worker")
+            })
+            .collect()
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    pub(crate) fn terminate(&self) {
+        self.terminate.store(true, Ordering::Release);
+        self.notify_all();
+    }
+
+    fn event_count(&self) -> u64 {
+        *self.sleep.lock().unwrap()
+    }
+
+    /// Publishes a state change: bumps the event counter and wakes sleepers.
+    pub(crate) fn notify_all(&self) {
+        let mut events = self.sleep.lock().unwrap();
+        *events = events.wrapping_add(1);
+        self.condvar.notify_all();
+    }
+
+    /// Sleeps until the event counter moves past `seen` (or `done` already
+    /// holds). The snapshot protocol is lossless for conditions signalled
+    /// through *this* registry (work pushes, latch sets, terminate), so no
+    /// timeout is needed: idle workers park until genuinely woken.
+    fn sleep_unless(&self, seen: u64, done: impl Fn() -> bool) {
+        let events = self.sleep.lock().unwrap();
+        if *events != seen || done() {
+            return;
+        }
+        drop(self.condvar.wait(events).unwrap());
+    }
+
+    /// Like [`Registry::sleep_unless`], but with a polling timeout — for
+    /// waits whose completion signal arrives at a *different* registry's
+    /// condvar (a worker of pool A blocked on pool B), which this registry
+    /// can never be notified about.
+    fn sleep_unless_foreign(&self, seen: u64, done: impl Fn() -> bool) {
+        let events = self.sleep.lock().unwrap();
+        if *events != seen || done() {
+            return;
+        }
+        drop(
+            self.condvar
+                .wait_timeout(events, Duration::from_millis(1))
+                .unwrap(),
+        );
+    }
+
+    /// Queues work from outside the pool.
+    pub(crate) fn inject(&self, job: JobRef) {
+        self.injector.lock().unwrap().push_back(job);
+        self.notify_all();
+    }
+
+    /// Queues work on worker `idx`'s own deque (depth-first position).
+    pub(crate) fn push_local(&self, idx: usize, job: JobRef) {
+        self.deques[idx].lock().unwrap().push_back(job);
+        self.notify_all();
+    }
+
+    /// Pops worker `idx`'s newest job *if* it is the one at `data` — i.e. if
+    /// no thief took it. Used by `join` to run the second closure inline.
+    fn pop_local_if(&self, idx: usize, data: *const ()) -> bool {
+        let mut deque = self.deques[idx].lock().unwrap();
+        if deque.back().is_some_and(|j| j.data() == data) {
+            deque.pop_back();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Finds a job: own deque newest-first, then steal oldest-first from
+    /// siblings (round-robin), then the injector.
+    fn find_work(&self, idx: usize) -> Option<JobRef> {
+        if let Some(job) = self.deques[idx].lock().unwrap().pop_back() {
+            return Some(job);
+        }
+        for offset in 1..self.num_threads {
+            let victim = (idx + offset) % self.num_threads;
+            if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        self.injector.lock().unwrap().pop_front()
+    }
+
+    /// Worker-side wait: keep executing other jobs until `done` holds.
+    /// This is what makes nested parallelism deadlock-free — a worker
+    /// blocked on a sub-task drains the rest of the queue instead of
+    /// parking. `foreign` must be `true` when `done` is signalled through a
+    /// different registry (see [`Registry::sleep_unless_foreign`]).
+    pub(crate) fn wait_while_helping(&self, idx: usize, done: impl Fn() -> bool, foreign: bool) {
+        while !done() {
+            let seen = self.event_count();
+            if let Some(job) = self.find_work(idx) {
+                job.execute();
+                continue;
+            }
+            if done() {
+                return;
+            }
+            if foreign {
+                self.sleep_unless_foreign(seen, &done);
+            } else {
+                self.sleep_unless(seen, &done);
+            }
+        }
+    }
+
+    /// Foreign-thread wait: plain blocking (threads outside the pool have no
+    /// deque to help from).
+    pub(crate) fn wait_external(&self, done: impl Fn() -> bool) {
+        while !done() {
+            let seen = self.event_count();
+            self.sleep_unless(seen, &done);
+        }
+    }
+}
+
+fn worker_main(registry: Arc<Registry>, idx: usize) {
+    WORKER.with(|w| w.set(Some((Arc::as_ptr(&registry), idx))));
+    loop {
+        let seen = registry.event_count();
+        if let Some(job) = registry.find_work(idx) {
+            job.execute();
+            continue;
+        }
+        if registry.terminate.load(Ordering::Acquire) {
+            break;
+        }
+        registry.sleep_unless(seen, || registry.terminate.load(Ordering::Acquire));
+    }
+    WORKER.with(|w| w.set(None));
+}
+
+thread_local! {
+    /// (registry, worker index) when the current thread is a pool worker.
+    /// The raw pointer is valid for the thread's lifetime: `worker_main`
+    /// owns an `Arc<Registry>` for as long as the slot is populated.
+    static WORKER: Cell<Option<(*const Registry, usize)>> = const { Cell::new(None) };
+}
+
+pub(crate) fn current_worker() -> Option<(*const Registry, usize)> {
+    WORKER.with(|w| w.get())
+}
+
+// ---------------------------------------------------------------- entry
+
+/// Runs `op` inside `registry`: inline when already on one of its workers,
+/// otherwise injected and awaited. This is the semantics of
+/// `ThreadPool::install` — parallel ops inside `op` split on that pool.
+pub(crate) fn in_registry<OP, R>(registry: &Arc<Registry>, op: OP) -> R
+where
+    OP: FnOnce() -> R + Send,
+    R: Send,
+{
+    if let Some((current, _)) = current_worker() {
+        if std::ptr::eq(current, Arc::as_ptr(registry)) {
+            return op();
+        }
+    }
+    let job = StackJob::new(op, Arc::as_ptr(registry));
+    unsafe { registry.inject(job.as_job_ref()) };
+    if let Some((current, idx)) = current_worker() {
+        // A worker of a *different* pool: keep its own pool busy meanwhile.
+        unsafe { (*current).wait_while_helping(idx, || job.latch().probe(), true) };
+    } else {
+        registry.wait_external(|| job.latch().probe());
+    }
+    job.into_result()
+}
+
+/// Potentially-parallel `join`; see the crate-level docs.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    match current_worker() {
+        Some((registry, idx)) => unsafe { join_on_worker(&*registry, idx, oper_a, oper_b) },
+        None => in_registry(global_registry(), move || join(oper_a, oper_b)),
+    }
+}
+
+unsafe fn join_on_worker<A, B, RA, RB>(
+    registry: &Registry,
+    idx: usize,
+    oper_a: A,
+    oper_b: B,
+) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(oper_b, registry as *const Registry);
+    registry.push_local(idx, job_b.as_job_ref());
+
+    // Run `a` ourselves. If it panics we must still synchronize with `b`
+    // (its job borrows this very stack frame) before unwinding.
+    let result_a = panic::catch_unwind(AssertUnwindSafe(oper_a));
+
+    if registry.pop_local_if(idx, &job_b as *const _ as *const ()) {
+        // Nobody stole `b`: run it inline.
+        match result_a {
+            Ok(ra) => (ra, job_b.run_inline()),
+            Err(payload) => {
+                drop(job_b); // never ran; discard
+                panic::resume_unwind(payload)
+            }
+        }
+    } else {
+        // Stolen: help with other work until the thief finishes.
+        registry.wait_while_helping(idx, || job_b.latch().probe(), false);
+        match result_a {
+            Ok(ra) => (ra, job_b.into_result()),
+            Err(payload) => panic::resume_unwind(payload), // a's panic wins
+        }
+    }
+}
+
+// ---------------------------------------------------------------- scope
+
+/// A fork-join scope; created by [`scope`].
+pub struct Scope<'scope> {
+    registry: *const Registry,
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    marker: std::marker::PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+// SAFETY: shared across worker threads only while the owning `scope` call
+// blocks; interior state is atomics + a mutex.
+unsafe impl Sync for Scope<'_> {}
+unsafe impl Send for Scope<'_> {}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `body` into the scope; it may borrow anything that outlives
+    /// the `scope` call.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let scope_ptr = self as *const Scope<'scope> as usize;
+        let func = move || {
+            // SAFETY: the `scope` call blocks until `pending` drains, so the
+            // Scope (and everything 'scope borrows) is still alive.
+            let scope: &Scope<'scope> = unsafe { &*(scope_ptr as *const Scope<'scope>) };
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| body(scope))) {
+                let mut slot = scope.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            // Copy the registry pointer out before the decrement: once
+            // `pending` hits zero the scope frame may die.
+            let registry = scope.registry;
+            if scope.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                unsafe { (*registry).notify_all() };
+            }
+        };
+        let func: Box<dyn FnOnce() + Send + 'scope> = Box::new(func);
+        // SAFETY: lifetime erasure; the job completes before 'scope ends
+        // because `scope` waits for `pending == 0`.
+        let func: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(func) };
+        let job_ref = unsafe { HeapJob::new(func).into_job_ref() };
+        if let Some((registry, idx)) = current_worker() {
+            if std::ptr::eq(registry, self.registry) {
+                unsafe { (*registry).push_local(idx, job_ref) };
+                return;
+            }
+        }
+        unsafe { (*self.registry).inject(job_ref) };
+    }
+}
+
+/// Creates a fork-join scope: closures spawned on it may borrow non-`'static`
+/// data, and `scope` does not return until every spawned task has finished.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let registry = match current_worker() {
+        // SAFETY: worker threads keep their registry alive; recover an Arc.
+        Some((registry, _)) => unsafe {
+            Arc::increment_strong_count(registry);
+            Arc::from_raw(registry)
+        },
+        None => Arc::clone(global_registry()),
+    };
+    in_registry(&registry, move || {
+        let (registry_ptr, idx) = current_worker().expect("scope body must run on a worker");
+        let scope = Scope {
+            registry: registry_ptr,
+            pending: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            marker: std::marker::PhantomData,
+        };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| op(&scope)));
+        // Drain the scope even if `op` itself panicked: spawned jobs borrow
+        // frames below us.
+        unsafe {
+            (*registry_ptr).wait_while_helping(
+                idx,
+                || scope.pending.load(Ordering::SeqCst) == 0,
+                false,
+            );
+        }
+        if let Some(payload) = scope.panic.lock().unwrap().take() {
+            panic::resume_unwind(payload);
+        }
+        match result {
+            Ok(r) => r,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    })
+}
+
+// ---------------------------------------------------------------- global
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// The lazily-created global registry. Its workers live for the whole
+/// process; their join handles are intentionally dropped.
+pub(crate) fn global_registry() -> &'static Arc<Registry> {
+    GLOBAL.get_or_init(|| {
+        let registry = Registry::new(default_num_threads());
+        drop(registry.spawn_workers());
+        registry
+    })
+}
+
+/// Parses a thread-count override: `Some(k)` for a positive integer, `None`
+/// for `0`, garbage, or absence (all meaning "use the hardware count").
+pub(crate) fn parse_thread_env(value: Option<&str>) -> Option<usize> {
+    match value?.trim().parse::<usize>() {
+        Ok(0) | Err(_) => None,
+        Ok(k) => Some(k),
+    }
+}
+
+/// Hardware thread count, floored at 1.
+pub(crate) fn hardware_threads() -> usize {
+    thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Default size for the global pool: `QOKIT_THREADS`, else
+/// `RAYON_NUM_THREADS`, else the hardware thread count.
+pub(crate) fn default_num_threads() -> usize {
+    parse_thread_env(std::env::var("QOKIT_THREADS").ok().as_deref())
+        .or_else(|| parse_thread_env(std::env::var("RAYON_NUM_THREADS").ok().as_deref()))
+        .unwrap_or_else(hardware_threads)
+}
+
+/// Thread count parallel operations on the current thread would split over,
+/// *without* forcing the global pool into existence.
+pub(crate) fn effective_parallelism() -> usize {
+    if let Some((registry, _)) = current_worker() {
+        unsafe { (*registry).num_threads() }
+    } else if let Some(global) = GLOBAL.get() {
+        global.num_threads()
+    } else {
+        default_num_threads()
+    }
+}

@@ -1,0 +1,164 @@
+//! Stress tests for the work-stealing pool: nested `install`, storms of
+//! tiny jobs, panic containment, and cross-pool composition. These guard
+//! the properties the qokit kernels rely on — above all, that no blocking
+//! pattern the simulator can produce deadlocks the pool.
+
+use rayon::prelude::*;
+use rayon::{join, scope, ThreadPool, ThreadPoolBuilder};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn pool(threads: usize) -> ThreadPool {
+    ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool construction never fails")
+}
+
+#[test]
+fn nested_install_same_pool_runs_inline() {
+    let p = pool(2);
+    let result = p.install(|| p.install(|| p.install(|| rayon::current_num_threads())));
+    assert_eq!(result, 2);
+}
+
+#[test]
+fn nested_install_across_pools() {
+    // A worker of pool A blocks on pool B; B's workers make progress
+    // independently, so this must complete.
+    let a = pool(2);
+    let b = pool(2);
+    let result = a.install(|| {
+        let inner = b.install(|| {
+            let v: Vec<u64> = (0..10_000).collect();
+            v.par_iter().with_min_len(16).map(|&x| x).sum::<u64>()
+        });
+        inner + 1
+    });
+    assert_eq!(result, 49_995_001);
+}
+
+#[test]
+fn many_small_jobs_drain() {
+    // Thousands of sub-min_len jobs: every one must run exactly once.
+    let p = pool(4);
+    let counter = AtomicUsize::new(0);
+    p.install(|| {
+        scope(|s| {
+            for _ in 0..2_000 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+    });
+    assert_eq!(counter.load(Ordering::SeqCst), 2_000);
+}
+
+#[test]
+fn deep_join_recursion_under_small_pool() {
+    // More concurrent joins than workers: forces the helping-wait path.
+    fn sum_range(lo: u64, hi: u64) -> u64 {
+        if hi - lo <= 8 {
+            return (lo..hi).sum();
+        }
+        let mid = lo + (hi - lo) / 2;
+        let (a, b) = join(|| sum_range(lo, mid), || sum_range(mid, hi));
+        a + b
+    }
+    let p = pool(2);
+    let total = p.install(|| sum_range(0, 1 << 14));
+    assert_eq!(total, (1u64 << 14) * ((1 << 14) - 1) / 2);
+}
+
+#[test]
+fn join_panic_propagates_and_pool_survives() {
+    let p = pool(2);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        p.install(|| {
+            join(|| 1 + 1, || -> usize { panic!("boom in b") });
+        })
+    }));
+    assert!(result.is_err(), "the task panic must reach the caller");
+    // The pool must still be fully operational afterwards.
+    let ok = p.install(|| {
+        let v: Vec<u32> = (0..1_000).collect();
+        v.par_iter().with_min_len(1).map(|&x| x).sum::<u32>()
+    });
+    assert_eq!(ok, 499_500);
+}
+
+#[test]
+fn scope_panic_propagates_after_drain() {
+    let p = pool(2);
+    let ran = AtomicUsize::new(0);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        p.install(|| {
+            scope(|s| {
+                let ran = &ran;
+                for i in 0..32 {
+                    s.spawn(move |_| {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                        if i == 7 {
+                            panic!("spawned task panic");
+                        }
+                    });
+                }
+            });
+        })
+    }));
+    assert!(result.is_err());
+    // Every spawned task ran (the scope drains before re-raising).
+    assert_eq!(ran.load(Ordering::SeqCst), 32);
+}
+
+#[test]
+fn parallel_ops_from_plain_thread_use_global_pool() {
+    // No install at all: the terminal op ships itself to the global pool.
+    let mut v = vec![1.0f64; 1 << 15];
+    v.par_iter_mut().with_min_len(256).for_each(|x| *x += 1.0);
+    let total: f64 = v.par_iter().with_min_len(256).sum();
+    assert_eq!(total, 2.0 * (1 << 15) as f64);
+}
+
+#[test]
+fn concurrent_installs_from_many_threads() {
+    // External threads hammering one pool concurrently must all complete.
+    let p = pool(2);
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            let p = &p;
+            s.spawn(move || {
+                let sum = p.install(|| {
+                    let v: Vec<u64> = (0..4_096).map(|i| i + t).collect();
+                    v.par_iter().with_min_len(64).map(|&x| x).sum::<u64>()
+                });
+                assert_eq!(sum, (0..4_096u64).map(|i| i + t).sum::<u64>());
+            });
+        }
+    });
+}
+
+#[test]
+fn oversubscribed_pool_correctness() {
+    // Way more workers than cores: results must not change.
+    let p = pool(16);
+    let reference: f64 = (0..(1 << 12)).map(|i| (i as f64).sqrt()).sum();
+    let parallel = p.install(|| {
+        let v: Vec<f64> = (0..(1 << 12)).map(|i| (i as f64).sqrt()).collect();
+        v.par_iter().with_min_len(8).sum::<f64>()
+    });
+    assert!((reference - parallel).abs() < 1e-9);
+}
+
+#[test]
+fn drop_and_rebuild_pools_repeatedly() {
+    for round in 0..16 {
+        let p = pool(1 + round % 4);
+        let n = p.install(|| {
+            let v: Vec<usize> = (0..512).collect();
+            v.par_iter().with_min_len(1).map(|&x| x).sum::<usize>()
+        });
+        assert_eq!(n, 512 * 511 / 2);
+        drop(p); // workers must shut down cleanly every round
+    }
+}
