@@ -1,0 +1,142 @@
+//! Batched parameter-sweep ablation — sweep throughput (points/sec) of the
+//! `SweepRunner` against a sequential single-point loop.
+//!
+//! The paper's headline workload is parameter optimization: thousands of
+//! `(γ, β)` evaluations over one fixed cost vector. This measures the
+//! coarse-grained layer built for that shape — one simulator shared via
+//! `Arc`, recycled state buffers, points as pool tasks — in both `nested`
+//! modes, against the honest baseline (a serial loop of
+//! `evolve_in_place` + energy with a reused buffer).
+//!
+//! Besides the human-readable table, the run is recorded to
+//! `BENCH_sweep.json` (override the path with `QOKIT_BENCH_JSON`) so the
+//! repository's performance trajectory is machine-readable.
+//!
+//! With `QOKIT_ABL_ASSERT=1` the binary exits non-zero unless the best
+//! batched configuration reaches at least 0.9× the sequential throughput —
+//! the CI guard that batching never *costs* performance (real speedup
+//! requires >1 core; `hw_threads` in the JSON records the context).
+
+use qokit_bench::{bench_n, fast_mode, fmt_time, print_table, time_median};
+use qokit_core::batch::{SweepNesting, SweepOptions, SweepPoint, SweepRunner};
+use qokit_core::{FurSimulator, QaoaSimulator, SimOptions};
+use qokit_statevec::ExecPolicy;
+use qokit_terms::labs::labs_terms;
+use std::io::Write;
+
+fn sweep_points(count: usize, p: usize) -> Vec<SweepPoint> {
+    (0..count)
+        .map(|i| {
+            let t = i as f64 / count as f64;
+            SweepPoint::new(
+                (0..p).map(|l| 0.1 + 0.4 * t + 0.01 * l as f64).collect(),
+                (0..p).map(|l| 0.7 - 0.3 * t - 0.01 * l as f64).collect(),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let n = bench_n(if fast_mode() { 10 } else { 16 });
+    let p = 4;
+    let count = if fast_mode() { 12 } else { 48 };
+    // 5-rep medians (matching abl_threads) keep the 0.9x CI gate away from
+    // single-run scheduler noise.
+    let reps = if fast_mode() { 2 } else { 5 };
+    let poly = labs_terms(n);
+    let points = sweep_points(count, p);
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    // Sequential baseline: one serial simulator, one reused buffer, one
+    // point at a time — what an optimizer loop did before batching.
+    let serial_sim = FurSimulator::with_options(
+        &poly,
+        SimOptions {
+            exec: ExecPolicy::serial(),
+            ..SimOptions::default()
+        },
+    );
+    let init = serial_sim.initial_state();
+    let mut buf = init.clone();
+    let mut sink = 0.0f64;
+    let t_seq = time_median(reps, || {
+        for pt in &points {
+            buf.amplitudes_mut().copy_from_slice(init.amplitudes());
+            serial_sim.evolve_in_place(&mut buf, &pt.gammas, &pt.betas);
+            sink += serial_sim
+                .cost_diagonal()
+                .expectation(buf.amplitudes(), ExecPolicy::serial());
+        }
+    });
+    std::hint::black_box(sink);
+    let seq_pps = count as f64 / t_seq;
+
+    let mut rows = vec![vec![
+        "sequential".to_string(),
+        fmt_time(t_seq),
+        format!("{seq_pps:.2}"),
+        "1.00x".to_string(),
+    ]];
+    let mut records = Vec::new();
+    let mut best_speedup = 0.0f64;
+    for (label, nested) in [
+        ("points-par", SweepNesting::PointsParallel),
+        ("kernels-par", SweepNesting::KernelsParallel),
+    ] {
+        let runner = SweepRunner::with_options(
+            FurSimulator::new(&poly),
+            SweepOptions {
+                exec: ExecPolicy::rayon(),
+                nested,
+            },
+        );
+        let t_batch = time_median(reps, || {
+            std::hint::black_box(runner.energies(&points));
+        });
+        let pps = count as f64 / t_batch;
+        let speedup = t_seq / t_batch;
+        best_speedup = best_speedup.max(speedup);
+        rows.push(vec![
+            label.to_string(),
+            fmt_time(t_batch),
+            format!("{pps:.2}"),
+            format!("{speedup:.2}x"),
+        ]);
+        records.push(format!(
+            "    {{\"mode\": \"{label}\", \"seconds\": {t_batch:.6e}, \"points_per_sec\": {pps:.4}, \"speedup_vs_sequential\": {speedup:.4}}}"
+        ));
+    }
+    print_table(
+        &format!(
+            "Sweep throughput, LABS n = {n}, p = {p}, {count} points (machine has {hw} hw threads)"
+        ),
+        &["mode", "batch", "points/sec", "speedup"],
+        &rows,
+    );
+    println!(
+        "\n(points-parallel shares one Arc'd cost vector and recycles per-worker state\n buffers: expect near-linear scaling in worker count once the machine has cores\n to spare, and ~1.0x on a single-core box)"
+    );
+
+    let json_path =
+        std::env::var("QOKIT_BENCH_JSON").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"abl_sweep\",\n  \"n_qubits\": {n},\n  \"p\": {p},\n  \"points\": {count},\n  \"hw_threads\": {hw},\n  \"reps\": {reps},\n  \"sequential_seconds\": {t_seq:.6e},\n  \"sequential_points_per_sec\": {seq_pps:.4},\n  \"best_speedup\": {best_speedup:.4},\n  \"modes\": [\n{}\n  ]\n}}\n",
+        records.join(",\n")
+    );
+    match std::fs::File::create(&json_path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(e) => eprintln!("\ncould not write {json_path}: {e}"),
+    }
+
+    if std::env::var("QOKIT_ABL_ASSERT").map_or(false, |v| v == "1") {
+        // CI gate: batching must never fall below 0.9x the sequential loop
+        // (speedup beyond 1.0x requires more than one core).
+        if best_speedup < 0.9 {
+            eprintln!("ASSERT FAILED: best batched speedup {best_speedup:.2}x < 0.9x sequential");
+            std::process::exit(1);
+        }
+        println!("assert ok: best batched speedup {best_speedup:.2}x >= 0.9x sequential");
+    }
+}

@@ -9,9 +9,12 @@
 //! * `QOKIT_BENCH_N` — overrides the largest qubit count benchmarked.
 //! * `QOKIT_BENCH_FAST=1` — shrinks every sweep for smoke-testing.
 //! * `QOKIT_BENCH_JSON` — output path for machine-readable results
-//!   (`abl_threads`; defaults to `BENCH_threads.json`).
+//!   (`abl_threads` defaults to `BENCH_threads.json`, `abl_sweep` to
+//!   `BENCH_sweep.json`).
 //! * `QOKIT_ABL_ASSERT=1` — makes `abl_threads` exit non-zero when the
-//!   parallel backend is slower than 0.8× serial (the CI guard).
+//!   parallel backend is slower than 0.8× serial, and `abl_sweep` when the
+//!   batched sweep is slower than 0.9× the sequential loop (the CI
+//!   guards).
 
 //!
 //! *Part of the qokit workspace — see the top-level `README.md` for the

@@ -1,0 +1,584 @@
+//! Batched `(γ, β)` parameter sweeps on the work-stealing pool.
+//!
+//! The paper's headline use case is parameter *optimization* (Fig. 1): the
+//! simulator is called thousands of times over one fixed cost vector while
+//! only the angles change. A [`SweepRunner`] exploits that shape directly —
+//! the precomputed [`CostVec`](qokit_costvec::CostVec) is shared across
+//! workers through one [`Arc`]`<`[`FurSimulator`]`>`, state buffers are
+//! recycled through a per-worker pool instead of being reallocated per
+//! point, and the points of a batch run as pool tasks under an
+//! [`ExecPolicy`].
+//!
+//! The [`SweepNesting`] knob picks where the parallelism goes:
+//!
+//! * [`SweepNesting::PointsParallel`] — one point per pool task, kernels
+//!   inside each evaluation strictly serial. Energies are **bit-identical**
+//!   to a serial sequential loop, regardless of pool size — the mode
+//!   deterministic optimizer drivers rely on.
+//! * [`SweepNesting::KernelsParallel`] — points evaluated one at a time,
+//!   each with fully parallel kernels. The right mode when points are few
+//!   and states are large.
+//! * [`SweepNesting::Auto`] — points-parallel when the batch has at least
+//!   as many points as the pool has workers, kernels-parallel otherwise.
+//!
+//! ```
+//! use qokit_core::batch::{SweepPoint, SweepRunner};
+//! use qokit_core::FurSimulator;
+//! use qokit_terms::maxcut::all_to_all_terms;
+//!
+//! let sim = FurSimulator::new(&all_to_all_terms(8, 0.5));
+//! let runner = SweepRunner::new(sim);
+//! // A 3-point sweep of the p = 1 (γ, β) plane.
+//! let energies = runner.energies_p1(&[(0.1, 0.4), (0.2, 0.4), (0.3, 0.4)]);
+//! assert_eq!(energies.len(), 3);
+//! assert!(energies.iter().all(|e| e.is_finite()));
+//! ```
+
+use crate::simulator::{FurSimulator, QaoaSimulator};
+use qokit_statevec::exec::{Backend, ExecPolicy};
+use qokit_statevec::StateVec;
+use rayon::prelude::*;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// One evaluation point of a sweep: the `p`-layer angle schedules.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// Phase angles `γ_1..γ_p`.
+    pub gammas: Vec<f64>,
+    /// Mixer angles `β_1..β_p`.
+    pub betas: Vec<f64>,
+}
+
+impl SweepPoint {
+    /// A point with explicit schedules (lengths are validated at
+    /// evaluation time, where a mismatch poisons only this point).
+    pub fn new(gammas: Vec<f64>, betas: Vec<f64>) -> Self {
+        SweepPoint { gammas, betas }
+    }
+
+    /// A depth-1 point — the `(γ, β)` plane of grid searches.
+    pub fn p1(gamma: f64, beta: f64) -> Self {
+        SweepPoint {
+            gammas: vec![gamma],
+            betas: vec![beta],
+        }
+    }
+
+    /// Circuit depth `p` of this point.
+    pub fn depth(&self) -> usize {
+        self.gammas.len()
+    }
+}
+
+/// Where a batched sweep puts its parallelism (the `nested` knob).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SweepNesting {
+    /// One point per pool task; kernels inside each evaluation run
+    /// serially. Deterministic: results are bit-identical to a serial
+    /// sequential loop for any pool size.
+    PointsParallel,
+    /// Points evaluated one at a time, each with parallel kernels —
+    /// preferable for few points over large states.
+    KernelsParallel,
+    /// [`PointsParallel`](SweepNesting::PointsParallel) when the batch has
+    /// at least as many points as the pool has workers, otherwise
+    /// [`KernelsParallel`](SweepNesting::KernelsParallel).
+    Auto,
+}
+
+/// Configuration for a [`SweepRunner`].
+#[derive(Copy, Clone, Debug)]
+pub struct SweepOptions {
+    /// Pool policy the sweep executes under. With a serial backend the
+    /// whole batch degenerates to a plain sequential loop (the reference
+    /// semantics every other mode is pinned against).
+    pub exec: ExecPolicy,
+    /// Parallelism placement.
+    pub nested: SweepNesting,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            exec: ExecPolicy::auto(),
+            nested: SweepNesting::Auto,
+        }
+    }
+}
+
+/// Error from a batched evaluation: the failing point's index and the
+/// panic message it produced. A panic poisons only its own point — the
+/// rest of the batch completes and the pool stays reusable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SweepError {
+    /// One point's evaluation panicked.
+    PointPanicked {
+        /// Index of the poisoned point within the batch.
+        index: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::PointPanicked { index, message } => {
+                write!(f, "sweep point {index} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Recycled state buffers, sharded by pool-worker index so concurrent
+/// tasks rarely contend on one lock. Shard 0 serves threads outside any
+/// pool; worker `i` maps to shard `1 + i mod (shards − 1)`.
+#[derive(Debug)]
+struct BufferPool {
+    shards: Vec<Mutex<Vec<StateVec>>>,
+}
+
+impl BufferPool {
+    fn new() -> Self {
+        // Sized past the ambient pool (floored at 8) so sweeps later
+        // installed into a larger explicit `with_threads` pool keep low
+        // shard contention: workers beyond the shard count share shards
+        // via the modulo in `shard()` (contention, never corruption), and
+        // empty spare shards cost one Mutex each.
+        let shards = rayon::current_num_threads().max(8) + 1;
+        BufferPool {
+            shards: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    fn shard(&self) -> &Mutex<Vec<StateVec>> {
+        let idx =
+            rayon::current_thread_index().map_or(0, |i| 1 + i % (self.shards.len() - 1).max(1));
+        &self.shards[idx.min(self.shards.len() - 1)]
+    }
+
+    /// A buffer of the right dimension; contents are unspecified (every
+    /// evaluation overwrites it with the initial state first).
+    fn checkout(&self, n_qubits: usize) -> StateVec {
+        let recycled = self.shard().lock().unwrap().pop();
+        match recycled {
+            Some(buf) if buf.n_qubits() == n_qubits => buf,
+            _ => StateVec::zero_state(n_qubits),
+        }
+    }
+
+    fn checkin(&self, buf: StateVec) {
+        self.shard().lock().unwrap().push(buf);
+    }
+}
+
+/// Batched evaluator of many `(γ, β)` points over one shared simulator.
+///
+/// Results are always **keyed by point index** — slot `i` of the output
+/// holds point `i`'s value no matter which worker computed it or in what
+/// order tasks completed.
+///
+/// ```
+/// use qokit_core::batch::{SweepNesting, SweepOptions, SweepPoint, SweepRunner};
+/// use qokit_core::{FurSimulator, QaoaSimulator};
+/// use qokit_statevec::ExecPolicy;
+/// use qokit_terms::labs::labs_terms;
+///
+/// let sim = FurSimulator::new(&labs_terms(7));
+/// let runner = SweepRunner::with_options(
+///     sim,
+///     SweepOptions {
+///         exec: ExecPolicy::rayon(),
+///         nested: SweepNesting::PointsParallel,
+///     },
+/// );
+/// let points: Vec<SweepPoint> = (0..8)
+///     .map(|i| SweepPoint::p1(0.05 * i as f64, 0.4))
+///     .collect();
+/// // Batched energies match one-at-a-time objective calls.
+/// let batched = runner.energies(&points);
+/// for (p, e) in points.iter().zip(&batched) {
+///     let solo = runner.simulator().objective(&p.gammas, &p.betas);
+///     assert!((e - solo).abs() < 1e-12);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct SweepRunner {
+    sim: Arc<FurSimulator>,
+    opts: SweepOptions,
+    buffers: BufferPool,
+}
+
+impl SweepRunner {
+    /// Wraps a simulator with default sweep options
+    /// ([`ExecPolicy::auto`], [`SweepNesting::Auto`]).
+    pub fn new(sim: FurSimulator) -> Self {
+        Self::with_options(sim, SweepOptions::default())
+    }
+
+    /// Wraps a simulator with explicit sweep options.
+    pub fn with_options(sim: FurSimulator, opts: SweepOptions) -> Self {
+        Self::from_arc(Arc::new(sim), opts)
+    }
+
+    /// Builds a runner on an already-shared simulator — several runners
+    /// (or a runner plus direct callers) can reference one cost vector
+    /// without duplicating the `2^n` diagonal.
+    pub fn from_arc(sim: Arc<FurSimulator>, opts: SweepOptions) -> Self {
+        SweepRunner {
+            sim,
+            opts,
+            buffers: BufferPool::new(),
+        }
+    }
+
+    /// The shared simulator (and, through it, the shared cost vector).
+    pub fn simulator(&self) -> &Arc<FurSimulator> {
+        &self.sim
+    }
+
+    /// The configured sweep options.
+    pub fn options(&self) -> &SweepOptions {
+        &self.opts
+    }
+
+    /// Evaluates every point, extracting a value from each evolved state
+    /// with `eval`. The closure receives the shared simulator, the evolved
+    /// state, and the kernel policy the point ran under (serial in
+    /// points-parallel mode — reductions inside `eval` must honor it for
+    /// the sweep to stay deterministic across pool sizes).
+    pub fn evaluate_with<R, F>(&self, points: &[SweepPoint], eval: F) -> Vec<Result<R, SweepError>>
+    where
+        R: Send,
+        F: Fn(&FurSimulator, &StateVec, ExecPolicy) -> R + Sync,
+    {
+        let policy = self.opts.exec;
+        if matches!(policy.backend, Backend::Serial) {
+            return self.run_sequential(points, ExecPolicy::serial(), &eval);
+        }
+        policy.install(|| match self.resolve_nesting(points.len()) {
+            SweepNesting::PointsParallel => self.run_points_parallel(points, &eval),
+            _ => self.run_sequential(points, policy, &eval),
+        })
+    }
+
+    /// Batched QAOA energies `⟨ψ(γ,β)|Ĉ|ψ(γ,β)⟩`, one per point, keyed by
+    /// point index.
+    ///
+    /// # Panics
+    /// If a point's evaluation panicked (with that point's message); use
+    /// [`try_energies`](Self::try_energies) for the recoverable form.
+    pub fn energies(&self, points: &[SweepPoint]) -> Vec<f64> {
+        self.try_energies(points).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Batched energies, or the first (lowest-index) failure as a clean
+    /// error. The remaining points still evaluate and the pool remains
+    /// reusable afterwards.
+    pub fn try_energies(&self, points: &[SweepPoint]) -> Result<Vec<f64>, SweepError> {
+        self.energies_checked(points).into_iter().collect()
+    }
+
+    /// Per-point energies with per-point failure: slot `i` is `Err` iff
+    /// point `i` panicked.
+    pub fn energies_checked(&self, points: &[SweepPoint]) -> Vec<Result<f64, SweepError>> {
+        self.evaluate_with(points, |sim, state, policy| {
+            sim.cost_diagonal().expectation(state.amplitudes(), policy)
+        })
+    }
+
+    /// Depth-1 convenience: energies over `(γ, β)` pairs — the shape grid
+    /// and random searches consume.
+    pub fn energies_p1(&self, points: &[(f64, f64)]) -> Vec<f64> {
+        let points: Vec<SweepPoint> = points.iter().map(|&(g, b)| SweepPoint::p1(g, b)).collect();
+        self.energies(&points)
+    }
+
+    fn resolve_nesting(&self, n_points: usize) -> SweepNesting {
+        match self.opts.nested {
+            SweepNesting::Auto => {
+                if n_points >= rayon::current_num_threads().max(1) {
+                    SweepNesting::PointsParallel
+                } else {
+                    SweepNesting::KernelsParallel
+                }
+            }
+            mode => mode,
+        }
+    }
+
+    /// One point per pool task, serial kernels inside.
+    fn run_points_parallel<R, F>(
+        &self,
+        points: &[SweepPoint],
+        eval: &F,
+    ) -> Vec<Result<R, SweepError>>
+    where
+        R: Send,
+        F: Fn(&FurSimulator, &StateVec, ExecPolicy) -> R + Sync,
+    {
+        let init = self.sim.initial_state();
+        let inner = ExecPolicy::serial();
+        // The position-preserving parallel collect keeps slot i = point i.
+        points
+            .par_iter()
+            .with_min_len(1)
+            .enumerate()
+            .map(|(index, point)| self.eval_one(index, point, &init, inner, eval))
+            .collect()
+    }
+
+    /// Sequential outer loop; kernels run under `inner` (parallel in
+    /// kernels-parallel mode, serial when the whole runner is serial).
+    fn run_sequential<R, F>(
+        &self,
+        points: &[SweepPoint],
+        inner: ExecPolicy,
+        eval: &F,
+    ) -> Vec<Result<R, SweepError>>
+    where
+        R: Send,
+        F: Fn(&FurSimulator, &StateVec, ExecPolicy) -> R + Sync,
+    {
+        let init = self.sim.initial_state();
+        points
+            .iter()
+            .enumerate()
+            .map(|(index, point)| self.eval_one(index, point, &init, inner, eval))
+            .collect()
+    }
+
+    fn eval_one<R, F>(
+        &self,
+        index: usize,
+        point: &SweepPoint,
+        init: &StateVec,
+        inner: ExecPolicy,
+        eval: &F,
+    ) -> Result<R, SweepError>
+    where
+        R: Send,
+        F: Fn(&FurSimulator, &StateVec, ExecPolicy) -> R + Sync,
+    {
+        let mut buf = self.buffers.checkout(init.n_qubits());
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            buf.amplitudes_mut().copy_from_slice(init.amplitudes());
+            self.sim
+                .evolve_in_place_with(&mut buf, &point.gammas, &point.betas, inner);
+            eval(&self.sim, &buf, inner)
+        }));
+        // A poisoned buffer is still safe to recycle: the next evaluation
+        // overwrites it with the initial state before any kernel runs.
+        self.buffers.checkin(buf);
+        outcome.map_err(|payload| SweepError::PointPanicked {
+            index,
+            message: panic_message(payload),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::{QaoaSimulator, SimOptions};
+    use crate::Mixer;
+    use qokit_terms::labs::labs_terms;
+
+    fn serial_sim(n: usize) -> FurSimulator {
+        FurSimulator::with_options(
+            &labs_terms(n),
+            SimOptions {
+                exec: ExecPolicy::serial(),
+                ..SimOptions::default()
+            },
+        )
+    }
+
+    fn points(k: usize) -> Vec<SweepPoint> {
+        (0..k)
+            .map(|i| {
+                SweepPoint::new(
+                    vec![0.05 * i as f64, -0.1],
+                    vec![0.4 - 0.02 * i as f64, 0.2],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_matches_sequential_loop_bit_identically() {
+        let sim = serial_sim(7);
+        let reference: Vec<f64> = points(9)
+            .iter()
+            .map(|p| {
+                let mut s = sim.initial_state();
+                sim.evolve_in_place_with(&mut s, &p.gammas, &p.betas, ExecPolicy::serial());
+                sim.cost_diagonal()
+                    .expectation(s.amplitudes(), ExecPolicy::serial())
+            })
+            .collect();
+        for nested in [SweepNesting::PointsParallel, SweepNesting::Auto] {
+            let runner = SweepRunner::with_options(
+                serial_sim(7),
+                SweepOptions {
+                    exec: ExecPolicy::rayon().with_min_len(1).with_min_chunk(4),
+                    nested,
+                },
+            );
+            let got = runner.energies(&points(9));
+            // Points-parallel keeps kernels serial: bit-identical results.
+            if matches!(nested, SweepNesting::PointsParallel) {
+                for (a, b) in reference.iter().zip(&got) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{nested:?}");
+                }
+            } else {
+                for (a, b) in reference.iter().zip(&got) {
+                    assert!((a - b).abs() < 1e-12, "{nested:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_parallel_agrees_within_tolerance() {
+        let runner = SweepRunner::with_options(
+            serial_sim(8),
+            SweepOptions {
+                exec: ExecPolicy::rayon().with_min_len(1).with_min_chunk(8),
+                nested: SweepNesting::KernelsParallel,
+            },
+        );
+        let serial = SweepRunner::with_options(
+            serial_sim(8),
+            SweepOptions {
+                exec: ExecPolicy::serial(),
+                nested: SweepNesting::KernelsParallel,
+            },
+        );
+        let pts = points(5);
+        for (a, b) in runner.energies(&pts).iter().zip(serial.energies(&pts)) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn serial_backend_is_a_plain_sequential_loop() {
+        let runner = SweepRunner::with_options(
+            serial_sim(6),
+            SweepOptions {
+                exec: ExecPolicy::serial(),
+                nested: SweepNesting::PointsParallel,
+            },
+        );
+        let sim = serial_sim(6);
+        for (p, e) in points(4).iter().zip(runner.energies(&points(4))) {
+            assert_eq!(sim.objective(&p.gammas, &p.betas).to_bits(), e.to_bits());
+        }
+    }
+
+    #[test]
+    fn xy_mixer_sweeps_work() {
+        let sim = FurSimulator::with_options(
+            &labs_terms(6),
+            SimOptions {
+                mixer: Mixer::XyRing,
+                exec: ExecPolicy::serial(),
+                ..SimOptions::default()
+            },
+        );
+        let reference: Vec<f64> = points(6)
+            .iter()
+            .map(|p| sim.objective(&p.gammas, &p.betas))
+            .collect();
+        let runner = SweepRunner::with_options(
+            FurSimulator::with_options(
+                &labs_terms(6),
+                SimOptions {
+                    mixer: Mixer::XyRing,
+                    exec: ExecPolicy::serial(),
+                    ..SimOptions::default()
+                },
+            ),
+            SweepOptions {
+                exec: ExecPolicy::rayon().with_min_len(1).with_min_chunk(4),
+                nested: SweepNesting::PointsParallel,
+            },
+        );
+        for (a, b) in reference.iter().zip(runner.energies(&points(6))) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn panicking_point_poisons_only_itself() {
+        let runner = SweepRunner::new(serial_sim(5));
+        let mut pts = points(5);
+        // Length mismatch: evaluation of this point panics.
+        pts[2] = SweepPoint::new(vec![0.1, 0.2], vec![0.3]);
+        let checked = runner.energies_checked(&pts);
+        for (i, r) in checked.iter().enumerate() {
+            if i == 2 {
+                assert!(matches!(r, Err(SweepError::PointPanicked { index: 2, .. })));
+            } else {
+                assert!(r.is_ok(), "point {i} must survive");
+            }
+        }
+        let err = runner.try_energies(&pts).unwrap_err();
+        assert!(err.to_string().contains("point 2"), "{err}");
+        // The runner (and its pool) stays fully usable.
+        let ok = runner.energies(&points(3));
+        assert_eq!(ok.len(), 3);
+    }
+
+    #[test]
+    fn evaluate_with_extracts_custom_outputs() {
+        let runner = SweepRunner::new(serial_sim(6));
+        let overlaps: Vec<f64> = runner
+            .evaluate_with(&points(4), |sim, state, _| {
+                sim.cost_diagonal().overlap(state.amplitudes())
+            })
+            .into_iter()
+            .map(Result::unwrap)
+            .collect();
+        assert!(overlaps.iter().all(|&o| (0.0..=1.0).contains(&o)));
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let runner = SweepRunner::new(serial_sim(4));
+        assert!(runner.energies(&[]).is_empty());
+    }
+
+    #[test]
+    fn shared_arc_does_not_clone_the_cost_vector() {
+        let sim = Arc::new(serial_sim(6));
+        let runner = SweepRunner::from_arc(Arc::clone(&sim), SweepOptions::default());
+        assert_eq!(Arc::strong_count(&sim), 2);
+        assert!(std::ptr::eq(
+            sim.cost_diagonal(),
+            runner.simulator().cost_diagonal()
+        ));
+    }
+
+    #[test]
+    fn p1_convenience_matches_general_points() {
+        let runner = SweepRunner::new(serial_sim(6));
+        let pairs = [(0.1, 0.5), (0.2, 0.3)];
+        let a = runner.energies_p1(&pairs);
+        let b = runner.energies(&[SweepPoint::p1(0.1, 0.5), SweepPoint::p1(0.2, 0.3)]);
+        assert_eq!(a, b);
+    }
+}

@@ -215,13 +215,27 @@ impl FurSimulator {
     /// set, the whole evolution is installed into a pool of that size so
     /// every kernel splits across exactly those workers.
     pub fn evolve_in_place(&self, state: &mut StateVec, gammas: &[f64], betas: &[f64]) {
+        self.evolve_in_place_with(state, gammas, betas, self.options.exec);
+    }
+
+    /// As [`evolve_in_place`](Self::evolve_in_place), but under an explicit
+    /// policy instead of the constructed one. This is the hook batched
+    /// sweeps use: one shared simulator, many concurrent evaluations, each
+    /// with its own kernel policy (serial inside point-parallel sweeps,
+    /// parallel inside kernel-parallel ones).
+    pub fn evolve_in_place_with(
+        &self,
+        state: &mut StateVec,
+        gammas: &[f64],
+        betas: &[f64],
+        policy: ExecPolicy,
+    ) {
         assert_eq!(
             gammas.len(),
             betas.len(),
             "gamma and beta must have the same length p"
         );
         assert_eq!(state.n_qubits(), self.n, "state has wrong qubit count");
-        let policy = self.options.exec;
         policy.install(|| {
             for (&gamma, &beta) in gammas.iter().zip(betas.iter()) {
                 self.costs

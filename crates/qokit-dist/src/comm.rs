@@ -1,21 +1,28 @@
-//! Simulated MPI communicator (§III-C substitution).
+//! Simulated MPI collectives on the work-stealing pool (§III-C
+//! substitution).
 //!
-//! The paper runs on K GPUs connected by Cray MPICH; here K "ranks" are
-//! OS threads exchanging owned buffers over channels. The collective that
-//! matters is `MPI_Alltoall`: rank `r` splits its slice into K subchunks
-//! and sends subchunk `j` to rank `j`, receiving subchunk `r` of every
-//! peer — the `V_abc → V_bac` transpose of Algorithm 4. Byte counters let
-//! the benchmarks report communication volume exactly.
+//! The paper runs on K GPUs connected by Cray MPICH. Earlier revisions of
+//! this module simulated that with K OS threads blocking inside
+//! channel-based collectives — a model that cannot move onto the
+//! work-stealing pool: a rank parked inside `MPI_Alltoall` would pin its
+//! worker while the peers it waits for sit unscheduled in the queue,
+//! deadlocking any pool smaller than K. The execution model here is
+//! therefore **BSP** (bulk-synchronous parallel): ranks advance through
+//! *supersteps* that run as pool tasks ([`BspComm::superstep`]), and the
+//! driver applies each collective between supersteps. The data movement is
+//! byte-for-byte what the threaded version exchanged — [`CommStats`]
+//! reports identical volumes — and rank teardown goes through the pool's
+//! panic-safe scoped execution: a failing rank unwinds through the
+//! superstep instead of leaking a detached thread.
 //!
-//! SPMD discipline: every rank calls the same collectives in the same
-//! order (enforced by construction — the worker closure is shared), so
-//! per-sender FIFO channel ordering is enough to match messages to
-//! collectives without sequence tags.
+//! The collective that matters is [`BspComm::alltoall`]: rank `r`'s slice
+//! splits into K subchunks, subchunk `j` moves to rank `j` — the
+//! `V_abc → V_bac` transpose of Algorithm 4. Scalar all-reduces combine
+//! contributions in rank order, so results are bit-identical regardless of
+//! pool size.
 
 use qokit_statevec::C64;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Barrier};
+use rayon::prelude::*;
 
 /// Bytes moved between ranks, per rank (local self-copies excluded, like
 /// MPI counts).
@@ -34,28 +41,27 @@ impl CommStats {
     }
 }
 
-struct Mailboxes {
-    /// data_tx[dst] delivers `(src, payload)` to rank `dst`.
-    data_tx: Vec<Sender<(usize, Vec<C64>)>>,
-    scalar_tx: Vec<Sender<(usize, f64)>>,
-}
-
-/// Per-rank communicator handle passed to the SPMD worker closure.
-pub struct RankCtx {
-    rank: usize,
+/// Driver handle for a K-rank BSP computation: runs supersteps as pool
+/// tasks and performs the collectives between them, counting traffic.
+#[derive(Debug)]
+pub struct BspComm {
     size: usize,
-    mail: Arc<Mailboxes>,
-    data_rx: Receiver<(usize, Vec<C64>)>,
-    scalar_rx: Receiver<(usize, f64)>,
-    barrier: Arc<Barrier>,
-    bytes_sent: Arc<Vec<AtomicU64>>,
-    alltoall_calls: Arc<AtomicU64>,
+    bytes_sent_per_rank: Vec<u64>,
+    alltoall_calls: u64,
 }
 
-impl RankCtx {
-    /// This rank's id in `0..size`.
-    pub fn rank(&self) -> usize {
-        self.rank
+impl BspComm {
+    /// A communicator over `size` ranks.
+    ///
+    /// # Panics
+    /// If `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "need at least one rank");
+        BspComm {
+            size,
+            bytes_sent_per_rank: vec![0; size],
+            alltoall_calls: 0,
+        }
     }
 
     /// Number of ranks K.
@@ -63,163 +69,135 @@ impl RankCtx {
         self.size
     }
 
-    /// Synchronizes all ranks.
-    pub fn barrier(&self) {
-        self.barrier.wait();
-    }
-
-    /// In-place `MPI_Alltoall` on a local slice: subchunk `j` goes to rank
-    /// `j`; subchunk `s` is replaced by the data received from rank `s`.
+    /// Runs `step(rank, state)` for every rank as pool tasks — one BSP
+    /// superstep. Returns when every rank's step has finished (the
+    /// implicit barrier); a panicking rank propagates cleanly through the
+    /// pool's scoped execution after the superstep drains.
     ///
     /// # Panics
-    /// If the slice length is not divisible by the rank count.
-    pub fn alltoall(&self, local: &mut [C64]) {
-        let k = self.size;
-        assert!(
-            local.len() % k == 0 && local.len() / k > 0,
-            "slice length {} not divisible into {k} subchunks",
-            local.len()
+    /// If `states.len() != self.size()`, or a rank's step panicked.
+    pub fn superstep<S, F>(&self, states: &mut [S], step: F)
+    where
+        S: Send,
+        F: Fn(usize, &mut S) + Sync,
+    {
+        let _ = self.superstep_map(states, |rank, state| step(rank, state));
+    }
+
+    /// As [`superstep`](Self::superstep), additionally collecting each
+    /// rank's return value in rank order (never completion order).
+    pub fn superstep_map<S, T, F>(&self, states: &mut [S], step: F) -> Vec<T>
+    where
+        S: Send,
+        T: Send,
+        F: Fn(usize, &mut S) -> T + Sync,
+    {
+        assert_eq!(
+            states.len(),
+            self.size,
+            "superstep needs one state per rank"
         );
-        let sub = local.len() / k;
+        // The position-preserving parallel collect keeps slot r = rank r.
+        states
+            .par_iter_mut()
+            .with_min_len(1)
+            .enumerate()
+            .map(|(rank, state)| step(rank, state))
+            .collect()
+    }
+
+    /// `MPI_Alltoall` over all ranks' slices: subchunk `j` of rank `r`
+    /// becomes subchunk `r` of rank `j` (the Algorithm-4 transpose). Each
+    /// rank is counted as sending its K−1 off-diagonal subchunks; with one
+    /// rank the transpose is the identity and nothing is counted.
+    ///
+    /// # Panics
+    /// If slice lengths differ, or are not divisible into K non-empty
+    /// subchunks.
+    pub fn alltoall(&mut self, slices: &mut [&mut [C64]]) {
+        let k = self.size;
+        assert_eq!(slices.len(), k, "alltoall needs one slice per rank");
+        let len = slices[0].len();
+        assert!(
+            slices.iter().all(|s| s.len() == len),
+            "alltoall slices must have equal lengths"
+        );
+        assert!(
+            len % k == 0 && len / k > 0,
+            "slice length {len} not divisible into {k} subchunks"
+        );
         if k == 1 {
             return; // single rank: transpose is the identity
         }
-        for dst in 0..k {
-            if dst == self.rank {
-                continue; // own subchunk stays in place
+        let sub = len / k;
+        for r in 0..k {
+            for j in r + 1..k {
+                let (head, tail) = slices.split_at_mut(j);
+                head[r][j * sub..(j + 1) * sub]
+                    .swap_with_slice(&mut tail[0][r * sub..(r + 1) * sub]);
             }
-            let payload = local[dst * sub..(dst + 1) * sub].to_vec();
-            self.bytes_sent[self.rank].fetch_add(
-                (payload.len() * std::mem::size_of::<C64>()) as u64,
-                Ordering::Relaxed,
-            );
-            self.mail.data_tx[dst]
-                .send((self.rank, payload))
-                .expect("peer rank hung up");
         }
-        for _ in 0..k - 1 {
-            let (src, payload) = self.data_rx.recv().expect("peer rank hung up");
-            local[src * sub..(src + 1) * sub].copy_from_slice(&payload);
+        let payload = ((k - 1) * sub * std::mem::size_of::<C64>()) as u64;
+        for bytes in &mut self.bytes_sent_per_rank {
+            *bytes += payload;
         }
-        if self.rank == 0 {
-            self.alltoall_calls.fetch_add(1, Ordering::Relaxed);
-        }
-        // The collective completes on all ranks before anyone proceeds —
-        // matching MPI_Alltoall's completion semantics.
-        self.barrier();
+        self.alltoall_calls += 1;
     }
 
-    /// All-reduce of one scalar with a binary operation (every rank gets
-    /// the reduction of all contributions, applied in rank order).
-    pub fn allreduce(&self, value: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
-        if self.size == 1 {
-            return value;
-        }
-        for dst in 0..self.size {
-            if dst != self.rank {
-                self.mail.scalar_tx[dst]
-                    .send((self.rank, value))
-                    .expect("peer rank hung up");
-            }
-        }
-        let mut received: Vec<(usize, f64)> = vec![(self.rank, value)];
-        for _ in 0..self.size - 1 {
-            received.push(self.scalar_rx.recv().expect("peer rank hung up"));
-        }
-        // Rank-order reduction keeps the result bit-identical on all ranks.
-        received.sort_by_key(|&(src, _)| src);
-        let mut acc = received[0].1;
-        for &(_, v) in &received[1..] {
+    /// All-reduce of one scalar per rank with a binary operation, applied
+    /// in rank order — bit-identical for any pool size.
+    ///
+    /// # Panics
+    /// If `contributions.len() != self.size()`.
+    pub fn allreduce(&self, contributions: &[f64], op: impl Fn(f64, f64) -> f64) -> f64 {
+        assert_eq!(
+            contributions.len(),
+            self.size,
+            "allreduce needs one contribution per rank"
+        );
+        let mut acc = contributions[0];
+        for &v in &contributions[1..] {
             acc = op(acc, v);
         }
-        self.barrier();
         acc
     }
 
-    /// Sum all-reduce.
-    pub fn allreduce_sum(&self, value: f64) -> f64 {
-        self.allreduce(value, |a, b| a + b)
+    /// Sum all-reduce (rank order).
+    pub fn allreduce_sum(&self, contributions: &[f64]) -> f64 {
+        self.allreduce(contributions, |a, b| a + b)
     }
 
     /// Min all-reduce.
-    pub fn allreduce_min(&self, value: f64) -> f64 {
-        self.allreduce(value, f64::min)
+    pub fn allreduce_min(&self, contributions: &[f64]) -> f64 {
+        self.allreduce(contributions, f64::min)
     }
-}
 
-/// Runs `worker` on `size` rank threads (SPMD) and returns each rank's
-/// result in rank order, together with communication statistics.
-///
-/// # Panics
-/// If `size` is zero or a worker panics.
-pub fn spmd<T, F>(size: usize, worker: F) -> (Vec<T>, CommStats)
-where
-    T: Send,
-    F: Fn(&RankCtx) -> T + Sync,
-{
-    assert!(size > 0, "need at least one rank");
-    let mut data_tx = Vec::with_capacity(size);
-    let mut data_rx = Vec::with_capacity(size);
-    let mut scalar_tx = Vec::with_capacity(size);
-    let mut scalar_rx = Vec::with_capacity(size);
-    for _ in 0..size {
-        let (tx, rx) = channel();
-        data_tx.push(tx);
-        data_rx.push(rx);
-        let (tx, rx) = channel();
-        scalar_tx.push(tx);
-        scalar_rx.push(rx);
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> CommStats {
+        CommStats {
+            bytes_sent_per_rank: self.bytes_sent_per_rank.clone(),
+            alltoall_calls: self.alltoall_calls,
+        }
     }
-    let mail = Arc::new(Mailboxes { data_tx, scalar_tx });
-    let barrier = Arc::new(Barrier::new(size));
-    let bytes_sent: Arc<Vec<AtomicU64>> = Arc::new((0..size).map(|_| AtomicU64::new(0)).collect());
-    let alltoall_calls = Arc::new(AtomicU64::new(0));
-
-    let mut results: Vec<Option<T>> = (0..size).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(size);
-        for (rank, (drx, srx)) in data_rx.into_iter().zip(scalar_rx).enumerate() {
-            let ctx = RankCtx {
-                rank,
-                size,
-                mail: Arc::clone(&mail),
-                data_rx: drx,
-                scalar_rx: srx,
-                barrier: Arc::clone(&barrier),
-                bytes_sent: Arc::clone(&bytes_sent),
-                alltoall_calls: Arc::clone(&alltoall_calls),
-            };
-            let worker = &worker;
-            handles.push(scope.spawn(move || worker(&ctx)));
-        }
-        for (rank, h) in handles.into_iter().enumerate() {
-            results[rank] = Some(h.join().expect("rank thread panicked"));
-        }
-    });
-
-    let stats = CommStats {
-        bytes_sent_per_rank: bytes_sent
-            .iter()
-            .map(|a| a.load(Ordering::Relaxed))
-            .collect(),
-        alltoall_calls: alltoall_calls.load(Ordering::Relaxed),
-    };
-    (results.into_iter().map(Option::unwrap).collect(), stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn refs(v: &mut [Vec<C64>]) -> Vec<&mut [C64]> {
+        v.iter_mut().map(|s| s.as_mut_slice()).collect()
+    }
 
     #[test]
     fn single_rank_alltoall_is_identity() {
-        let (results, stats) = spmd(1, |ctx| {
-            let mut v = vec![C64::from_re(1.0), C64::from_re(2.0)];
-            ctx.alltoall(&mut v);
-            v
-        });
-        assert_eq!(results[0][1], C64::from_re(2.0));
-        assert_eq!(stats.total_bytes(), 0);
+        let mut comm = BspComm::new(1);
+        let mut v = vec![vec![C64::from_re(1.0), C64::from_re(2.0)]];
+        comm.alltoall(&mut refs(&mut v));
+        assert_eq!(v[0][1], C64::from_re(2.0));
+        assert_eq!(comm.stats().total_bytes(), 0);
+        assert_eq!(comm.stats().alltoall_calls, 0);
     }
 
     #[test]
@@ -229,19 +207,20 @@ mod tests {
         // value s*K+r at block s.
         let k = 4;
         let sub = 3;
-        let (results, stats) = spmd(k, |ctx| {
-            let r = ctx.rank();
-            let mut v: Vec<C64> = (0..k * sub)
-                .map(|i| C64::from_re((r * k + i / sub) as f64))
-                .collect();
-            ctx.alltoall(&mut v);
-            v
-        });
-        for (r, v) in results.iter().enumerate() {
+        let mut comm = BspComm::new(k);
+        let mut v: Vec<Vec<C64>> = (0..k)
+            .map(|r| {
+                (0..k * sub)
+                    .map(|i| C64::from_re((r * k + i / sub) as f64))
+                    .collect()
+            })
+            .collect();
+        comm.alltoall(&mut refs(&mut v));
+        for (r, slice) in v.iter().enumerate() {
             for s in 0..k {
                 for e in 0..sub {
                     assert_eq!(
-                        v[s * sub + e],
+                        slice[s * sub + e],
                         C64::from_re((s * k + r) as f64),
                         "rank {r}, block {s}"
                     );
@@ -250,80 +229,115 @@ mod tests {
         }
         // Each rank sends (K-1) subchunks of `sub` C64s.
         let expected = (k * (k - 1) * sub * 16) as u64;
-        assert_eq!(stats.total_bytes(), expected);
-        assert_eq!(stats.alltoall_calls, 1);
+        assert_eq!(comm.stats().total_bytes(), expected);
+        assert_eq!(comm.stats().alltoall_calls, 1);
     }
 
     #[test]
     fn alltoall_twice_restores() {
         let k = 4;
         let sub = 2;
-        let (results, _) = spmd(k, |ctx| {
-            let orig: Vec<C64> = (0..k * sub)
-                .map(|i| C64::new(ctx.rank() as f64, i as f64))
-                .collect();
-            let mut v = orig.clone();
-            ctx.alltoall(&mut v);
-            ctx.alltoall(&mut v);
-            (orig, v)
-        });
-        for (orig, v) in results {
-            assert_eq!(orig, v);
-        }
+        let mut comm = BspComm::new(k);
+        let orig: Vec<Vec<C64>> = (0..k)
+            .map(|r| (0..k * sub).map(|i| C64::new(r as f64, i as f64)).collect())
+            .collect();
+        let mut v = orig.clone();
+        comm.alltoall(&mut refs(&mut v));
+        comm.alltoall(&mut refs(&mut v));
+        assert_eq!(orig, v);
+        assert_eq!(comm.stats().alltoall_calls, 2);
     }
 
     #[test]
     fn allreduce_sum_and_min() {
-        let (results, _) = spmd(5, |ctx| {
-            let v = ctx.rank() as f64 + 1.0;
-            (ctx.allreduce_sum(v), ctx.allreduce_min(v))
+        let comm = BspComm::new(5);
+        let vals: Vec<f64> = (0..5).map(|r| r as f64 + 1.0).collect();
+        assert_eq!(comm.allreduce_sum(&vals), 15.0);
+        assert_eq!(comm.allreduce_min(&vals), 1.0);
+    }
+
+    #[test]
+    fn allreduce_matches_rank_order_fold() {
+        // The reduction must associate left-to-right in rank order — the
+        // bit-determinism contract downstream outputs rely on.
+        let comm = BspComm::new(7);
+        let vals: Vec<f64> = (0..7).map(|r| 0.1 * (r as f64 + 1.0)).collect();
+        let expect = vals[1..].iter().fold(vals[0], |a, b| a + b);
+        assert_eq!(comm.allreduce_sum(&vals).to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn superstep_runs_every_rank_with_its_index() {
+        let comm = BspComm::new(6);
+        let mut states: Vec<usize> = vec![0; 6];
+        let calls = AtomicUsize::new(0);
+        comm.superstep(&mut states, |rank, state| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            *state = rank * 10;
         });
-        for (sum, min) in results {
-            assert_eq!(sum, 15.0);
-            assert_eq!(min, 1.0);
-        }
+        assert_eq!(calls.load(Ordering::SeqCst), 6);
+        assert_eq!(states, vec![0, 10, 20, 30, 40, 50]);
     }
 
     #[test]
-    fn allreduce_is_deterministic_across_ranks() {
-        let (results, _) = spmd(7, |ctx| ctx.allreduce_sum(0.1 * (ctx.rank() as f64 + 1.0)));
-        for w in results.windows(2) {
-            assert_eq!(w[0].to_bits(), w[1].to_bits(), "must be bit-identical");
-        }
+    fn superstep_map_collects_in_rank_order() {
+        let comm = BspComm::new(5);
+        let mut states: Vec<f64> = (0..5).map(|r| r as f64).collect();
+        let out = comm.superstep_map(&mut states, |rank, s| *s + rank as f64);
+        assert_eq!(out, vec![0.0, 2.0, 4.0, 6.0, 8.0]);
     }
 
     #[test]
-    #[should_panic(expected = "rank thread panicked")]
+    fn panicking_rank_propagates_and_pool_stays_usable() {
+        // A failing rank unwinds through the pool's scoped execution — no
+        // detached OS thread, and the pool keeps working afterwards.
+        let comm = BspComm::new(4);
+        let mut states = vec![0usize; 4];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            comm.superstep(&mut states, |rank, _| {
+                if rank == 2 {
+                    panic!("rank 2 failed");
+                }
+            });
+        }));
+        assert!(result.is_err(), "the rank panic must reach the driver");
+        let mut states = vec![0usize; 4];
+        comm.superstep(&mut states, |rank, s| *s = rank + 1);
+        assert_eq!(states, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
     fn alltoall_rejects_indivisible_slice() {
-        // The length assertion fires inside a rank thread; spmd surfaces it
-        // as a join failure.
-        let (_, _) = spmd(3, |ctx| {
-            let mut v = vec![C64::ZERO; 4];
-            ctx.alltoall(&mut v);
-        });
+        let mut comm = BspComm::new(3);
+        let mut v: Vec<Vec<C64>> = (0..3).map(|_| vec![C64::ZERO; 4]).collect();
+        comm.alltoall(&mut refs(&mut v));
     }
 
     #[test]
     fn consecutive_collectives_do_not_cross_talk() {
         let k = 3;
-        let (results, _) = spmd(k, |ctx| {
-            let mut a: Vec<C64> = (0..k)
-                .map(|i| C64::from_re((ctx.rank() * k + i) as f64))
-                .collect();
-            let mut b: Vec<C64> = (0..k)
-                .map(|i| C64::from_re(100.0 + (ctx.rank() * k + i) as f64))
-                .collect();
-            ctx.alltoall(&mut a);
-            ctx.alltoall(&mut b);
-            let s = ctx.allreduce_sum(1.0);
-            (a, b, s)
-        });
-        for (r, (a, b, s)) in results.iter().enumerate() {
-            assert_eq!(*s, k as f64);
+        let mut comm = BspComm::new(k);
+        let mut a: Vec<Vec<C64>> = (0..k)
+            .map(|r| (0..k).map(|i| C64::from_re((r * k + i) as f64)).collect())
+            .collect();
+        let mut b: Vec<Vec<C64>> = (0..k)
+            .map(|r| {
+                (0..k)
+                    .map(|i| C64::from_re(100.0 + (r * k + i) as f64))
+                    .collect()
+            })
+            .collect();
+        comm.alltoall(&mut refs(&mut a));
+        comm.alltoall(&mut refs(&mut b));
+        let s = comm.allreduce_sum(&vec![1.0; k]);
+        assert_eq!(s, k as f64);
+        for r in 0..k {
             for j in 0..k {
-                assert_eq!(a[j], C64::from_re((j * k + r) as f64));
-                assert_eq!(b[j], C64::from_re(100.0 + (j * k + r) as f64));
+                assert_eq!(a[r][j], C64::from_re((j * k + r) as f64));
+                assert_eq!(b[r][j], C64::from_re(100.0 + (j * k + r) as f64));
             }
         }
+        assert_eq!(comm.stats().alltoall_calls, 2);
     }
 }

@@ -1,13 +1,17 @@
-//! Distributed QAOA simulation — Algorithm 4 of the paper on the simulated
+//! Distributed QAOA simulation — Algorithm 4 of the paper on the BSP
 //! communicator of [`crate::comm`].
 //!
 //! Each of K ranks owns a `2^{n-k}`-amplitude slice (fixing the top `k`
 //! qubits to the rank id). Precomputation and the phase operator are local
 //! (the paper's locality argument); only the mixer needs the two all-to-all
-//! transposes. Within a rank all kernels run serially — one rank models one
-//! GPU, and rank-internal parallelism is the GPU's job, not the host's.
+//! transposes. Ranks execute as **work-stealing-pool tasks** (one superstep
+//! between collectives), not OS threads — the pool schedules K ranks onto
+//! however many workers `QOKIT_THREADS` provides, and a failing rank
+//! unwinds through the pool's scoped API instead of leaking a thread.
+//! Within a rank all kernels run serially — one rank models one GPU, and
+//! rank-internal parallelism is the GPU's job, not the host's.
 
-use crate::comm::{spmd, CommStats};
+use crate::comm::{BspComm, CommStats};
 use qokit_costvec::fill_direct_slice;
 use qokit_statevec::diag::{apply_phase_serial, expectation_serial};
 use qokit_statevec::su2::apply_mat2_serial;
@@ -58,6 +62,15 @@ pub struct DistResult {
     pub min_cost: f64,
     /// Communication statistics of the whole run.
     pub comm: CommStats,
+}
+
+/// Per-rank state between supersteps: the amplitude slice plus the local
+/// cost slice (`f64`, or `u16`-quantized on the §V-B path).
+#[derive(Default)]
+struct RankState {
+    amps: Vec<C64>,
+    costs: Vec<f64>,
+    quantized: Option<(Vec<u16>, f64)>,
 }
 
 /// Distributed QAOA simulator (transverse-field mixer).
@@ -124,149 +137,181 @@ impl DistSimulator {
 
     fn simulate_qaoa_impl(&self, gammas: &[f64], betas: &[f64], quantize: bool) -> DistResult {
         assert_eq!(gammas.len(), betas.len(), "gamma/beta length mismatch");
-        let kb = self.k_bits;
-        let local_n = self.n - kb;
-        let slice_len = 1usize << local_n;
-        let amp0 = 1.0 / (1u64 << self.n) as f64;
-        let poly = &self.poly;
+        let mut comm = BspComm::new(self.n_ranks);
+        let mut ranks = self.init_ranks(&comm);
+        if quantize {
+            self.quantize_ranks(&comm, &mut ranks);
+        }
 
-        let (per_rank, comm) = spmd(self.n_ranks, |ctx| {
-            // §III-A locality: the rank's cost slice is computed from the
-            // terms alone — zero communication.
-            let start = (ctx.rank() << local_n) as u64;
-            let mut costs = vec![0.0f64; slice_len];
-            fill_direct_slice(poly, start, &mut costs);
+        for (&gamma, &beta) in gammas.iter().zip(betas.iter()) {
+            self.apply_layer(&mut comm, &mut ranks, gamma, beta);
+        }
 
-            // §V-B: quantize the slice onto a globally agreed integer grid
-            // (offset = global min, step 1). Costs one scalar all-reduce
-            // and one local integrality check — still no bulk traffic.
-            let quantized: Option<(Vec<u16>, f64)> = if quantize {
-                let local_min = costs.iter().copied().fold(f64::INFINITY, f64::min);
-                let local_max = costs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                let gmin = ctx.allreduce_min(local_min);
-                let gmax = -ctx.allreduce_min(-local_max);
-                let integral = costs
-                    .iter()
-                    .all(|&c| (c - gmin - (c - gmin).round()).abs() < 1e-6);
-                let fits = gmax - gmin <= u16::MAX as f64;
-                // Every rank computes `fits` identically (global extrema),
-                // but integrality is local: agree with a min-reduce.
-                let ok = ctx.allreduce_min(if integral && fits { 1.0 } else { 0.0 }) > 0.5;
-                if ok {
-                    let q = costs.iter().map(|&c| (c - gmin).round() as u16).collect();
-                    Some((q, gmin))
-                } else {
-                    None
-                }
-            } else {
-                None
-            };
-            if let Some((q, offset)) = &quantized {
-                // Keep only the 2-byte representation alive (the point of
-                // §V-B); decode on the fly below.
-                drop(std::mem::take(&mut costs));
-                let mut amps = vec![C64::from_re(amp0.sqrt()); slice_len];
-                for (&gamma, &beta) in gammas.iter().zip(betas.iter()) {
-                    qokit_statevec::diag::apply_phase_u16_serial(&mut amps, q, *offset, 1.0, gamma);
-                    self.apply_mixer_alg4(ctx, &mut amps, beta);
-                }
-                let local_exp = qokit_statevec::diag::expectation_u16(
-                    &amps,
+        // Distributed outputs: serial local reductions per rank (pool
+        // tasks), then rank-order scalar reduces — bit-identical for any
+        // pool size.
+        // Expectation and local cost minimum have no cross-rank dependency:
+        // one fused superstep; only the overlap pass needs min_cost first.
+        let exp_and_min = comm.superstep_map(&mut ranks, |_, state| match &state.quantized {
+            Some((q, offset)) => (
+                qokit_statevec::diag::expectation_u16(
+                    &state.amps,
                     q,
                     *offset,
                     1.0,
                     qokit_statevec::Backend::Serial,
-                );
-                let expectation = ctx.allreduce_sum(local_exp);
-                let local_min = q.iter().copied().min().unwrap_or(0) as f64 + offset;
-                let min_cost = ctx.allreduce_min(local_min);
-                let local_overlap: f64 = amps
-                    .iter()
-                    .zip(q.iter())
-                    .filter(|(_, &qq)| qq as f64 + offset <= min_cost + 1e-9)
-                    .map(|(a, _)| a.norm_sqr())
-                    .sum();
-                let overlap = ctx.allreduce_sum(local_overlap);
-                return (amps, expectation, overlap, min_cost);
-            }
-
-            let mut amps = vec![C64::from_re(amp0.sqrt()); slice_len];
-            for (&gamma, &beta) in gammas.iter().zip(betas.iter()) {
-                apply_phase_serial(&mut amps, &costs, gamma);
-                self.apply_mixer_alg4(ctx, &mut amps, beta);
-            }
-
-            // Distributed outputs.
-            let local_exp = expectation_serial(&amps, &costs);
-            let expectation = ctx.allreduce_sum(local_exp);
-            let local_min = costs.iter().copied().fold(f64::INFINITY, f64::min);
-            let min_cost = ctx.allreduce_min(local_min);
-            let local_overlap: f64 = amps
+                ),
+                q.iter().copied().min().unwrap_or(0) as f64 + offset,
+            ),
+            None => (
+                expectation_serial(&state.amps, &state.costs),
+                state.costs.iter().copied().fold(f64::INFINITY, f64::min),
+            ),
+        });
+        let (local_exp, local_min): (Vec<f64>, Vec<f64>) = exp_and_min.into_iter().unzip();
+        let expectation = comm.allreduce_sum(&local_exp);
+        let min_cost = comm.allreduce_min(&local_min);
+        let local_overlap = comm.superstep_map(&mut ranks, |_, state| match &state.quantized {
+            Some((q, offset)) => state
+                .amps
                 .iter()
-                .zip(costs.iter())
+                .zip(q.iter())
+                .filter(|(_, &qq)| qq as f64 + offset <= min_cost + 1e-9)
+                .map(|(a, _)| a.norm_sqr())
+                .sum(),
+            None => state
+                .amps
+                .iter()
+                .zip(state.costs.iter())
                 .filter(|(_, &c)| c <= min_cost + 1e-9)
                 .map(|(a, _)| a.norm_sqr())
-                .sum();
-            let overlap = ctx.allreduce_sum(local_overlap);
-            (amps, expectation, overlap, min_cost)
+                .sum::<f64>(),
         });
+        let overlap = comm.allreduce_sum(&local_overlap);
 
         // Gather (QOKit's mpi_gather=True): concatenate rank slices.
-        let (expectation, overlap, min_cost) = (per_rank[0].1, per_rank[0].2, per_rank[0].3);
         let mut full = Vec::with_capacity(1usize << self.n);
-        for (amps, _, _, _) in &per_rank {
-            full.extend_from_slice(amps);
+        for state in &ranks {
+            full.extend_from_slice(&state.amps);
         }
         DistResult {
             state: StateVec::from_amplitudes(full),
             expectation,
             overlap,
             min_cost,
-            comm,
+            comm: comm.stats(),
         }
     }
 
-    /// Algorithm 4: mixer gates on local qubits, transpose, gates on the
-    /// (now local) former-global qubits, transpose back.
-    fn apply_mixer_alg4(&self, ctx: &crate::comm::RankCtx, amps: &mut [C64], beta: f64) {
+    /// Superstep 0 — §III-A locality: every rank computes its cost slice
+    /// from the terms alone (zero communication) and initializes its
+    /// amplitude slice to `|+⟩^{⊗n}`.
+    fn init_ranks(&self, comm: &BspComm) -> Vec<RankState> {
+        let local_n = self.n - self.k_bits;
+        let slice_len = 1usize << local_n;
+        let amp0 = (1.0 / (1u64 << self.n) as f64).sqrt();
+        let poly = &self.poly;
+        let mut ranks: Vec<RankState> = (0..self.n_ranks).map(|_| RankState::default()).collect();
+        comm.superstep(&mut ranks, |rank, state| {
+            let start = (rank << local_n) as u64;
+            state.costs = vec![0.0f64; slice_len];
+            fill_direct_slice(poly, start, &mut state.costs);
+            state.amps = vec![C64::from_re(amp0); slice_len];
+        });
+        ranks
+    }
+
+    /// §V-B: quantize every rank's slice onto a globally agreed integer
+    /// grid (offset = global min, step 1). Costs a few scalar all-reduces
+    /// and a local integrality check — still no bulk traffic. Non-integral
+    /// or too-wide costs silently keep the `f64` slices.
+    fn quantize_ranks(&self, comm: &BspComm, ranks: &mut Vec<RankState>) {
+        let extrema = comm.superstep_map(ranks, |_, s| {
+            s.costs
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &c| {
+                    (lo.min(c), hi.max(c))
+                })
+        });
+        let (local_min, neg_max): (Vec<f64>, Vec<f64>) =
+            extrema.into_iter().map(|(lo, hi)| (lo, -hi)).unzip();
+        let gmin = comm.allreduce_min(&local_min);
+        let gmax = -comm.allreduce_min(&neg_max);
+        let fits = gmax - gmin <= u16::MAX as f64;
+        // Every rank computes `fits` identically (global extrema), but
+        // integrality is local: agree with a min-reduce.
+        let flags = comm.superstep_map(ranks, |_, s| {
+            let integral = s
+                .costs
+                .iter()
+                .all(|&c| (c - gmin - (c - gmin).round()).abs() < 1e-6);
+            if integral && fits {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        if comm.allreduce_min(&flags) > 0.5 {
+            comm.superstep(ranks, |_, s| {
+                let q = s.costs.iter().map(|&c| (c - gmin).round() as u16).collect();
+                // Keep only the 2-byte representation alive (the point of
+                // §V-B); decode on the fly afterwards.
+                s.costs = Vec::new();
+                s.quantized = Some((q, gmin));
+            });
+        }
+    }
+
+    /// One QAOA layer: local phase, then the Algorithm-4 mixer — gates on
+    /// local qubits, transpose, gates on the (now local) former-global
+    /// qubits, transpose back.
+    fn apply_layer(&self, comm: &mut BspComm, ranks: &mut [RankState], gamma: f64, beta: f64) {
         let kb = self.k_bits;
         let local_n = self.n - kb;
         let u = Mat2::rx(beta);
-        for q in 0..local_n {
-            apply_mat2_serial(amps, q, &u);
-        }
+        comm.superstep(ranks, |_, state| {
+            match &state.quantized {
+                Some((q, offset)) => qokit_statevec::diag::apply_phase_u16_serial(
+                    &mut state.amps,
+                    q,
+                    *offset,
+                    1.0,
+                    gamma,
+                ),
+                None => apply_phase_serial(&mut state.amps, &state.costs, gamma),
+            }
+            for qb in 0..local_n {
+                apply_mat2_serial(&mut state.amps, qb, &u);
+            }
+        });
         if kb == 0 {
             return;
         }
-        ctx.alltoall(amps);
+        Self::alltoall_amps(comm, ranks);
         // After V_abc → V_bac, original qubit i ∈ [n−k, n) lives at local
         // bit position i − k (the paper's "d ← i − log2 K").
-        for q in local_n - kb..local_n {
-            apply_mat2_serial(amps, q, &u);
-        }
-        ctx.alltoall(amps);
+        comm.superstep(ranks, |_, state| {
+            for qb in local_n - kb..local_n {
+                apply_mat2_serial(&mut state.amps, qb, &u);
+            }
+        });
+        Self::alltoall_amps(comm, ranks);
+    }
+
+    fn alltoall_amps(comm: &mut BspComm, ranks: &mut [RankState]) {
+        let mut slices: Vec<&mut [C64]> = ranks.iter_mut().map(|s| s.amps.as_mut_slice()).collect();
+        comm.alltoall(&mut slices);
     }
 
     /// Times one QAOA layer (phase + Algorithm-4 mixer) end to end,
     /// returning wall seconds and the communication stats — the measured
     /// half of the Fig. 5 reproduction.
     pub fn time_one_layer(&self, gamma: f64, beta: f64) -> (f64, CommStats) {
-        let kb = self.k_bits;
-        let local_n = self.n - kb;
-        let slice_len = 1usize << local_n;
-        let amp0 = (1.0 / (1u64 << self.n) as f64).sqrt();
-        let poly = &self.poly;
         let start_t = std::time::Instant::now();
-        let (_, comm) = spmd(self.n_ranks, |ctx| {
-            let start = (ctx.rank() << local_n) as u64;
-            let mut costs = vec![0.0f64; slice_len];
-            fill_direct_slice(poly, start, &mut costs);
-            let mut amps = vec![C64::from_re(amp0); slice_len];
-            ctx.barrier();
-            apply_phase_serial(&mut amps, &costs, gamma);
-            self.apply_mixer_alg4(ctx, &mut amps, beta);
-        });
-        (start_t.elapsed().as_secs_f64(), comm)
+        let mut comm = BspComm::new(self.n_ranks);
+        let mut ranks = self.init_ranks(&comm);
+        self.apply_layer(&mut comm, &mut ranks, gamma, beta);
+        (start_t.elapsed().as_secs_f64(), comm.stats())
     }
 }
 
@@ -416,5 +461,26 @@ mod tests {
         let dist = DistSimulator::new(poly, 8).unwrap();
         let r = dist.simulate_qaoa_quantized(&[0.25], &[-0.45]);
         assert!(r.state.max_abs_diff(ref_r.state()) < 1e-10);
+    }
+
+    #[test]
+    fn results_are_identical_for_any_pool_size() {
+        // The BSP schedule assigns ranks to workers dynamically, but every
+        // number the simulator reports must be bit-identical whether the
+        // pool has 1 worker or many.
+        let poly = labs_terms(8);
+        let dist = DistSimulator::new(poly, 4).unwrap();
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| dist.simulate_qaoa(&[0.2, -0.4], &[0.7, 0.1]))
+        };
+        let (a, b) = (run(1), run(4));
+        assert_eq!(a.state.max_abs_diff(&b.state), 0.0);
+        assert_eq!(a.expectation.to_bits(), b.expectation.to_bits());
+        assert_eq!(a.overlap.to_bits(), b.overlap.to_bits());
+        assert_eq!(a.min_cost.to_bits(), b.min_cost.to_bits());
     }
 }

@@ -1,12 +1,15 @@
 //! # qokit-dist
 //!
 //! Distributed QAOA simulation substrate (§III-C of *Fast Simulation of
-//! High-Depth QAOA Circuits*): K rank-threads each own a `2^{n-k}` slice
-//! of the state, precompute their cost slice locally, and apply the mixer
-//! with Algorithm 4 — two `MPI_Alltoall`-style transposes around local
-//! butterfly passes. A calibrated analytic cluster model regenerates the
-//! paper's 1,024-GPU weak-scaling curves (Fig. 5) beyond what one machine
-//! can thread.
+//! High-Depth QAOA Circuits*): K ranks each own a `2^{n-k}` slice of the
+//! state, precompute their cost slice locally, and apply the mixer with
+//! Algorithm 4 — two `MPI_Alltoall`-style transposes around local
+//! butterfly passes. Ranks run as **work-stealing-pool tasks** in a BSP
+//! schedule (supersteps between driver-side collectives), so K ranks fold
+//! onto however many workers `QOKIT_THREADS` provides and share the pool
+//! with batched parameter sweeps. A calibrated analytic cluster model
+//! regenerates the paper's 1,024-GPU weak-scaling curves (Fig. 5) beyond
+//! what one machine can thread.
 //!
 //! ```
 //! use qokit_dist::DistSimulator;
@@ -28,6 +31,6 @@ pub mod comm;
 pub mod dist_sim;
 pub mod model;
 
-pub use comm::{spmd, CommStats, RankCtx};
+pub use comm::{BspComm, CommStats};
 pub use dist_sim::{DistError, DistResult, DistSimulator};
 pub use model::{ClusterModel, CommBackend, ModeledLayerTime};

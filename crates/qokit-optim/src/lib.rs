@@ -7,6 +7,13 @@
 //! linear-ramp (TQA) initialization and INTERP depth-extension heuristics
 //! used for high-depth parameter setting.
 //!
+//! Two batched layers sit on top, feeding the work-stealing pool:
+//! [`grid_search_2d_batched`] / [`random_search_batched`] hand the whole
+//! point set to one evaluator call (pair them with a `SweepRunner` from
+//! `qokit-core`), and [`MultiStart`] runs local-optimizer restarts as pool
+//! tasks with results keyed by restart index — bit-identical for any pool
+//! size given a deterministic objective.
+//!
 //! ```
 //! use qokit_optim::{NelderMead, schedules};
 //!
@@ -26,13 +33,17 @@
 
 #![warn(missing_docs)]
 
+pub mod multistart;
 pub mod nelder_mead;
 pub mod schedules;
 pub mod search;
 pub mod spsa;
 
+pub use multistart::{MultiStart, MultiStartError, MultiStartRun, RestartMethod};
 pub use nelder_mead::NelderMead;
-pub use search::{grid_search_2d, random_search};
+pub use search::{
+    grid_points_2d, grid_search_2d, grid_search_2d_batched, random_search, random_search_batched,
+};
 pub use spsa::Spsa;
 
 /// Outcome of a minimization run.

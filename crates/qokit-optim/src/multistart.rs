@@ -1,0 +1,323 @@
+//! Multi-restart local optimization on the work-stealing pool.
+//!
+//! QAOA landscapes are multi-modal: a single Nelder–Mead or SPSA run
+//! converges to whichever basin its starting point fell into. The standard
+//! cure is restarts from many starting points — embarrassingly parallel
+//! work that [`MultiStart`] runs as pool tasks, one restart per task.
+//!
+//! Determinism contract: starting points are drawn *up front* from one
+//! seeded RNG, each restart derives its own RNG from `(seed, restart
+//! index)`, and results are keyed by restart index (never by completion
+//! order). The winning restart is the lowest-index minimizer of `best_f`.
+//! Run the objective with serial kernels (e.g. a points-parallel
+//! `SweepRunner`, or a serial-policy simulator) and the whole driver is
+//! **bit-identical for any pool size** — pinned by
+//! `tests/sweep_determinism.rs`.
+//!
+//! ```
+//! use qokit_optim::{MultiStart, NelderMead, RestartMethod};
+//!
+//! let driver = MultiStart {
+//!     method: RestartMethod::NelderMead(NelderMead::default()),
+//!     restarts: 6,
+//!     seed: 7,
+//!     bounds: vec![(-2.0, 2.0), (-2.0, 2.0)],
+//! };
+//! // Two basins; restarts find the global one at (1, 1).
+//! let run = driver.minimize(&|x: &[f64]| {
+//!     let a = (x[0] - 1.0).powi(2) + (x[1] - 1.0).powi(2);
+//!     let b = (x[0] + 1.0).powi(2) + (x[1] + 1.0).powi(2) + 0.5;
+//!     a.min(b)
+//! });
+//! assert_eq!(run.restarts.len(), 6);
+//! assert!(run.best().best_f < 1e-3);
+//! assert!((run.best().best_x[0] - 1.0).abs() < 0.05);
+//! ```
+
+use crate::{NelderMead, OptimizeResult, Spsa};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use std::panic::{self, AssertUnwindSafe};
+
+/// The local optimizer each restart runs.
+#[derive(Clone, Debug)]
+pub enum RestartMethod {
+    /// Deterministic simplex descent.
+    NelderMead(NelderMead),
+    /// Stochastic two-evaluation descent; each restart gets its own RNG
+    /// derived from the driver seed and the restart index.
+    Spsa(Spsa),
+}
+
+/// Multi-restart driver configuration.
+#[derive(Clone, Debug)]
+pub struct MultiStart {
+    /// Optimizer to run from every starting point.
+    pub method: RestartMethod,
+    /// Number of restarts (pool tasks).
+    pub restarts: usize,
+    /// Master seed: starting points and per-restart RNGs derive from it.
+    pub seed: u64,
+    /// Per-coordinate `[lo, hi)` sampling box for starting points (its
+    /// length is the parameter dimension).
+    pub bounds: Vec<(f64, f64)>,
+}
+
+/// Outcome of a multi-restart run, keyed by restart index.
+#[derive(Clone, Debug)]
+pub struct MultiStartRun {
+    /// Index of the winning restart (lowest `best_f`, ties to the lowest
+    /// index).
+    pub best_restart: usize,
+    /// Every restart's result, in restart order — the ordering is part of
+    /// the determinism contract.
+    pub restarts: Vec<OptimizeResult>,
+}
+
+impl MultiStartRun {
+    /// The winning restart's result.
+    pub fn best(&self) -> &OptimizeResult {
+        &self.restarts[self.best_restart]
+    }
+}
+
+/// Error from [`MultiStart::try_minimize`]: one restart's objective
+/// panicked. Only that restart is poisoned; the pool stays reusable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MultiStartError {
+    /// A restart's optimizer or objective panicked.
+    RestartPanicked {
+        /// Index of the poisoned restart.
+        restart: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for MultiStartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MultiStartError::RestartPanicked { restart, message } => {
+                write!(f, "restart {restart} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MultiStartError {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl MultiStart {
+    /// The starting points the restarts will use, drawn sequentially from
+    /// one RNG seeded with `seed` — independent of pool size and restart
+    /// scheduling by construction.
+    pub fn starting_points(&self) -> Vec<Vec<f64>> {
+        assert!(!self.bounds.is_empty(), "need at least one dimension");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.restarts)
+            .map(|_| {
+                self.bounds
+                    .iter()
+                    .map(|&(lo, hi)| rng.gen_range(lo..hi))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Runs all restarts as pool tasks and returns every result keyed by
+    /// restart index.
+    ///
+    /// # Panics
+    /// If a restart panicked (with that restart's message); use
+    /// [`try_minimize`](Self::try_minimize) for the recoverable form.
+    pub fn minimize<F>(&self, f: &F) -> MultiStartRun
+    where
+        F: Fn(&[f64]) -> f64 + Sync,
+    {
+        self.try_minimize(f).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs all restarts as pool tasks; a panicking restart yields a clean
+    /// error naming the lowest poisoned index while the other restarts
+    /// complete and the pool remains reusable.
+    pub fn try_minimize<F>(&self, f: &F) -> Result<MultiStartRun, MultiStartError>
+    where
+        F: Fn(&[f64]) -> f64 + Sync,
+    {
+        assert!(self.restarts > 0, "need at least one restart");
+        let starts = self.starting_points();
+        // The position-preserving parallel collect keeps slot i = restart i.
+        let slots: Vec<Result<OptimizeResult, String>> = starts
+            .par_iter()
+            .with_min_len(1)
+            .enumerate()
+            .map(|(i, x0)| {
+                panic::catch_unwind(AssertUnwindSafe(|| self.run_one(i, x0, f)))
+                    .map_err(panic_message)
+            })
+            .collect();
+
+        let mut restarts = Vec::with_capacity(self.restarts);
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Ok(r) => restarts.push(r),
+                Err(message) => {
+                    return Err(MultiStartError::RestartPanicked {
+                        restart: i,
+                        message,
+                    })
+                }
+            }
+        }
+        let mut best_restart = 0;
+        for (i, r) in restarts.iter().enumerate().skip(1) {
+            // Strict `<`: ties resolve to the lowest restart index.
+            if r.best_f < restarts[best_restart].best_f {
+                best_restart = i;
+            }
+        }
+        Ok(MultiStartRun {
+            best_restart,
+            restarts,
+        })
+    }
+
+    fn run_one<F>(&self, index: usize, x0: &[f64], f: &F) -> OptimizeResult
+    where
+        F: Fn(&[f64]) -> f64 + Sync,
+    {
+        match &self.method {
+            RestartMethod::NelderMead(nm) => nm.minimize(|x| f(x), x0),
+            RestartMethod::Spsa(spsa) => {
+                let mut rng = StdRng::seed_from_u64(self.restart_seed(index));
+                spsa.minimize(|x| f(x), x0, &mut rng)
+            }
+        }
+    }
+
+    /// Per-restart RNG seed: a SplitMix64-style mix of the master seed and
+    /// the restart index, so restarts are decorrelated but reproducible.
+    fn restart_seed(&self, index: usize) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add((index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_basin(x: &[f64]) -> f64 {
+        let a = (x[0] - 1.0).powi(2) + (x[1] - 1.0).powi(2);
+        let b = (x[0] + 1.0).powi(2) + (x[1] + 1.0).powi(2) + 0.5;
+        a.min(b)
+    }
+
+    fn driver(restarts: usize) -> MultiStart {
+        MultiStart {
+            method: RestartMethod::NelderMead(NelderMead::default()),
+            restarts,
+            seed: 42,
+            bounds: vec![(-2.0, 2.0), (-2.0, 2.0)],
+        }
+    }
+
+    #[test]
+    fn finds_global_basin_with_enough_restarts() {
+        let run = driver(8).minimize(&two_basin);
+        assert!(run.best().best_f < 1e-4, "f = {}", run.best().best_f);
+        assert!((run.best().best_x[0] - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn results_are_keyed_by_restart_index() {
+        let run = driver(5).minimize(&two_basin);
+        let starts = driver(5).starting_points();
+        assert_eq!(run.restarts.len(), 5);
+        // Each restart's result must descend from its own starting point.
+        for (r, x0) in run.restarts.iter().zip(&starts) {
+            assert!(r.best_f <= two_basin(x0) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_repeat_runs() {
+        let (a, b) = (
+            driver(6).minimize(&two_basin),
+            driver(6).minimize(&two_basin),
+        );
+        assert_eq!(a.best_restart, b.best_restart);
+        for (ra, rb) in a.restarts.iter().zip(&b.restarts) {
+            assert_eq!(ra.best_f.to_bits(), rb.best_f.to_bits());
+            assert_eq!(ra.best_x, rb.best_x);
+        }
+    }
+
+    #[test]
+    fn spsa_restarts_are_reproducible() {
+        let d = MultiStart {
+            method: RestartMethod::Spsa(Spsa {
+                iterations: 80,
+                ..Spsa::default()
+            }),
+            restarts: 4,
+            seed: 3,
+            bounds: vec![(-1.0, 1.0)],
+        };
+        let f = |x: &[f64]| (x[0] - 0.4).powi(2);
+        let (a, b) = (d.minimize(&f), d.minimize(&f));
+        for (ra, rb) in a.restarts.iter().zip(&b.restarts) {
+            assert_eq!(ra.best_x, rb.best_x);
+        }
+        assert!(a.best().best_f < 0.05);
+    }
+
+    #[test]
+    fn panicking_restart_reports_its_index() {
+        let d = driver(4);
+        let starts = d.starting_points();
+        let poison = starts[2].clone();
+        let err = d
+            .try_minimize(&move |x: &[f64]| {
+                assert!(
+                    x != poison.as_slice(),
+                    "injected failure at restart 2's start"
+                );
+                two_basin(x)
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MultiStartError::RestartPanicked { restart: 2, .. }
+        ));
+        // The pool survives: a fresh run still works.
+        assert!(d.minimize(&two_basin).best().best_f < 1e-3);
+    }
+
+    #[test]
+    fn starting_points_depend_only_on_seed() {
+        let a = driver(7).starting_points();
+        let b = driver(7).starting_points();
+        assert_eq!(a, b);
+        let c = MultiStart {
+            seed: 43,
+            ..driver(7)
+        }
+        .starting_points();
+        assert_ne!(a, c);
+    }
+}

@@ -4,42 +4,69 @@
 use crate::OptimizeResult;
 use rand::Rng;
 
+/// Folds per-point values into an [`OptimizeResult`] in visit order — the
+/// one reduction all four searches share, so best-point tie-breaking
+/// (strict `<`, first minimum wins) and best-so-far history semantics
+/// cannot drift between the sequential and batched variants.
+///
+/// # Panics
+/// If `values.len() != points.len()` (a batch evaluator misbehaved).
+fn reduce_best<P>(
+    points: &[P],
+    values: &[f64],
+    init_x: Vec<f64>,
+    to_x: impl Fn(&P) -> Vec<f64>,
+) -> OptimizeResult {
+    assert_eq!(
+        values.len(),
+        points.len(),
+        "batch evaluator returned {} values for {} points",
+        values.len(),
+        points.len()
+    );
+    let mut best_f = f64::INFINITY;
+    let mut best_x = init_x;
+    let mut history = Vec::with_capacity(points.len());
+    for (p, &v) in points.iter().zip(values.iter()) {
+        if v < best_f {
+            best_f = v;
+            best_x = to_x(p);
+        }
+        history.push(best_f);
+    }
+    OptimizeResult {
+        best_x,
+        best_f,
+        n_evals: points.len(),
+        history,
+    }
+}
+
 /// Exhaustive search over a uniform 2-D grid `[lo0, hi0] × [lo1, hi1]`
-/// (inclusive endpoints), e.g. the `(γ, β)` plane at `p = 1`.
+/// (inclusive endpoints), e.g. the `(γ, β)` plane at `p = 1`. Delegates to
+/// [`grid_search_2d_batched`] with a one-point-at-a-time evaluator, so the
+/// two are identical by construction.
 pub fn grid_search_2d<F>(
     mut f: F,
-    (lo0, hi0): (f64, f64),
-    (lo1, hi1): (f64, f64),
+    bounds0: (f64, f64),
+    bounds1: (f64, f64),
     steps: usize,
 ) -> OptimizeResult
 where
     F: FnMut(f64, f64) -> f64,
 {
-    assert!(steps >= 2, "grid needs at least 2 points per axis");
-    let mut best_f = f64::INFINITY;
-    let mut best_x = vec![lo0, lo1];
-    let mut history = Vec::with_capacity(steps * steps);
-    for i in 0..steps {
-        let x0 = lo0 + (hi0 - lo0) * i as f64 / (steps - 1) as f64;
-        for j in 0..steps {
-            let x1 = lo1 + (hi1 - lo1) * j as f64 / (steps - 1) as f64;
-            let v = f(x0, x1);
-            if v < best_f {
-                best_f = v;
-                best_x = vec![x0, x1];
-            }
-            history.push(best_f);
-        }
-    }
-    OptimizeResult {
-        best_x,
-        best_f,
-        n_evals: steps * steps,
-        history,
-    }
+    grid_search_2d_batched(
+        |pts| pts.iter().map(|&(x0, x1)| f(x0, x1)).collect(),
+        bounds0,
+        bounds1,
+        steps,
+    )
 }
 
 /// Uniform random search inside a box (per-coordinate `[lo, hi)` bounds).
+/// Delegates to [`random_search_batched`] with a one-point-at-a-time
+/// evaluator (the sample stream cannot observe `f`, so drawing all points
+/// up front is unobservable).
 pub fn random_search<F, R>(
     mut f: F,
     bounds: &[(f64, f64)],
@@ -50,28 +77,86 @@ where
     F: FnMut(&[f64]) -> f64,
     R: Rng,
 {
-    assert!(!bounds.is_empty(), "need at least one dimension");
-    let mut best_f = f64::INFINITY;
-    let mut best_x = bounds.iter().map(|&(lo, _)| lo).collect::<Vec<_>>();
-    let mut history = Vec::with_capacity(samples);
-    for _ in 0..samples {
-        let x: Vec<f64> = bounds
-            .iter()
-            .map(|&(lo, hi)| rng.gen_range(lo..hi))
-            .collect();
-        let v = f(&x);
-        if v < best_f {
-            best_f = v;
-            best_x = x;
+    random_search_batched(
+        |pts| pts.iter().map(|x| f(x)).collect(),
+        bounds,
+        samples,
+        rng,
+    )
+}
+
+/// The row-major `(x0, x1)` points [`grid_search_2d`] visits, in visit
+/// order — exposed so batched evaluators (e.g. a `SweepRunner`) can
+/// evaluate the whole grid in one call.
+pub fn grid_points_2d(
+    (lo0, hi0): (f64, f64),
+    (lo1, hi1): (f64, f64),
+    steps: usize,
+) -> Vec<(f64, f64)> {
+    assert!(steps >= 2, "grid needs at least 2 points per axis");
+    let mut points = Vec::with_capacity(steps * steps);
+    for i in 0..steps {
+        let x0 = lo0 + (hi0 - lo0) * i as f64 / (steps - 1) as f64;
+        for j in 0..steps {
+            let x1 = lo1 + (hi1 - lo1) * j as f64 / (steps - 1) as f64;
+            points.push((x0, x1));
         }
-        history.push(best_f);
     }
-    OptimizeResult {
-        best_x,
-        best_f,
-        n_evals: samples,
-        history,
-    }
+    points
+}
+
+/// Batched [`grid_search_2d`]: the whole grid is handed to `f` in one call
+/// (row-major, the sequential visit order) and the reduction replays that
+/// order — so given a batch evaluator that matches the sequential
+/// objective, the result is identical to `grid_search_2d`, including the
+/// best-so-far history.
+///
+/// # Panics
+/// If `f` returns a vector of the wrong length.
+pub fn grid_search_2d_batched<F>(
+    f: F,
+    bounds0: (f64, f64),
+    bounds1: (f64, f64),
+    steps: usize,
+) -> OptimizeResult
+where
+    F: FnOnce(&[(f64, f64)]) -> Vec<f64>,
+{
+    let points = grid_points_2d(bounds0, bounds1, steps);
+    let values = f(&points);
+    reduce_best(&points, &values, vec![bounds0.0, bounds1.0], |&(x0, x1)| {
+        vec![x0, x1]
+    })
+}
+
+/// Batched [`random_search`]: draws the same sample sequence as the
+/// sequential version (so a fixed RNG seed gives the identical point set),
+/// evaluates it in one call to `f`, and reduces in draw order.
+///
+/// # Panics
+/// If `f` returns a vector of the wrong length.
+pub fn random_search_batched<F, R>(
+    f: F,
+    bounds: &[(f64, f64)],
+    samples: usize,
+    rng: &mut R,
+) -> OptimizeResult
+where
+    F: FnOnce(&[Vec<f64>]) -> Vec<f64>,
+    R: Rng,
+{
+    assert!(!bounds.is_empty(), "need at least one dimension");
+    let points: Vec<Vec<f64>> = (0..samples)
+        .map(|_| {
+            bounds
+                .iter()
+                .map(|&(lo, hi)| rng.gen_range(lo..hi))
+                .collect()
+        })
+        .collect();
+    let values = f(&points);
+    let init_x = bounds.iter().map(|&(lo, _)| lo).collect();
+    reduce_best(&points, &values, init_x, |x| x.clone())
 }
 
 #[cfg(test)]
@@ -127,5 +212,51 @@ mod tests {
         for w in r.history.windows(2) {
             assert!(w[1] <= w[0]);
         }
+    }
+
+    #[test]
+    fn batched_grid_matches_sequential_exactly() {
+        let f = |x: f64, y: f64| (x - 0.3).powi(2) + (y + 0.1).powi(2) + (3.0 * x).sin() * 0.2;
+        let seq = grid_search_2d(f, (-1.0, 1.0), (-0.5, 0.5), 13);
+        let bat = grid_search_2d_batched(
+            |pts| pts.iter().map(|&(x, y)| f(x, y)).collect(),
+            (-1.0, 1.0),
+            (-0.5, 0.5),
+            13,
+        );
+        assert_eq!(seq.best_x, bat.best_x);
+        assert_eq!(seq.best_f.to_bits(), bat.best_f.to_bits());
+        assert_eq!(seq.n_evals, bat.n_evals);
+        assert_eq!(seq.history, bat.history);
+    }
+
+    #[test]
+    fn batched_random_matches_sequential_exactly() {
+        let f = |x: &[f64]| x[0] * x[0] + (x[1] - 0.2).powi(2);
+        let bounds = [(-2.0, 2.0), (-1.0, 1.0)];
+        let mut rng = StdRng::seed_from_u64(9);
+        let seq = random_search(f, &bounds, 40, &mut rng);
+        let mut rng = StdRng::seed_from_u64(9);
+        let bat = random_search_batched(
+            |pts| pts.iter().map(|p| f(p)).collect(),
+            &bounds,
+            40,
+            &mut rng,
+        );
+        assert_eq!(seq.best_x, bat.best_x);
+        assert_eq!(seq.best_f.to_bits(), bat.best_f.to_bits());
+        assert_eq!(seq.history, bat.history);
+    }
+
+    #[test]
+    fn grid_points_are_row_major_with_endpoints() {
+        let pts = grid_points_2d((0.0, 1.0), (2.0, 3.0), 2);
+        assert_eq!(pts, vec![(0.0, 2.0), (0.0, 3.0), (1.0, 2.0), (1.0, 3.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "returned 2 values for 4 points")]
+    fn batched_grid_rejects_wrong_length() {
+        let _ = grid_search_2d_batched(|_| vec![0.0; 2], (0.0, 1.0), (0.0, 1.0), 2);
     }
 }

@@ -43,6 +43,32 @@
 //! `ExecPolicy::with_threads(k)` pins one simulator to a cached `k`-worker
 //! pool regardless of the global setting.
 //!
+//! ## Batched sweeps and multi-restart optimization
+//!
+//! The same pool also powers coarse-grained parallelism: a
+//! [`core::batch::SweepRunner`] evaluates many `(γ, β)` points as pool
+//! tasks over one `Arc`-shared cost vector (with recycled per-worker state
+//! buffers and a `nested` knob choosing points-parallel vs
+//! kernels-parallel execution), [`optim::MultiStart`] runs
+//! Nelder–Mead/SPSA restarts as pool tasks keyed by restart index, and
+//! [`optim::grid_search_2d_batched`] / [`optim::random_search_batched`]
+//! drive whole search grids through one batched call.
+//!
+//! ```
+//! use qokit::prelude::*;
+//!
+//! let sim = FurSimulator::new(&qokit::terms::labs::labs_terms(8));
+//! let runner = SweepRunner::new(sim);
+//! let r = qokit::optim::grid_search_2d_batched(
+//!     |pts| runner.energies_p1(pts),
+//!     (-0.5, 0.5),
+//!     (-0.5, 0.5),
+//!     5,
+//! );
+//! assert_eq!(r.n_evals, 25);
+//! assert!(r.best_f.is_finite());
+//! ```
+//!
 //! ## Quickstart (Listing 1 of the paper)
 //!
 //! ```
@@ -77,6 +103,7 @@ pub use qokit_terms as terms;
 pub mod prelude {
     pub use qokit_core::{
         choose_simulator, FurSimulator, InitialState, Mixer, QaoaSimulator, SimOptions, SimResult,
+        SweepNesting, SweepOptions, SweepPoint, SweepRunner,
     };
     pub use qokit_costvec::{CostVec, PrecomputeMethod};
     pub use qokit_statevec::{Backend, ExecPolicy, StateVec, C64};

@@ -4,8 +4,10 @@
 //! overflow, out-of-range qubits — and each must fail loudly and
 //! specifically, not corrupt state.
 
+use qokit::core::batch::SweepError;
 use qokit::costvec::{CostVec, QuantizeError};
-use qokit::dist::{DistError, DistSimulator};
+use qokit::dist::{BspComm, DistError, DistSimulator};
+use qokit::optim::{MultiStart, MultiStartError, NelderMead, RestartMethod};
 use qokit::prelude::*;
 use qokit::terms::labs::labs_terms;
 
@@ -120,6 +122,98 @@ fn brute_force_guards_against_huge_scans() {
     let poly = labs_terms(31);
     let err = std::panic::catch_unwind(|| poly.brute_force_minimum());
     assert!(err.is_err(), "n = 31 brute force must refuse");
+}
+
+#[test]
+fn panicking_sweep_point_poisons_only_itself_and_pool_survives() {
+    // A sweep task that panics (here: a malformed point whose γ/β lengths
+    // disagree) must yield a clean per-point error, leave every other
+    // point's result intact, and leave the pool fully reusable — the
+    // coarse-grained analogue of vendor/rayon's pool_stress panics.
+    let runner = SweepRunner::with_options(
+        FurSimulator::new(&labs_terms(6)),
+        SweepOptions {
+            exec: ExecPolicy::rayon().with_min_len(1).with_min_chunk(4),
+            nested: SweepNesting::PointsParallel,
+        },
+    );
+    let mut points: Vec<SweepPoint> = (0..6)
+        .map(|i| SweepPoint::p1(0.1 * i as f64, 0.3))
+        .collect();
+    points[3] = SweepPoint::new(vec![0.1, 0.2], vec![0.3]); // length mismatch
+    let checked = runner.energies_checked(&points);
+    for (i, r) in checked.iter().enumerate() {
+        if i == 3 {
+            match r {
+                Err(SweepError::PointPanicked { index, message }) => {
+                    assert_eq!(*index, 3);
+                    assert!(message.contains("same length"), "{message}");
+                }
+                other => panic!("expected PointPanicked, got {other:?}"),
+            }
+        } else {
+            assert!(r.is_ok(), "point {i} must be unaffected");
+        }
+    }
+    // The clean-error form names the poisoned point.
+    let err = runner.try_energies(&points).unwrap_err();
+    assert!(err.to_string().contains("sweep point 3"), "{err}");
+    // The pool is still healthy: a fresh batch and a fresh panic-free run
+    // both work.
+    let ok = runner.energies(&points[..3]);
+    assert_eq!(ok.len(), 3);
+    assert!(ok.iter().all(|e| e.is_finite()));
+}
+
+#[test]
+fn panicking_restart_poisons_only_itself_and_pool_survives() {
+    let driver = MultiStart {
+        method: RestartMethod::NelderMead(NelderMead {
+            max_evals: 40,
+            ..NelderMead::default()
+        }),
+        restarts: 5,
+        seed: 9,
+        bounds: vec![(-1.0, 1.0), (-1.0, 1.0)],
+    };
+    let poison = driver.starting_points()[1].clone();
+    let err = driver
+        .try_minimize(&move |x: &[f64]| {
+            assert!(x != poison.as_slice(), "injected failure in restart 1");
+            x[0] * x[0] + x[1] * x[1]
+        })
+        .unwrap_err();
+    match err {
+        MultiStartError::RestartPanicked { restart, message } => {
+            assert_eq!(restart, 1);
+            assert!(message.contains("injected failure"), "{message}");
+        }
+    }
+    // Pool reusable: the same driver immediately runs clean.
+    let run = driver.minimize(&|x: &[f64]| x[0] * x[0] + x[1] * x[1]);
+    assert_eq!(run.restarts.len(), 5);
+    assert!(run.best().best_f < 1e-4);
+}
+
+#[test]
+fn panicking_dist_rank_unwinds_through_the_pool() {
+    // A failing rank task must propagate through the pool's scoped API —
+    // not leak a detached OS thread — and leave the pool reusable.
+    let comm = BspComm::new(4);
+    let mut states = vec![0u32; 4];
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        comm.superstep(&mut states, |rank, _| {
+            assert!(rank != 1, "injected rank failure");
+        });
+    }));
+    assert!(result.is_err());
+    // Both the BSP communicator and the wider pool still work.
+    let mut states = vec![0u32; 4];
+    comm.superstep(&mut states, |rank, s| *s = rank as u32);
+    assert_eq!(states, vec![0, 1, 2, 3]);
+    let sim = DistSimulator::new(labs_terms(6), 4).unwrap();
+    let r = sim.simulate_qaoa(&[0.2], &[0.5]);
+    assert!((r.state.norm_sqr() - 1.0).abs() < 1e-10);
 }
 
 #[test]

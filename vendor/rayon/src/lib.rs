@@ -67,6 +67,15 @@ pub fn current_num_threads() -> usize {
     registry::effective_parallelism()
 }
 
+/// Index of the calling thread within its pool (`0..num_threads`), or `None`
+/// when the caller is not a pool worker. Mirrors
+/// `rayon::current_thread_index`; callers use it to maintain per-worker
+/// scratch state (e.g. reusable simulator buffers) without locking a single
+/// shared slot.
+pub fn current_thread_index() -> Option<usize> {
+    registry::current_worker().map(|(_, idx)| idx)
+}
+
 /// Error type returned by [`ThreadPoolBuilder::build`].
 #[derive(Debug)]
 pub struct ThreadPoolBuildError;
@@ -246,6 +255,28 @@ mod tests {
         let v: Vec<f64> = Vec::new();
         let s: f64 = v.par_iter().map(|&x| x).sum();
         assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn current_thread_index_identifies_workers() {
+        // Off-pool threads have no index.
+        assert_eq!(current_thread_index(), None);
+        // Every worker of an explicit pool reports an index inside bounds.
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let idx = pool.install(|| current_thread_index());
+        assert!(matches!(idx, Some(i) if i < 3));
+        let indices: Vec<Option<usize>> = {
+            let v: Vec<u32> = (0..64).collect();
+            pool.install(|| {
+                v.par_iter()
+                    .with_min_len(1)
+                    .map(|_| current_thread_index())
+                    .collect()
+            })
+        };
+        for idx in indices {
+            assert!(matches!(idx, Some(i) if i < 3));
+        }
     }
 
     #[test]
