@@ -97,7 +97,7 @@ fn main() {
         Err(e) => eprintln!("\ncould not write {json_path}: {e}"),
     }
 
-    if std::env::var("QOKIT_ABL_ASSERT").map_or(false, |v| v == "1") {
+    if std::env::var("QOKIT_ABL_ASSERT").is_ok_and(|v| v == "1") {
         // CI gate: the parallel backend must never be slower than 0.8× the
         // serial kernels on the large case (real speedup requires >1 core).
         if best_speedup < 0.8 {

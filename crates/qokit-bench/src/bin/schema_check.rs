@@ -1,0 +1,33 @@
+//! Validates machine-readable bench records against the qokit-bench
+//! schema — the CI step run after each `abl_*` binary, so a refactor that
+//! drops a key or records a non-finite number fails the build instead of
+//! silently poisoning the uploaded `BENCH_*.json` artifacts.
+//!
+//! Usage: `schema_check <file.json>...` — exits non-zero on the first
+//! missing file, parse error, or schema violation, naming the culprit.
+
+use qokit_bench::schema::validate_bench_json;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: schema_check <BENCH_*.json>...");
+        std::process::exit(2);
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("SCHEMA FAILED: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match validate_bench_json(&text) {
+            Ok(kind) => println!("schema ok: {path} ({kind})"),
+            Err(e) => {
+                eprintln!("SCHEMA FAILED: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

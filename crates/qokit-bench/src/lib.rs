@@ -13,14 +13,24 @@
 //!   `BENCH_sweep.json`).
 //! * `QOKIT_ABL_ASSERT=1` — makes `abl_threads` exit non-zero when the
 //!   parallel backend is slower than 0.8× serial, and `abl_sweep` when the
-//!   batched sweep is slower than 0.9× the sequential loop (the CI
+//!   best batched configuration (points-parallel, kernels-parallel, or a
+//!   point×kernel split) is slower than 0.9× the sequential loop (the CI
 //!   guards).
+//! * `QOKIT_SWEEP_SPLIT=PxK` — pins `abl_sweep`'s split sweep to a single
+//!   `p lanes × k kernel workers` shape instead of sweeping the divisors
+//!   of the pool width.
+//!
+//! The `schema_check` binary validates emitted `BENCH_*.json` files (see
+//! [`schema`]); CI runs it after each `abl_*` step before uploading the
+//! records as artifacts.
 
 //!
 //! *Part of the qokit workspace — see the top-level `README.md` for the
 //! crate-by-crate architecture table and build/test/bench instructions.*
 
 #![warn(missing_docs)]
+
+pub mod schema;
 
 use std::time::Instant;
 
@@ -34,7 +44,7 @@ pub fn bench_n(default: usize) -> usize {
 
 /// `true` when `QOKIT_BENCH_FAST=1`: shrink sweeps for smoke tests.
 pub fn fast_mode() -> bool {
-    std::env::var("QOKIT_BENCH_FAST").map_or(false, |v| v == "1")
+    std::env::var("QOKIT_BENCH_FAST").is_ok_and(|v| v == "1")
 }
 
 /// Times `f` once (seconds).
@@ -47,14 +57,14 @@ pub fn time_once<F: FnOnce()>(f: F) -> f64 {
 /// Median wall time of `reps` runs of `f` (seconds). Uses fewer reps when
 /// a single run is already slow, so tables finish in bounded time.
 pub fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
-    let first = time_once(|| f());
+    let first = time_once(&mut f);
     // One run ≥ 1 s: don't repeat a slow measurement.
     if first >= 1.0 || reps <= 1 {
         return first;
     }
     let mut times = vec![first];
     for _ in 1..reps {
-        times.push(time_once(|| f()));
+        times.push(time_once(&mut f));
     }
     times.sort_by(|a, b| a.partial_cmp(b).unwrap());
     times[times.len() / 2]

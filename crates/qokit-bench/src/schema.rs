@@ -1,0 +1,346 @@
+//! Schema validation for the machine-readable bench records
+//! (`BENCH_threads.json`, `BENCH_sweep.json`).
+//!
+//! CI uploads those files as workflow artifacts; this module is the gate
+//! that keeps them trustworthy — a refactor that drops a key, emits a
+//! `NaN`, or produces a zero timing fails the `schema_check` binary
+//! instead of silently corrupting the repo's performance trajectory. The
+//! parser is a minimal dependency-free recursive-descent JSON reader
+//! covering the subset the bench binaries emit (objects, arrays, strings
+//! without escapes, numbers incl. scientific notation, `null`).
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value (the subset the bench records use).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Num(f64),
+    /// A string (escape-free subset).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys sorted for deterministic inspection.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `text` as JSON.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {pos}, found {:?}",
+            b as char,
+            bytes.get(*pos).map(|&c| c as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("malformed literal at byte {pos}"))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let start = *pos;
+    while let Some(&b) = bytes.get(*pos) {
+        if b == b'\\' {
+            return Err(format!("escape sequences unsupported (byte {pos})"));
+        }
+        if b == b'"' {
+            let s = std::str::from_utf8(&bytes[start..*pos])
+                .map_err(|e| format!("invalid utf-8 in string: {e}"))?;
+            *pos += 1;
+            return Ok(s.to_string());
+        }
+        *pos += 1;
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while let Some(&b) = bytes.get(*pos) {
+        if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    let s = std::str::from_utf8(&bytes[start..*pos]).unwrap_or("");
+    s.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("malformed number {s:?} at byte {start}"))
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            other => return Err(format!("expected ',' or ']', found {other:?}")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- checks
+
+fn finite_positive(root: &Json, key: &str) -> Result<f64, String> {
+    match root.get(key) {
+        Some(Json::Num(v)) if v.is_finite() && *v > 0.0 => Ok(*v),
+        Some(Json::Num(v)) => Err(format!("\"{key}\" must be finite and positive, got {v}")),
+        Some(other) => Err(format!("\"{key}\" must be a number, got {other:?}")),
+        None => Err(format!("missing required key \"{key}\"")),
+    }
+}
+
+fn non_empty_string(root: &Json, key: &str) -> Result<String, String> {
+    match root.get(key) {
+        Some(Json::Str(s)) if !s.is_empty() => Ok(s.clone()),
+        other => Err(format!(
+            "\"{key}\" must be a non-empty string, got {other:?}"
+        )),
+    }
+}
+
+/// Validates a bench record produced by `abl_threads` or `abl_sweep`:
+/// the required keys exist and every measured quantity is a finite,
+/// strictly positive number. For `abl_sweep` additionally requires at
+/// least one `split` mode row (the adaptive-nesting coverage CI pins).
+pub fn validate_bench_json(text: &str) -> Result<String, String> {
+    let root = parse(text)?;
+    let bench = non_empty_string(&root, "bench")?;
+    match bench.as_str() {
+        "abl_threads" => {
+            for key in [
+                "n_qubits",
+                "hw_threads",
+                "reps",
+                "serial_seconds",
+                "best_speedup",
+            ] {
+                finite_positive(&root, key)?;
+            }
+            let pools = match root.get("pools") {
+                Some(Json::Arr(rows)) if !rows.is_empty() => rows,
+                other => {
+                    return Err(format!(
+                        "\"pools\" must be a non-empty array, got {other:?}"
+                    ))
+                }
+            };
+            for (i, row) in pools.iter().enumerate() {
+                for key in ["threads", "seconds", "speedup_vs_serial"] {
+                    finite_positive(row, key).map_err(|e| format!("pools[{i}]: {e}"))?;
+                }
+            }
+        }
+        "abl_sweep" => {
+            for key in [
+                "n_qubits",
+                "p",
+                "points",
+                "hw_threads",
+                "pool_width",
+                "reps",
+                "sequential_seconds",
+                "sequential_points_per_sec",
+                "best_speedup",
+            ] {
+                finite_positive(&root, key)?;
+            }
+            let modes = match root.get("modes") {
+                Some(Json::Arr(rows)) if !rows.is_empty() => rows,
+                other => {
+                    return Err(format!(
+                        "\"modes\" must be a non-empty array, got {other:?}"
+                    ))
+                }
+            };
+            let mut has_split = false;
+            for (i, row) in modes.iter().enumerate() {
+                let mode = non_empty_string(row, "mode").map_err(|e| format!("modes[{i}]: {e}"))?;
+                for key in ["seconds", "points_per_sec", "speedup_vs_sequential"] {
+                    finite_positive(row, key).map_err(|e| format!("modes[{i}]: {e}"))?;
+                }
+                if mode == "split" {
+                    non_empty_string(row, "shape")
+                        .map_err(|e| format!("modes[{i}] (split): {e}"))?;
+                    has_split = true;
+                }
+            }
+            if !has_split {
+                return Err("no \"split\" mode row: adaptive nesting went unmeasured".into());
+            }
+        }
+        other => return Err(format!("unknown bench kind \"{other}\"")),
+    }
+    Ok(bench)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_emitted_subset() {
+        let v = parse(r#"{"a": 1.5e-3, "b": [1, 2], "c": "x", "d": null}"#).unwrap();
+        assert_eq!(v.get("a"), Some(&Json::Num(1.5e-3)));
+        assert_eq!(v.get("c"), Some(&Json::Str("x".into())));
+        assert_eq!(v.get("d"), Some(&Json::Null));
+        assert!(matches!(v.get("b"), Some(Json::Arr(items)) if items.len() == 2));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse(r#"{"a": }"#).is_err());
+        assert!(parse("[1, 2] trailing").is_err());
+        assert!(parse(r#"{"a": 1e}"#).is_err());
+    }
+
+    fn sweep_fixture(modes: &str) -> String {
+        format!(
+            r#"{{"bench": "abl_sweep", "n_qubits": 10, "p": 4, "points": 12,
+                "hw_threads": 1, "pool_width": 4, "reps": 2,
+                "sequential_seconds": 1.0e-2, "sequential_points_per_sec": 1200.0,
+                "best_speedup": 1.01, "modes": [{modes}]}}"#
+        )
+    }
+
+    const GOOD_SPLIT: &str = r#"{"mode": "split", "shape": "2x2", "seconds": 1.0e-2,
+        "points_per_sec": 1200.0, "speedup_vs_sequential": 1.01}"#;
+
+    #[test]
+    fn accepts_a_valid_sweep_record() {
+        assert_eq!(
+            validate_bench_json(&sweep_fixture(GOOD_SPLIT)).unwrap(),
+            "abl_sweep"
+        );
+    }
+
+    #[test]
+    fn rejects_missing_split_row() {
+        let only_points = r#"{"mode": "points-par", "shape": null, "seconds": 1.0e-2,
+            "points_per_sec": 1200.0, "speedup_vs_sequential": 1.01}"#;
+        let err = validate_bench_json(&sweep_fixture(only_points)).unwrap_err();
+        assert!(err.contains("split"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_finite_and_non_positive_numbers() {
+        for bad in ["0.0", "-1.0", "\"fast\""] {
+            let row = GOOD_SPLIT.replace("\"seconds\": 1.0e-2", &format!("\"seconds\": {bad}"));
+            let err = validate_bench_json(&sweep_fixture(&row)).unwrap_err();
+            assert!(err.contains("seconds"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_missing_keys() {
+        let row = GOOD_SPLIT.replace("\"points_per_sec\": 1200.0, ", "");
+        let err = validate_bench_json(&sweep_fixture(&row)).unwrap_err();
+        assert!(err.contains("points_per_sec"), "{err}");
+    }
+
+    #[test]
+    fn validates_threads_records_too() {
+        let good = r#"{"bench": "abl_threads", "n_qubits": 20, "hw_threads": 1,
+            "reps": 5, "serial_seconds": 7.5e-2, "best_speedup": 0.91,
+            "pools": [{"threads": 1, "seconds": 8.2e-2, "speedup_vs_serial": 0.91}]}"#;
+        assert_eq!(validate_bench_json(good).unwrap(), "abl_threads");
+        let err = validate_bench_json(&good.replace("0.91", "NaN")).unwrap_err();
+        assert!(!err.is_empty());
+    }
+}

@@ -18,8 +18,13 @@
 //! * [`SweepNesting::KernelsParallel`] — points evaluated one at a time,
 //!   each with fully parallel kernels. The right mode when points are few
 //!   and states are large.
-//! * [`SweepNesting::Auto`] — points-parallel when the batch has at least
-//!   as many points as the pool has workers, kernels-parallel otherwise.
+//! * [`SweepNesting::Split`] — point×kernel nesting between the two
+//!   extremes: the pool is carved into disjoint worker subsets
+//!   ([`rayon::SubsetPool`]), one lane per concurrent point, each lane's
+//!   kernels parallel within its own subset — e.g. 4 points × 4 kernel
+//!   workers on a 16-worker pool.
+//! * [`SweepNesting::Auto`] — picks among the three from batch size,
+//!   state size `2^n`, and pool width.
 //!
 //! ```
 //! use qokit_core::batch::{SweepPoint, SweepRunner};
@@ -81,9 +86,29 @@ pub enum SweepNesting {
     /// Points evaluated one at a time, each with parallel kernels —
     /// preferable for few points over large states.
     KernelsParallel,
-    /// [`PointsParallel`](SweepNesting::PointsParallel) when the batch has
-    /// at least as many points as the pool has workers, otherwise
-    /// [`KernelsParallel`](SweepNesting::KernelsParallel).
+    /// Point×kernel nesting between the two extremes: the pool is split
+    /// into `points` disjoint worker subsets
+    /// ([`rayon::SubsetPool`]) of `kernels_per_point` workers each;
+    /// every subset evaluates a strided share of the batch with kernels
+    /// parallel *within its subset only*. The right shape for mid-size
+    /// batches of large states — e.g. 4 points × 4 kernel workers on a
+    /// 16-worker pool. Shapes that don't fit the pool are clamped (never
+    /// an error): lanes cap at `min(batch, width)` and workers per lane
+    /// at `width / lanes`, so any `(points, kernels_per_point)` is valid
+    /// at any pool size, degenerating to a sequential kernels-parallel
+    /// loop on one worker.
+    Split {
+        /// Number of concurrent evaluation lanes (worker subsets).
+        points: usize,
+        /// Pool workers owned by each lane's kernels.
+        kernels_per_point: usize,
+    },
+    /// Heuristic pick from batch size, state size `2^n`, and pool width:
+    /// [`PointsParallel`](SweepNesting::PointsParallel) when the batch
+    /// saturates the pool (or states are too small to split profitably),
+    /// [`KernelsParallel`](SweepNesting::KernelsParallel) for a lone
+    /// point, and [`Split`](SweepNesting::Split) in between, with lanes =
+    /// batch size and the remaining workers shared per lane.
     Auto,
 }
 
@@ -271,7 +296,18 @@ impl SweepRunner {
         }
         policy.install(|| match self.resolve_nesting(points.len()) {
             SweepNesting::PointsParallel => self.run_points_parallel(points, &eval),
-            _ => self.run_sequential(points, policy, &eval),
+            SweepNesting::Split {
+                points: lanes,
+                kernels_per_point,
+            } => self.run_split(points, lanes, kernels_per_point, policy, &eval),
+            _ => self.run_sequential(
+                points,
+                ExecPolicy {
+                    threads: 0,
+                    ..policy
+                },
+                &eval,
+            ),
         })
     }
 
@@ -307,17 +343,108 @@ impl SweepRunner {
         self.energies(&points)
     }
 
+    /// Resolves `Auto` into a concrete mode. Must run inside the sweep
+    /// policy's `install`, where `rayon::current_num_threads()` is the
+    /// width of the pool the batch will actually execute on.
     fn resolve_nesting(&self, n_points: usize) -> SweepNesting {
         match self.opts.nested {
             SweepNesting::Auto => {
-                if n_points >= rayon::current_num_threads().max(1) {
+                let width = rayon::current_num_threads().max(1);
+                let n = self.sim.n_qubits();
+                // States too small for the kernels' parallel path (per the
+                // policy's own min_len gate) make kernel workers useless.
+                let kernels_can_split =
+                    n < usize::BITS as usize && (1usize << n) >= self.opts.exec.min_len;
+                if n_points >= width || !kernels_can_split {
                     SweepNesting::PointsParallel
-                } else {
+                } else if n_points <= 1 || width == 1 {
                     SweepNesting::KernelsParallel
+                } else {
+                    // Mid-size batch of large states: one lane per point,
+                    // leftover workers shared evenly among the lanes.
+                    let lanes = n_points;
+                    let kernels_per_point = width / lanes;
+                    if kernels_per_point <= 1 {
+                        SweepNesting::PointsParallel
+                    } else {
+                        SweepNesting::Split {
+                            points: lanes,
+                            kernels_per_point,
+                        }
+                    }
                 }
             }
             mode => mode,
         }
+    }
+
+    /// Point×kernel nesting: `lanes` worker subsets of `kernels_per_point`
+    /// workers each, every lane evaluating a strided share of the batch
+    /// with kernels parallel inside its own subset. Shapes are clamped to
+    /// the pool (see [`SweepNesting::Split`]); results stay keyed by point
+    /// index regardless of lane assignment or completion order.
+    fn run_split<R, F>(
+        &self,
+        points: &[SweepPoint],
+        lanes: usize,
+        kernels_per_point: usize,
+        policy: ExecPolicy,
+        eval: &F,
+    ) -> Vec<Result<R, SweepError>>
+    where
+        R: Send,
+        F: Fn(&FurSimulator, &StateVec, ExecPolicy) -> R + Sync,
+    {
+        let width = rayon::current_num_threads().max(1);
+        let lanes = lanes.clamp(1, width.min(points.len().max(1)));
+        let kernels_per_point = kernels_per_point.clamp(1, (width / lanes).max(1));
+        // Kernels inherit each lane's ambient subset: threads must be 0 so
+        // `ExecPolicy::install` inside the evaluation is a no-op rather
+        // than an escape into a differently-sized pool.
+        let inner = ExecPolicy {
+            threads: 0,
+            ..policy
+        };
+        if lanes <= 1 {
+            // One lane owning every worker is exactly kernels-parallel.
+            return self.run_sequential(points, inner, eval);
+        }
+        let subsets = rayon::split_current(&vec![kernels_per_point; lanes]);
+        let init = self.sim.initial_state();
+        // One (point index, result) accumulator per lane, merged by index
+        // below.
+        type LaneOutput<R> = Mutex<Vec<(usize, Result<R, SweepError>)>>;
+        let lane_outputs: Vec<LaneOutput<R>> = (0..lanes).map(|_| Mutex::new(Vec::new())).collect();
+        rayon::scope(|s| {
+            for (lane, subset) in subsets.iter().enumerate() {
+                let init = &init;
+                let out = &lane_outputs[lane];
+                s.spawn(move |_| {
+                    // One install per lane, not per point: the whole
+                    // strided share runs inside the subset, so a lane task
+                    // picked up by a non-member worker pays a single
+                    // cross-thread handoff. eval_one contains each point's
+                    // panic, so one poisoned point cannot abort the lane.
+                    subset.install(|| {
+                        for index in (lane..points.len()).step_by(lanes) {
+                            let result = self.eval_one(index, &points[index], init, inner, eval);
+                            out.lock().unwrap().push((index, result));
+                        }
+                    });
+                });
+            }
+        });
+        let mut slots: Vec<Option<Result<R, SweepError>>> =
+            (0..points.len()).map(|_| None).collect();
+        for out in lane_outputs {
+            for (index, result) in out.into_inner().unwrap() {
+                slots[index] = Some(result);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every point evaluates exactly once"))
+            .collect()
     }
 
     /// One point per pool task, serial kernels inside.
@@ -571,6 +698,120 @@ mod tests {
             sim.cost_diagonal(),
             runner.simulator().cost_diagonal()
         ));
+    }
+
+    #[test]
+    fn split_mode_matches_sequential_for_any_shape() {
+        let sim = serial_sim(7);
+        let pts = points(9);
+        let reference: Vec<f64> = pts
+            .iter()
+            .map(|p| {
+                let mut s = sim.initial_state();
+                sim.evolve_in_place_with(&mut s, &p.gammas, &p.betas, ExecPolicy::serial());
+                sim.cost_diagonal()
+                    .expectation(s.amplitudes(), ExecPolicy::serial())
+            })
+            .collect();
+        // Every shape — fitting, oversized, degenerate — must clamp to the
+        // pool and agree with the sequential loop.
+        for (p, k) in [(2, 2), (4, 1), (1, 4), (3, 2), (16, 16), (9, 1)] {
+            let runner = SweepRunner::with_options(
+                serial_sim(7),
+                SweepOptions {
+                    exec: ExecPolicy::rayon()
+                        .with_threads(4)
+                        .with_min_len(1)
+                        .with_min_chunk(4),
+                    nested: SweepNesting::Split {
+                        points: p,
+                        kernels_per_point: k,
+                    },
+                },
+            );
+            let got = runner.energies(&pts);
+            for (i, (a, b)) in reference.iter().zip(&got).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "shape {p}x{k}, point {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_heuristic_picks_by_batch_state_and_width() {
+        // min_len = 1 makes any state size "large enough to split".
+        let wide = SweepRunner::with_options(
+            serial_sim(6),
+            SweepOptions {
+                exec: ExecPolicy::rayon()
+                    .with_threads(4)
+                    .with_min_len(1)
+                    .with_min_chunk(4),
+                nested: SweepNesting::Auto,
+            },
+        );
+        let resolved = wide.opts.exec.install(|| {
+            (
+                wide.resolve_nesting(8), // batch >= width
+                wide.resolve_nesting(2), // mid-size: 2 lanes x 2 workers
+                wide.resolve_nesting(1), // lone point
+            )
+        });
+        assert_eq!(resolved.0, SweepNesting::PointsParallel);
+        assert_eq!(
+            resolved.1,
+            SweepNesting::Split {
+                points: 2,
+                kernels_per_point: 2
+            }
+        );
+        assert_eq!(resolved.2, SweepNesting::KernelsParallel);
+
+        // Default min_len: a 2^6 state can't split, so small batches still
+        // go points-parallel rather than waste kernel workers.
+        let small_state = SweepRunner::with_options(
+            serial_sim(6),
+            SweepOptions {
+                exec: ExecPolicy::rayon().with_threads(4),
+                nested: SweepNesting::Auto,
+            },
+        );
+        let resolved = small_state
+            .opts
+            .exec
+            .install(|| small_state.resolve_nesting(2));
+        assert_eq!(resolved, SweepNesting::PointsParallel);
+    }
+
+    #[test]
+    fn split_mode_poisons_only_the_failing_point() {
+        let runner = SweepRunner::with_options(
+            serial_sim(5),
+            SweepOptions {
+                exec: ExecPolicy::rayon()
+                    .with_threads(4)
+                    .with_min_len(1)
+                    .with_min_chunk(4),
+                nested: SweepNesting::Split {
+                    points: 2,
+                    kernels_per_point: 2,
+                },
+            },
+        );
+        let mut pts = points(6);
+        pts[4] = SweepPoint::new(vec![0.1], vec![0.2, 0.3]); // length mismatch
+        let checked = runner.energies_checked(&pts);
+        for (i, r) in checked.iter().enumerate() {
+            if i == 4 {
+                assert!(matches!(r, Err(SweepError::PointPanicked { index: 4, .. })));
+            } else {
+                assert!(r.is_ok(), "point {i} must survive a sibling's panic");
+            }
+        }
+        // Runner and pool stay reusable after the subset-pool panic.
+        assert_eq!(runner.energies(&points(4)).len(), 4);
     }
 
     #[test]

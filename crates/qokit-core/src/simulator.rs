@@ -120,6 +120,9 @@ pub trait QaoaSimulator {
 
     /// Measurement probabilities, consuming the result and reusing its
     /// memory (`preserve_state=False`).
+    // `into_` consumes the *result*, not `self`; the name mirrors QOKit's
+    // preserve_state=False API.
+    #[allow(clippy::wrong_self_convention)]
     fn into_probabilities(&self, result: SimResult) -> Vec<f64> {
         result.into_state().into_probabilities()
     }

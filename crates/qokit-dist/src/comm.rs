@@ -111,6 +111,14 @@ impl BspComm {
     /// rank is counted as sending its K−1 off-diagonal subchunks; with one
     /// rank the transpose is the identity and nothing is counted.
     ///
+    /// The pairwise block swaps run as pool tasks, scheduled like the
+    /// hardware schedules them: a round-robin tournament of K−1 rounds in
+    /// which every rank exchanges with exactly one peer, the disjoint
+    /// pairs of a round swapping concurrently. This restores the
+    /// concurrent-communication shape the old thread-per-rank model
+    /// measured (e.g. in `time_one_layer`) without its deadlock-prone
+    /// blocking, and moves the same bytes — [`CommStats`] is unchanged.
+    ///
     /// # Panics
     /// If slice lengths differ, or are not divisible into K non-empty
     /// subchunks.
@@ -123,19 +131,30 @@ impl BspComm {
             "alltoall slices must have equal lengths"
         );
         assert!(
-            len % k == 0 && len / k > 0,
+            len.is_multiple_of(k) && len / k > 0,
             "slice length {len} not divisible into {k} subchunks"
         );
         if k == 1 {
             return; // single rank: transpose is the identity
         }
         let sub = len / k;
-        for r in 0..k {
-            for j in r + 1..k {
-                let (head, tail) = slices.split_at_mut(j);
-                head[r][j * sub..(j + 1) * sub]
-                    .swap_with_slice(&mut tail[0][r * sub..(r + 1) * sub]);
-            }
+        // Raw views of the rank slices so a round's disjoint pairs can
+        // swap concurrently. Soundness: pair {r, j} touches only block j
+        // of slice r and block r of slice j, and every unordered pair
+        // appears exactly once per alltoall — no two tasks (in any round)
+        // alias a block.
+        let raws: Vec<RawSlice> = slices
+            .iter_mut()
+            .map(|s| RawSlice {
+                ptr: s.as_mut_ptr(),
+            })
+            .collect();
+        for round in round_robin_rounds(k) {
+            round.par_iter().with_min_len(1).for_each(|&(r, j)| unsafe {
+                let a = std::slice::from_raw_parts_mut(raws[r].ptr.add(j * sub), sub);
+                let b = std::slice::from_raw_parts_mut(raws[j].ptr.add(r * sub), sub);
+                a.swap_with_slice(b);
+            });
         }
         let payload = ((k - 1) * sub * std::mem::size_of::<C64>()) as u64;
         for bytes in &mut self.bytes_sent_per_rank {
@@ -179,6 +198,47 @@ impl BspComm {
             alltoall_calls: self.alltoall_calls,
         }
     }
+}
+
+/// Pointer to one rank's slice data, shareable across a round's swap
+/// tasks. Soundness rests on the block-disjointness argument in
+/// [`BspComm::alltoall`].
+#[derive(Copy, Clone)]
+struct RawSlice {
+    ptr: *mut C64,
+}
+
+unsafe impl Send for RawSlice {}
+unsafe impl Sync for RawSlice {}
+
+/// Round-robin tournament schedule over `k` ranks (circle method): `k−1`
+/// rounds (`k` when odd, with one rank sitting out per round), each
+/// pairing every remaining rank with exactly one peer, every unordered
+/// pair appearing exactly once overall.
+fn round_robin_rounds(k: usize) -> Vec<Vec<(usize, usize)>> {
+    let m = k + k % 2; // pad odd fields with a bye slot
+    if m < 2 {
+        return Vec::new();
+    }
+    (0..m - 1)
+        .map(|round| {
+            (0..m / 2)
+                .filter_map(|i| {
+                    // Circle method: slot 0 is fixed, slots 1..m rotate.
+                    let rotate = |s: usize| {
+                        if s == 0 {
+                            0
+                        } else {
+                            (s - 1 + round) % (m - 1) + 1
+                        }
+                    };
+                    let (a, b) = (rotate(i), rotate(m - 1 - i));
+                    // Drop pairs involving the bye slot of an odd field.
+                    (a < k && b < k).then(|| (a.min(b), a.max(b)))
+                })
+                .collect()
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -304,6 +364,27 @@ mod tests {
         let mut states = vec![0usize; 4];
         comm.superstep(&mut states, |rank, s| *s = rank + 1);
         assert_eq!(states, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn round_robin_schedule_is_a_tournament() {
+        // Every unordered pair exactly once overall; within a round no
+        // rank appears twice (that is what makes the round's swaps safe
+        // to run concurrently).
+        for k in 1..=9usize {
+            let rounds = round_robin_rounds(k);
+            let mut seen = std::collections::HashSet::new();
+            for round in &rounds {
+                let mut in_round = std::collections::HashSet::new();
+                for &(a, b) in round {
+                    assert!(a < b && b < k, "malformed pair ({a}, {b}) for k = {k}");
+                    assert!(in_round.insert(a), "rank {a} paired twice in a round");
+                    assert!(in_round.insert(b), "rank {b} paired twice in a round");
+                    assert!(seen.insert((a, b)), "pair ({a}, {b}) scheduled twice");
+                }
+            }
+            assert_eq!(seen.len(), k * (k - 1) / 2, "k = {k}");
+        }
     }
 
     #[test]

@@ -225,7 +225,7 @@ impl DistSimulator {
     /// grid (offset = global min, step 1). Costs a few scalar all-reduces
     /// and a local integrality check — still no bulk traffic. Non-integral
     /// or too-wide costs silently keep the `f64` slices.
-    fn quantize_ranks(&self, comm: &BspComm, ranks: &mut Vec<RankState>) {
+    fn quantize_ranks(&self, comm: &BspComm, ranks: &mut [RankState]) {
         let extrema = comm.superstep_map(ranks, |_, s| {
             s.costs
                 .iter()

@@ -120,7 +120,7 @@ impl ClusterModel {
         }
         let sent = slice_bytes * (k_ranks as f64 - 1.0) / k_ranks as f64;
         let f_intra = self.intra_node_fraction(k_ranks);
-        let nodes = (k_ranks + self.gpus_per_node - 1) / self.gpus_per_node;
+        let nodes = k_ranks.div_ceil(self.gpus_per_node);
         let congest = 1.0 + self.congestion * (nodes as f64).log2().max(0.0);
         let comm_one = match backend {
             CommBackend::P2pAware => {

@@ -31,7 +31,7 @@ fn scale2(m: &Mat2, f: qokit_statevec::C64) -> Mat2 {
     let mut out = *m;
     for row in &mut out.m {
         for e in row {
-            *e = *e * f;
+            *e *= f;
         }
     }
     out
@@ -42,7 +42,7 @@ fn scale4(m: &Mat4, f: qokit_statevec::C64) -> Mat4 {
     let mut out = *m;
     for row in &mut out.m {
         for e in row {
-            *e = *e * f;
+            *e *= f;
         }
     }
     out

@@ -7,12 +7,15 @@
 //! linear-ramp (TQA) initialization and INTERP depth-extension heuristics
 //! used for high-depth parameter setting.
 //!
-//! Two batched layers sit on top, feeding the work-stealing pool:
+//! Three batched layers sit on top, feeding the work-stealing pool:
 //! [`grid_search_2d_batched`] / [`random_search_batched`] hand the whole
 //! point set to one evaluator call (pair them with a `SweepRunner` from
-//! `qokit-core`), and [`MultiStart`] runs local-optimizer restarts as pool
-//! tasks with results keyed by restart index — bit-identical for any pool
-//! size given a deterministic objective.
+//! `qokit-core`), [`NelderMead::minimize_batched`] evaluates candidate
+//! sets — the reflection/expansion pair, the initial simplex, shrink rows
+//! — as single batches with a bit-identical trajectory to the sequential
+//! driver, and [`MultiStart`] runs local-optimizer restarts as pool tasks
+//! with results keyed by restart index — bit-identical for any pool size
+//! given a deterministic objective.
 //!
 //! ```
 //! use qokit_optim::{NelderMead, schedules};

@@ -154,6 +154,173 @@ impl NelderMead {
     }
 }
 
+impl NelderMead {
+    /// As [`minimize`](Self::minimize), but the objective evaluates whole
+    /// *candidate batches* — the shape a batched sweep evaluator (e.g.
+    /// `SweepRunner::energies` in `qokit-core`) serves in one pool
+    /// dispatch. Candidate sets that sequential Nelder–Mead evaluates one
+    /// at a time become single batch calls:
+    ///
+    /// * the initial simplex (`dim + 1` points),
+    /// * the reflection **and** expansion candidates as a 2-point batch —
+    ///   the expansion is evaluated *speculatively*, in parallel with the
+    ///   reflection whose outcome decides whether it is needed,
+    /// * a shrink's `dim` replacement vertices.
+    ///
+    /// The optimization trajectory is **identical** to
+    /// [`minimize`](Self::minimize): given a batch objective that agrees
+    /// pointwise with a sequential objective, the returned
+    /// [`OptimizeResult`] (best point, value, `n_evals`, history) is
+    /// bit-for-bit the same. Speculative values the sequential algorithm
+    /// would never have computed (a discarded expansion, shrink vertices
+    /// past the evaluation budget) are thrown away: they do not count
+    /// toward `max_evals` and never enter the history — the batch driver
+    /// trades up to one wasted evaluation per iteration for the latency
+    /// win of evaluating candidates concurrently.
+    ///
+    /// # Panics
+    /// If `x0` is empty, or `f` returns a batch of the wrong length.
+    pub fn minimize_batched<F>(&self, mut f: F, x0: &[f64]) -> OptimizeResult
+    where
+        F: FnMut(&[Vec<f64>]) -> Vec<f64>,
+    {
+        let dim = x0.len();
+        assert!(dim > 0, "cannot optimize a zero-dimensional parameter");
+        let mut eval_batch = move |xs: &[Vec<f64>]| -> Vec<f64> {
+            let vs = f(xs);
+            assert_eq!(
+                vs.len(),
+                xs.len(),
+                "batch objective must return one value per candidate"
+            );
+            vs
+        };
+        let mut n_evals = 0usize;
+        let mut history = Vec::new();
+        // Consumes one value into the sequential-identical accounting.
+        let record = |v: f64, n_evals: &mut usize, history: &mut Vec<f64>| {
+            *n_evals += 1;
+            let best_so_far = history.last().copied().unwrap_or(f64::INFINITY);
+            history.push(v.min(best_so_far));
+        };
+
+        // Initial simplex: x0 plus one step along each axis, one batch.
+        let mut initial: Vec<Vec<f64>> = Vec::with_capacity(dim + 1);
+        initial.push(x0.to_vec());
+        for i in 0..dim {
+            let mut x = x0.to_vec();
+            x[i] += if x[i].abs() > 1e-12 {
+                self.initial_step * x[i].abs()
+            } else {
+                self.initial_step
+            };
+            initial.push(x);
+        }
+        let values = eval_batch(&initial);
+        let mut simplex: Vec<(Vec<f64>, f64)> = initial.into_iter().zip(values).collect();
+        for &(_, v) in &simplex {
+            record(v, &mut n_evals, &mut history);
+        }
+
+        while n_evals < self.max_evals {
+            simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let best = simplex[0].1;
+            let worst = simplex[dim].1;
+            let diameter = simplex[1..]
+                .iter()
+                .flat_map(|(x, _)| {
+                    x.iter()
+                        .zip(simplex[0].0.iter())
+                        .map(|(a, b)| (a - b).abs())
+                })
+                .fold(0.0f64, f64::max);
+            if (worst - best).abs() < self.ftol && diameter < self.xtol {
+                break;
+            }
+
+            let mut centroid = vec![0.0; dim];
+            for (x, _) in &simplex[..dim] {
+                for (c, xi) in centroid.iter_mut().zip(x.iter()) {
+                    *c += xi / dim as f64;
+                }
+            }
+            let worst_x = simplex[dim].0.clone();
+            let blend = |t: f64| -> Vec<f64> {
+                centroid
+                    .iter()
+                    .zip(worst_x.iter())
+                    .map(|(c, w)| c + t * (c - w))
+                    .collect()
+            };
+
+            // Reflection + speculative expansion as one 2-point batch.
+            let xr = blend(1.0);
+            let xe = blend(2.0);
+            let pair = eval_batch(&[xr.clone(), xe.clone()]);
+            let (vr, ve) = (pair[0], pair[1]);
+            record(vr, &mut n_evals, &mut history);
+            if vr < simplex[0].1 {
+                // Expansion consumed: account for it like the sequential
+                // algorithm, which evaluates it exactly here.
+                record(ve, &mut n_evals, &mut history);
+                simplex[dim] = if ve < vr { (xe, ve) } else { (xr, vr) };
+                continue;
+            }
+            // Reflection did not beat the best: the speculative expansion
+            // value is discarded unrecorded.
+            if vr < simplex[dim - 1].1 {
+                simplex[dim] = (xr, vr);
+                continue;
+            }
+            let xc = if vr < simplex[dim].1 {
+                blend(0.5)
+            } else {
+                blend(-0.5)
+            };
+            let vc = eval_batch(std::slice::from_ref(&xc))[0];
+            record(vc, &mut n_evals, &mut history);
+            if vc < simplex[dim].1.min(vr) {
+                simplex[dim] = (xc, vc);
+                continue;
+            }
+            // Shrink toward the best vertex: the whole replacement row as
+            // one batch, applied in vertex order within the budget.
+            let best_x = simplex[0].0.clone();
+            let shrunk: Vec<Vec<f64>> = simplex
+                .iter()
+                .skip(1)
+                .map(|(x, _)| {
+                    x.iter()
+                        .zip(best_x.iter())
+                        .map(|(xi, bi)| bi + 0.5 * (xi - bi))
+                        .collect()
+                })
+                .collect();
+            let shrunk_vs = eval_batch(&shrunk);
+            for (entry, (x, v)) in simplex
+                .iter_mut()
+                .skip(1)
+                .zip(shrunk.into_iter().zip(shrunk_vs))
+            {
+                record(v, &mut n_evals, &mut history);
+                *entry = (x, v);
+                if n_evals >= self.max_evals {
+                    break;
+                }
+            }
+        }
+
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let (best_x, best_f) = simplex.swap_remove(0);
+        OptimizeResult {
+            best_x,
+            best_f,
+            n_evals,
+            history,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,5 +404,89 @@ mod tests {
     #[should_panic(expected = "zero-dimensional")]
     fn rejects_empty_x0() {
         let _ = NelderMead::default().minimize(|_| 0.0, &[]);
+    }
+
+    /// The contract of `minimize_batched`: a bit-identical trajectory to
+    /// the sequential driver for a pointwise-equal objective.
+    fn assert_batched_matches_sequential(
+        nm: &NelderMead,
+        f: impl Fn(&[f64]) -> f64 + Copy,
+        x0: &[f64],
+    ) {
+        let sequential = nm.minimize(f, x0);
+        let batched = nm.minimize_batched(|xs| xs.iter().map(|x| f(x)).collect(), x0);
+        assert_eq!(sequential.best_x, batched.best_x);
+        assert_eq!(sequential.best_f.to_bits(), batched.best_f.to_bits());
+        assert_eq!(sequential.n_evals, batched.n_evals);
+        assert_eq!(sequential.history.len(), batched.history.len());
+        for (a, b) in sequential.history.iter().zip(&batched.history) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_matches_sequential_on_quadratic() {
+        assert_batched_matches_sequential(
+            &NelderMead {
+                max_evals: 500,
+                ..NelderMead::default()
+            },
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2) + 5.0,
+            &[0.0, 0.0],
+        );
+    }
+
+    #[test]
+    fn batched_matches_sequential_on_rosenbrock() {
+        // Rosenbrock exercises every branch: expansions, contractions,
+        // and shrinks (including budget-truncated ones).
+        for max_evals in [37, 200, 4000] {
+            assert_batched_matches_sequential(
+                &NelderMead {
+                    max_evals,
+                    ftol: 1e-14,
+                    xtol: 1e-10,
+                    initial_step: 0.5,
+                },
+                |x| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+                &[-1.2, 1.0],
+            );
+        }
+    }
+
+    #[test]
+    fn batched_speculation_costs_at_most_one_eval_per_iteration() {
+        use std::cell::Cell;
+        let actually_evaluated = Cell::new(0usize);
+        let nm = NelderMead {
+            max_evals: 200,
+            ..NelderMead::default()
+        };
+        let r = nm.minimize_batched(
+            |xs| {
+                actually_evaluated.set(actually_evaluated.get() + xs.len());
+                xs.iter()
+                    .map(|x| (x[0] - 0.7).powi(2) + x[1].powi(2))
+                    .collect()
+            },
+            &[2.0, 2.0],
+        );
+        // Speculative work is bounded: never more than one discarded
+        // expansion per reflection batch (each batch call maps to ≥ 1
+        // consumed evaluation).
+        assert!(actually_evaluated.get() >= r.n_evals);
+        assert!(
+            actually_evaluated.get() <= 2 * r.n_evals,
+            "{} evaluated for {} consumed",
+            actually_evaluated.get(),
+            r.n_evals
+        );
+        assert!(r.best_f < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per candidate")]
+    fn batched_rejects_wrong_batch_length() {
+        let _ = NelderMead::default().minimize_batched(|_| vec![0.0], &[1.0, 2.0]);
     }
 }

@@ -64,7 +64,7 @@ pub fn pack(gammas: &[f64], betas: &[f64]) -> Vec<f64> {
 /// If the length is odd.
 pub fn unpack(x: &[f64]) -> (&[f64], &[f64]) {
     assert!(
-        x.len() % 2 == 0,
+        x.len().is_multiple_of(2),
         "packed parameter vector must be even-length"
     );
     x.split_at(x.len() / 2)
@@ -127,7 +127,7 @@ mod tests {
         let ext = interp_extend(&params);
         for w in ext.windows(2) {
             let d = w[1] - w[0];
-            assert!(d >= 0.0 && d <= 0.2 + 1e-12);
+            assert!((0.0..=0.2 + 1e-12).contains(&d));
         }
     }
 

@@ -208,7 +208,12 @@ mod tests {
     #[test]
     fn histories_are_monotone() {
         let mut rng = StdRng::seed_from_u64(5);
-        let r = random_search(|x| x[0].sin(), &[(0.0, 6.28)], 50, &mut rng);
+        let r = random_search(
+            |x| x[0].sin(),
+            &[(0.0, std::f64::consts::TAU)],
+            50,
+            &mut rng,
+        );
         for w in r.history.windows(2) {
             assert!(w[1] <= w[0]);
         }

@@ -134,7 +134,7 @@ impl ExecPolicy {
     /// to the next multiple of `block`.
     #[inline]
     pub fn chunk_len(&self, len: usize, block: usize) -> usize {
-        debug_assert!(block.is_power_of_two() && len % block == 0);
+        debug_assert!(block.is_power_of_two() && len.is_multiple_of(block));
         if block >= self.min_chunk {
             block
         } else {

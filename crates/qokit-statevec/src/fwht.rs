@@ -322,7 +322,7 @@ mod tests {
         v[m] = C64::ONE;
         fwht_serial(&mut v);
         for (x, a) in v.iter().enumerate() {
-            let sign = if (x & m).count_ones() % 2 == 0 {
+            let sign = if (x & m).count_ones().is_multiple_of(2) {
                 1.0
             } else {
                 -1.0

@@ -115,7 +115,7 @@ impl TensorNetwork {
                     let union: std::collections::HashSet<usize> =
                         ti.legs.iter().chain(tj.legs.iter()).copied().collect();
                     let rank = union.len() - sum.len();
-                    if best.as_ref().map_or(true, |b| rank < b.2) {
+                    if best.as_ref().is_none_or(|b| rank < b.2) {
                         best = Some((i, j, rank, sum));
                     }
                 }

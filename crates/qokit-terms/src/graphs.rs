@@ -107,12 +107,15 @@ impl Graph {
     /// # Panics
     /// If `n·d` is odd or `d ≥ n` (no simple `d`-regular graph exists).
     pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Self {
-        assert!(n * d % 2 == 0, "n·d must be even for a d-regular graph");
+        assert!(
+            (n * d).is_multiple_of(2),
+            "n·d must be even for a d-regular graph"
+        );
         assert!(d < n, "degree {d} impossible on {n} vertices");
         if d == 0 {
             return Graph { n, edges: vec![] };
         }
-        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         'retry: loop {
             stubs.shuffle(rng);
             let mut seen = std::collections::HashSet::with_capacity(n * d / 2);

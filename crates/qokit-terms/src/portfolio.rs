@@ -83,9 +83,9 @@ impl PortfolioInstance {
         let mut quad = Vec::new(); // (i, j, coefficient of s_i s_j), i < j
 
         // −μᵀx = −Σ μ_i (1 − s_i)/2.
-        for i in 0..n {
-            constant -= self.means[i] / 2.0;
-            linear[i] += self.means[i] / 2.0;
+        for (slot, mean) in linear.iter_mut().zip(&self.means) {
+            constant -= mean / 2.0;
+            *slot += mean / 2.0;
         }
         // q·xᵀΣx: diagonal x_i² = x_i; off-diagonal pairs i ≠ j.
         for i in 0..n {

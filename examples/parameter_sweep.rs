@@ -11,7 +11,12 @@
 //! Expected output: a 21×21 grid swept in one batched call whose best
 //! point matches the sequential grid search exactly, followed by a
 //! multi-restart table where every restart is reproducible (fixed seed)
-//! and the best restart reaches an approximation ratio above 0.85.
+//! and the best restart reaches an approximation ratio above 0.85, and
+//! finally a batched Nelder–Mead refinement (reflection/expansion pairs
+//! evaluated as 2-point sweep batches under points-parallel nesting,
+//! the mode whose serial per-point kernels keep the batched trajectory
+//! bit-identical to the sequential one) that never lowers the
+//! multi-restart quality.
 
 use qokit::optim::{grid_search_2d, grid_search_2d_batched, MultiStart, NelderMead, RestartMethod};
 use qokit::prelude::*;
@@ -95,4 +100,67 @@ fn main() {
         run.best().best_f
     );
     assert!(ratio > 0.85, "multi-restart should reach ratio > 0.85");
+
+    // --- Batched Nelder–Mead refinement -------------------------------
+    // Candidate sets (initial simplex, reflection/expansion pairs, shrink
+    // rows) evaluate as sweep batches. Points-parallel keeps kernels
+    // serial inside each candidate, so the batched trajectory is
+    // *bit-identical* to sequential Nelder–Mead on any pool size (`Auto`
+    // or `Split{..}` nesting trade that determinism for parallel kernels
+    // per lane — see the README's nesting-mode guidance).
+    let nm = NelderMead {
+        max_evals: 150,
+        ..NelderMead::default()
+    };
+    let x0 = run.best().best_x.clone();
+    // One serial-kernel simulator, shared between the runner and the
+    // sequential reference — from_arc keeps a single 2^n cost diagonal.
+    let serial_sim = std::sync::Arc::new(FurSimulator::with_options(
+        &poly,
+        SimOptions {
+            exec: ExecPolicy::serial(),
+            ..SimOptions::default()
+        },
+    ));
+    let refine_runner = SweepRunner::from_arc(
+        std::sync::Arc::clone(&serial_sim),
+        SweepOptions {
+            exec: ExecPolicy::rayon(),
+            nested: SweepNesting::PointsParallel,
+        },
+    );
+    let t = Instant::now();
+    let refined = nm.minimize_batched(
+        |xs| {
+            let points: Vec<SweepPoint> = xs
+                .iter()
+                .map(|x| {
+                    let (g, b) = qokit::optim::schedules::unpack(x);
+                    SweepPoint::new(g.to_vec(), b.to_vec())
+                })
+                .collect();
+            refine_runner.energies(&points)
+        },
+        &x0,
+    );
+    let sequential_refined = nm.minimize(
+        |x| {
+            let (g, b) = qokit::optim::schedules::unpack(x);
+            serial_sim.objective(g, b)
+        },
+        &x0,
+    );
+    println!(
+        "\nbatched Nelder–Mead refinement: <C> = {:.4} after {} evaluations in {:.2?}",
+        refined.best_f,
+        refined.n_evals,
+        t.elapsed()
+    );
+    assert_eq!(
+        refined.best_f.to_bits(),
+        sequential_refined.best_f.to_bits(),
+        "batched NM must walk the sequential trajectory exactly"
+    );
+    assert!(refined.best_f <= run.best().best_f + 1e-9);
+    println!("sequential Nelder–Mead agrees: identical trajectory and best value");
 }

@@ -111,6 +111,46 @@ proptest! {
     }
 
     #[test]
+    fn split_nesting_matches_sequential_loop_at_all_pool_sizes(
+        poly in poly_strategy(6, 12),
+        points in points_strategy(2, 8),
+    ) {
+        // Every (p, k) factorization of every pool size in {1, 2, 4} —
+        // plus shapes that only fit after clamping — must compute the
+        // sequential loop's energies to ≤ 1e-12. Subset pools carve the
+        // sweep pool into p lanes of k kernel workers each.
+        let reference = sequential_energies(&serial_sim(&poly, Mixer::X), &points);
+        for threads in [1usize, 2, 4] {
+            let mut shapes: Vec<(usize, usize)> = (1..=threads)
+                .filter(|p| threads % p == 0)
+                .map(|p| (p, threads / p))
+                .collect();
+            shapes.push((threads + 1, 2)); // clamps to the pool
+            for (p, k) in shapes {
+                let runner = SweepRunner::with_options(
+                    serial_sim(&poly, Mixer::X),
+                    SweepOptions {
+                        exec: ExecPolicy::rayon()
+                            .with_threads(threads)
+                            .with_min_len(1)
+                            .with_min_chunk(4),
+                        nested: SweepNesting::Split { points: p, kernels_per_point: k },
+                    },
+                );
+                let batched = runner.energies(&points);
+                prop_assert_eq!(batched.len(), reference.len());
+                for (i, (a, b)) in reference.iter().zip(&batched).enumerate() {
+                    prop_assert!(
+                        (a - b).abs() <= 1e-12,
+                        "threads {}, shape {}x{}, point {}: {} vs {}",
+                        threads, p, k, i, a, b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn repeated_batches_reuse_buffers_without_drift(
         points in points_strategy(1, 6),
     ) {
@@ -193,6 +233,65 @@ fn batched_grid_search_equals_sequential_grid_search() {
     assert_eq!(sequential.best_f.to_bits(), batched.best_f.to_bits());
     assert_eq!(sequential.n_evals, batched.n_evals);
     assert_eq!(sequential.history.len(), batched.history.len());
+    for (a, b) in sequential.history.iter().zip(&batched.history) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+/// Batched Nelder–Mead driven by a `SweepRunner` (reflection/expansion
+/// pairs, initial simplex, and shrink rows each as one batched pool
+/// dispatch) must walk the exact trajectory of sequential Nelder–Mead on
+/// one-at-a-time objective calls.
+#[test]
+fn batched_nelder_mead_via_sweep_runner_matches_sequential() {
+    use qokit::optim::{schedules, NelderMead};
+    let poly = labs_terms(7);
+    let p = 2;
+    let nm = NelderMead {
+        max_evals: 120,
+        ..NelderMead::default()
+    };
+    let x0 = {
+        let (g, b) = schedules::linear_ramp(p, 0.6);
+        schedules::pack(&g, &b)
+    };
+
+    let sim = serial_sim(&poly, Mixer::X);
+    let sequential = nm.minimize(
+        |x| {
+            let (g, b) = schedules::unpack(x);
+            sim.objective(g, b)
+        },
+        &x0,
+    );
+
+    // Points-parallel keeps kernels serial, so each candidate's energy is
+    // bit-identical to the sequential objective call — and therefore so is
+    // the whole optimization trajectory.
+    let runner = SweepRunner::with_options(
+        serial_sim(&poly, Mixer::X),
+        SweepOptions {
+            exec: forced(),
+            nested: SweepNesting::PointsParallel,
+        },
+    );
+    let batched = nm.minimize_batched(
+        |xs| {
+            let points: Vec<SweepPoint> = xs
+                .iter()
+                .map(|x| {
+                    let (g, b) = schedules::unpack(x);
+                    SweepPoint::new(g.to_vec(), b.to_vec())
+                })
+                .collect();
+            runner.energies(&points)
+        },
+        &x0,
+    );
+
+    assert_eq!(sequential.best_x, batched.best_x);
+    assert_eq!(sequential.best_f.to_bits(), batched.best_f.to_bits());
+    assert_eq!(sequential.n_evals, batched.n_evals);
     for (a, b) in sequential.history.iter().zip(&batched.history) {
         assert_eq!(a.to_bits(), b.to_bits());
     }

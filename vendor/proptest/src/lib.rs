@@ -31,6 +31,9 @@
 //! harness; this shim's own unit tests run the macro end-to-end.)
 
 #![warn(missing_docs)]
+// The crate-level doctest necessarily contains `#[test]`: that token is
+// part of the `proptest!` macro's grammar being demonstrated.
+#![allow(clippy::test_attr_in_doctest)]
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -361,7 +364,7 @@ mod tests {
         #[test]
         fn vec_respects_size((v, k) in (prop::collection::vec(0.0f64..1.0, 2..5), 1usize..4)) {
             prop_assert!(v.len() >= 2 && v.len() < 5);
-            prop_assert!(k >= 1 && k < 4);
+            prop_assert!((1..4).contains(&k));
             for x in v { prop_assert!((0.0..1.0).contains(&x)); }
         }
 

@@ -31,7 +31,7 @@ unsafe impl<T> Sync for SendPtr<T> {}
 
 impl<T> Clone for SendPtr<T> {
     fn clone(&self) -> Self {
-        SendPtr(self.0)
+        *self
     }
 }
 impl<T> Copy for SendPtr<T> {}

@@ -16,7 +16,12 @@
 //!   `zip` / `enumerate` / `map` / `with_min_len` adapters and the
 //!   `for_each` / `sum` / `reduce` / `collect` terminals;
 //! * [`ThreadPool`] — explicitly sized pools; [`ThreadPool::install`] scopes
-//!   parallel execution to that pool.
+//!   parallel execution to that pool;
+//! * [`SubsetPool`] — disjoint slices of one pool's workers
+//!   ([`ThreadPool::split`] / [`split_current`]); `install` scopes execution
+//!   to the slice, with subset-local [`current_num_threads`] /
+//!   [`current_thread_index`], so sibling subsets run concurrently without
+//!   stealing each other's work (point×kernel nested parallelism).
 //!
 //! The global pool's size comes from `QOKIT_THREADS` (then
 //! `RAYON_NUM_THREADS`); `0`, garbage, or absence mean the hardware thread
@@ -49,7 +54,7 @@ pub use iter::{
     Chunks, ChunksMut, Enumerate, FromParallelIterator, Iter, IterMut, Map, ParallelIterator,
     ParallelSlice, ParallelSliceMut, Zip,
 };
-pub use registry::{join, scope, Scope};
+pub use registry::{join, scope, split_current, Scope, SubsetPool};
 
 use registry::Registry;
 use std::sync::Arc;
@@ -71,9 +76,13 @@ pub fn current_num_threads() -> usize {
 /// when the caller is not a pool worker. Mirrors
 /// `rayon::current_thread_index`; callers use it to maintain per-worker
 /// scratch state (e.g. reusable simulator buffers) without locking a single
-/// shared slot.
+/// shared slot. Inside a [`SubsetPool`] the index is subset-local
+/// (`0..subset_width`), matching what [`current_num_threads`] reports there.
 pub fn current_thread_index() -> Option<usize> {
-    registry::current_worker().map(|(_, idx)| idx)
+    registry::current_worker().map(|(_, idx)| match registry::current_domain() {
+        Some((lo, _)) => idx - lo,
+        None => idx,
+    })
 }
 
 /// Error type returned by [`ThreadPoolBuilder::build`].
@@ -142,6 +151,20 @@ impl ThreadPool {
     /// The worker count this pool was built with.
     pub fn current_num_threads(&self) -> usize {
         self.registry.num_threads()
+    }
+
+    /// Partitions this pool's workers into consecutive disjoint
+    /// [`SubsetPool`]s of the given sizes (sizes may sum to less than the
+    /// pool width; leftover workers simply take no subset work). Each
+    /// subset's `install` scopes execution to its slice of the workers,
+    /// so sibling subsets run concurrently without stealing from each
+    /// other — e.g. `pool.split(&[4, 4, 4, 4])` turns a 16-worker pool
+    /// into four independent 4-worker lanes.
+    ///
+    /// # Panics
+    /// If `sizes` is empty, contains a zero, or sums past the pool width.
+    pub fn split(&self, sizes: &[usize]) -> Vec<SubsetPool> {
+        registry::split_range(&self.registry, (0, self.registry.num_threads()), sizes)
     }
 }
 
@@ -263,7 +286,7 @@ mod tests {
         assert_eq!(current_thread_index(), None);
         // Every worker of an explicit pool reports an index inside bounds.
         let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
-        let idx = pool.install(|| current_thread_index());
+        let idx = pool.install(current_thread_index);
         assert!(matches!(idx, Some(i) if i < 3));
         let indices: Vec<Option<usize>> = {
             let v: Vec<u32> = (0..64).collect();

@@ -26,9 +26,15 @@ use std::time::Duration;
 /// Type-erased pointer to an executable job. The creator guarantees the
 /// pointee stays alive until `execute` completes (stack jobs are owned by a
 /// frame that blocks on the job's latch; heap jobs own themselves).
+///
+/// Every job carries a *domain*: the half-open worker-index range
+/// `[lo, hi)` of its registry allowed to execute it. Plain pool work uses
+/// the full range; subset pools ([`SubsetPool`]) narrow it, which is what
+/// scopes their `install` to a disjoint slice of the workers.
 pub(crate) struct JobRef {
     data: *const (),
     execute_fn: unsafe fn(*const ()),
+    domain: (usize, usize),
 }
 
 // SAFETY: a JobRef is a one-shot handle moved to exactly one executor; the
@@ -36,10 +42,11 @@ pub(crate) struct JobRef {
 unsafe impl Send for JobRef {}
 
 impl JobRef {
-    pub(crate) unsafe fn new<J: Job>(data: *const J) -> JobRef {
+    pub(crate) unsafe fn new<J: Job>(data: *const J, domain: (usize, usize)) -> JobRef {
         JobRef {
             data: data as *const (),
             execute_fn: exec_job::<J>,
+            domain,
         }
     }
 
@@ -47,7 +54,17 @@ impl JobRef {
         self.data
     }
 
+    /// `true` when worker `idx` is allowed to execute this job.
+    fn eligible(&self, idx: usize) -> bool {
+        self.domain.0 <= idx && idx < self.domain.1
+    }
+
     pub(crate) fn execute(self) {
+        // Execution happens *inside* the job's domain: `current_num_threads`
+        // / `current_thread_index` report subset-local values, and any work
+        // the job forks inherits the domain. The guard restores the previous
+        // domain even if the job unwinds.
+        let _guard = DomainGuard::enter(self.domain);
         unsafe { (self.execute_fn)(self.data) }
     }
 }
@@ -89,8 +106,8 @@ where
         &self.latch
     }
 
-    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
-        JobRef::new(self)
+    pub(crate) unsafe fn as_job_ref(&self, domain: (usize, usize)) -> JobRef {
+        JobRef::new(self, domain)
     }
 
     /// Runs the closure on the owner's thread (the job never escaped, or was
@@ -141,8 +158,8 @@ impl HeapJob {
         Box::new(HeapJob { func: Some(func) })
     }
 
-    pub(crate) unsafe fn into_job_ref(self: Box<Self>) -> JobRef {
-        JobRef::new(Box::into_raw(self))
+    pub(crate) unsafe fn into_job_ref(self: Box<Self>, domain: (usize, usize)) -> JobRef {
+        JobRef::new(Box::into_raw(self), domain)
     }
 }
 
@@ -150,6 +167,47 @@ impl Job for HeapJob {
     unsafe fn execute(this: *const Self) {
         let mut job = Box::from_raw(this as *mut Self);
         (job.func.take().expect("heap job executed twice"))();
+    }
+}
+
+// ---------------------------------------------------------------- domains
+
+thread_local! {
+    /// The worker-index range `[lo, hi)` the current thread is executing
+    /// inside, when it is running a job. `None` between jobs (and on
+    /// non-worker threads). `current_num_threads` reports `hi − lo` and
+    /// `current_thread_index` reports `idx − lo`, so code installed into a
+    /// [`SubsetPool`] sees subset-local values without any changes.
+    static DOMAIN: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+/// The domain the current thread is executing inside, if any.
+pub(crate) fn current_domain() -> Option<(usize, usize)> {
+    DOMAIN.with(|d| d.get())
+}
+
+/// The current domain, defaulting to the full range of `registry`.
+fn current_domain_or_full(registry: &Registry) -> (usize, usize) {
+    current_domain().unwrap_or((0, registry.num_threads()))
+}
+
+/// RAII entry into a domain: restores the previous domain on drop, so
+/// unwinding jobs cannot leak a stale domain onto the worker.
+struct DomainGuard {
+    prev: Option<(usize, usize)>,
+}
+
+impl DomainGuard {
+    fn enter(domain: (usize, usize)) -> DomainGuard {
+        DomainGuard {
+            prev: DOMAIN.with(|d| d.replace(Some(domain))),
+        }
+    }
+}
+
+impl Drop for DomainGuard {
+    fn drop(&mut self) {
+        DOMAIN.with(|d| d.set(self.prev));
     }
 }
 
@@ -301,19 +359,25 @@ impl Registry {
         }
     }
 
-    /// Finds a job: own deque newest-first, then steal oldest-first from
-    /// siblings (round-robin), then the injector.
+    /// Finds a job worker `idx` may execute: own deque newest-first, then
+    /// steal oldest-first from siblings (round-robin), then the injector.
+    /// Steals and injector pops skip jobs whose domain excludes `idx` — the
+    /// mechanism that keeps subset-pool work on the subset's workers.
     fn find_work(&self, idx: usize) -> Option<JobRef> {
         if let Some(job) = self.deques[idx].lock().unwrap().pop_back() {
+            // A worker only pushes locally while executing inside a domain
+            // containing its own index, so its own deque holds only
+            // eligible jobs.
+            debug_assert!(job.eligible(idx));
             return Some(job);
         }
         for offset in 1..self.num_threads {
             let victim = (idx + offset) % self.num_threads;
-            if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+            if let Some(job) = take_eligible(&mut self.deques[victim].lock().unwrap(), idx) {
                 return Some(job);
             }
         }
-        self.injector.lock().unwrap().pop_front()
+        take_eligible(&mut self.injector.lock().unwrap(), idx)
     }
 
     /// Worker-side wait: keep executing other jobs until `done` holds.
@@ -347,6 +411,12 @@ impl Registry {
             self.sleep_unless(seen, &done);
         }
     }
+}
+
+/// Removes the oldest job in `deque` that worker `idx` may execute.
+fn take_eligible(deque: &mut VecDeque<JobRef>, idx: usize) -> Option<JobRef> {
+    let pos = deque.iter().position(|j| j.eligible(idx))?;
+    deque.remove(pos)
 }
 
 fn worker_main(registry: Arc<Registry>, idx: usize) {
@@ -386,16 +456,38 @@ where
     OP: FnOnce() -> R + Send,
     R: Send,
 {
-    if let Some((current, _)) = current_worker() {
-        if std::ptr::eq(current, Arc::as_ptr(registry)) {
+    let full = (0, registry.num_threads());
+    in_registry_domain(registry, full, op)
+}
+
+/// Runs `op` inside `registry`, scoped to the worker-index range `domain`:
+/// the semantics of [`SubsetPool::install`]. Runs inline (under the
+/// narrowed domain) when the calling thread is a member worker; otherwise
+/// the job is injected and only member workers can take it.
+pub(crate) fn in_registry_domain<OP, R>(
+    registry: &Arc<Registry>,
+    domain: (usize, usize),
+    op: OP,
+) -> R
+where
+    OP: FnOnce() -> R + Send,
+    R: Send,
+{
+    if let Some((current, idx)) = current_worker() {
+        if std::ptr::eq(current, Arc::as_ptr(registry)) && domain.0 <= idx && idx < domain.1 {
+            let _guard = DomainGuard::enter(domain);
             return op();
         }
     }
     let job = StackJob::new(op, Arc::as_ptr(registry));
-    unsafe { registry.inject(job.as_job_ref()) };
+    unsafe { registry.inject(job.as_job_ref(domain)) };
     if let Some((current, idx)) = current_worker() {
-        // A worker of a *different* pool: keep its own pool busy meanwhile.
-        unsafe { (*current).wait_while_helping(idx, || job.latch().probe(), true) };
+        // A worker outside the domain (same pool) or of a different pool:
+        // keep helping with work it is allowed to run meanwhile. The latch
+        // only notifies `registry`'s condvar, so the wait is foreign unless
+        // the helper belongs to that same registry.
+        let foreign = !std::ptr::eq(current, Arc::as_ptr(registry));
+        unsafe { (*current).wait_while_helping(idx, || job.latch().probe(), foreign) };
     } else {
         registry.wait_external(|| job.latch().probe());
     }
@@ -428,8 +520,9 @@ where
     RA: Send,
     RB: Send,
 {
+    let domain = current_domain_or_full(registry);
     let job_b = StackJob::new(oper_b, registry as *const Registry);
-    registry.push_local(idx, job_b.as_job_ref());
+    registry.push_local(idx, job_b.as_job_ref(domain));
 
     // Run `a` ourselves. If it panics we must still synchronize with `b`
     // (its job borrows this very stack frame) before unwinding.
@@ -459,6 +552,9 @@ where
 /// A fork-join scope; created by [`scope`].
 pub struct Scope<'scope> {
     registry: *const Registry,
+    /// Domain the scope was created in; every spawned task inherits it, so
+    /// a scope inside a [`SubsetPool`] stays on the subset's workers.
+    domain: (usize, usize),
     pending: AtomicUsize,
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
     marker: std::marker::PhantomData<fn(&'scope ()) -> &'scope ()>,
@@ -499,9 +595,12 @@ impl<'scope> Scope<'scope> {
         // SAFETY: lifetime erasure; the job completes before 'scope ends
         // because `scope` waits for `pending == 0`.
         let func: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(func) };
-        let job_ref = unsafe { HeapJob::new(func).into_job_ref() };
+        let job_ref = unsafe { HeapJob::new(func).into_job_ref(self.domain) };
         if let Some((registry, idx)) = current_worker() {
-            if std::ptr::eq(registry, self.registry) {
+            // Push locally only when this worker may execute the job itself
+            // (preserves the own-deque eligibility invariant of find_work).
+            if std::ptr::eq(registry, self.registry) && self.domain.0 <= idx && idx < self.domain.1
+            {
                 unsafe { (*registry).push_local(idx, job_ref) };
                 return;
             }
@@ -525,10 +624,13 @@ where
         },
         None => Arc::clone(global_registry()),
     };
-    in_registry(&registry, move || {
+    // A scope opened inside a subset stays in the subset's domain.
+    let domain = current_domain_or_full(&registry);
+    in_registry_domain(&registry, domain, move || {
         let (registry_ptr, idx) = current_worker().expect("scope body must run on a worker");
         let scope = Scope {
             registry: registry_ptr,
+            domain,
             pending: AtomicUsize::new(0),
             panic: Mutex::new(None),
             marker: std::marker::PhantomData,
@@ -592,13 +694,122 @@ pub(crate) fn default_num_threads() -> usize {
 }
 
 /// Thread count parallel operations on the current thread would split over,
-/// *without* forcing the global pool into existence.
+/// *without* forcing the global pool into existence. Inside a subset-pool
+/// domain this is the subset's width, not the whole pool's.
 pub(crate) fn effective_parallelism() -> usize {
-    if let Some((registry, _)) = current_worker() {
+    if let Some((lo, hi)) = current_domain() {
+        hi - lo
+    } else if let Some((registry, _)) = current_worker() {
         unsafe { (*registry).num_threads() }
     } else if let Some(global) = GLOBAL.get() {
         global.num_threads()
     } else {
         default_num_threads()
     }
+}
+
+// ---------------------------------------------------------------- subsets
+
+/// A view of a disjoint slice of a pool's workers.
+///
+/// Created by [`ThreadPool::split`](crate::ThreadPool::split) or
+/// [`split_current`](crate::split_current). [`SubsetPool::install`] scopes
+/// execution to the subset exactly like `ThreadPool::install` scopes it to
+/// a whole pool: every `join`/`scope`/parallel-iterator operation inside
+/// splits only across the subset's workers, `current_num_threads` reports
+/// the subset width, and `current_thread_index` reports subset-local
+/// indices in `0..width`. Sibling subsets of one pool run concurrently
+/// without stealing each other's work — the point×kernel nesting batched
+/// parameter sweeps use.
+#[derive(Clone)]
+pub struct SubsetPool {
+    registry: Arc<Registry>,
+    lo: usize,
+    hi: usize,
+}
+
+impl std::fmt::Debug for SubsetPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubsetPool")
+            .field("workers", &(self.lo..self.hi))
+            .finish()
+    }
+}
+
+impl SubsetPool {
+    /// Runs `op` scoped to this subset's workers and returns its result.
+    /// Runs inline (under the narrowed domain) when the calling thread is
+    /// already one of the subset's workers; otherwise the job is queued
+    /// and only subset members can take it. Blocking callers that are
+    /// workers of the same pool keep helping with eligible work, so nested
+    /// installs cannot deadlock.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        in_registry_domain(&self.registry, (self.lo, self.hi), op)
+    }
+
+    /// Number of workers in this subset.
+    pub fn current_num_threads(&self) -> usize {
+        self.hi - self.lo
+    }
+}
+
+/// Partitions the worker-index range `[lo, hi)` of `registry` into
+/// consecutive disjoint subsets of the given sizes.
+///
+/// # Panics
+/// If `sizes` is empty, any size is zero, or the sizes sum to more than
+/// `hi - lo`.
+pub(crate) fn split_range(
+    registry: &Arc<Registry>,
+    (lo, hi): (usize, usize),
+    sizes: &[usize],
+) -> Vec<SubsetPool> {
+    assert!(!sizes.is_empty(), "need at least one subset");
+    assert!(
+        sizes.iter().all(|&s| s > 0),
+        "subset sizes must be positive"
+    );
+    let total: usize = sizes.iter().sum();
+    assert!(
+        total <= hi - lo,
+        "subset sizes sum to {total} but only {} workers are available",
+        hi - lo
+    );
+    let mut start = lo;
+    sizes
+        .iter()
+        .map(|&s| {
+            let subset = SubsetPool {
+                registry: Arc::clone(registry),
+                lo: start,
+                hi: start + s,
+            };
+            start += s;
+            subset
+        })
+        .collect()
+}
+
+/// Splits the *current* execution context into disjoint subsets: the
+/// calling thread's domain when it is a pool worker (so splitting nests —
+/// a subset can be split again), otherwise the global pool's full range.
+///
+/// # Panics
+/// As [`ThreadPool::split`](crate::ThreadPool::split): empty `sizes`, a
+/// zero size, or sizes summing past the current context's worker count.
+pub fn split_current(sizes: &[usize]) -> Vec<SubsetPool> {
+    let registry = match current_worker() {
+        // SAFETY: worker threads keep their registry alive; recover an Arc.
+        Some((registry, _)) => unsafe {
+            Arc::increment_strong_count(registry);
+            Arc::from_raw(registry)
+        },
+        None => Arc::clone(global_registry()),
+    };
+    let domain = current_domain_or_full(&registry);
+    split_range(&registry, domain, sizes)
 }

@@ -17,7 +17,7 @@ fn pool(threads: usize) -> ThreadPool {
 #[test]
 fn nested_install_same_pool_runs_inline() {
     let p = pool(2);
-    let result = p.install(|| p.install(|| p.install(|| rayon::current_num_threads())));
+    let result = p.install(|| p.install(|| p.install(rayon::current_num_threads)));
     assert_eq!(result, 2);
 }
 

@@ -1,0 +1,273 @@
+//! Stress tests for pool-subset scheduling ([`rayon::SubsetPool`]): the
+//! properties the point×kernel nested sweeps in qokit-core rely on —
+//! subset-local `current_num_threads`/`current_thread_index`, isolation of
+//! sibling subsets, and above all that no nesting of `join`/`scope`/
+//! `install` inside or across subsets can deadlock.
+
+use rayon::prelude::*;
+use rayon::{join, scope, split_current, ThreadPool, ThreadPoolBuilder};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+fn pool(threads: usize) -> ThreadPool {
+    ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool construction never fails")
+}
+
+#[test]
+fn subsets_report_subset_local_sizes() {
+    let p = pool(4);
+    let subsets = p.split(&[1, 3]);
+    assert_eq!(subsets.len(), 2);
+    assert_eq!(subsets[0].current_num_threads(), 1);
+    assert_eq!(subsets[1].current_num_threads(), 3);
+    // Inside install, the runtime itself reports the subset width...
+    assert_eq!(subsets[0].install(rayon::current_num_threads), 1);
+    assert_eq!(subsets[1].install(rayon::current_num_threads), 3);
+    // ...and subset-local worker indices in 0..width.
+    let indices: Vec<Option<usize>> = subsets[1].install(|| {
+        let v: Vec<u32> = (0..64).collect();
+        v.par_iter()
+            .with_min_len(1)
+            .map(|_| rayon::current_thread_index())
+            .collect()
+    });
+    for idx in indices {
+        assert!(matches!(idx, Some(i) if i < 3), "index {idx:?} out of 0..3");
+    }
+}
+
+#[test]
+fn split_covers_pool_disjointly() {
+    // Work installed into sibling subsets must run on disjoint *global*
+    // worker sets. We can't observe global indices directly (the API
+    // reports subset-local ones, by design), so observe thread identity.
+    let p = pool(4);
+    let subsets = p.split(&[2, 2]);
+    let ids: Vec<Mutex<Vec<std::thread::ThreadId>>> =
+        (0..2).map(|_| Mutex::new(Vec::new())).collect();
+    std::thread::scope(|s| {
+        for (k, subset) in subsets.iter().enumerate() {
+            let ids = &ids;
+            s.spawn(move || {
+                subset.install(|| {
+                    let v: Vec<u32> = (0..512).collect();
+                    v.par_iter().with_min_len(1).for_each(|_| {
+                        ids[k].lock().unwrap().push(std::thread::current().id());
+                    });
+                });
+            });
+        }
+    });
+    let a: std::collections::HashSet<_> = ids[0].lock().unwrap().iter().copied().collect();
+    let b: std::collections::HashSet<_> = ids[1].lock().unwrap().iter().copied().collect();
+    assert!(!a.is_empty() && !b.is_empty());
+    assert!(
+        a.is_disjoint(&b),
+        "sibling subsets must not share worker threads"
+    );
+}
+
+#[test]
+fn nested_join_inside_subsets_never_deadlocks() {
+    // Deep recursive joins inside every subset of a small pool, driven
+    // concurrently — more blocked frames than workers, so completion
+    // depends on the helping-wait path honoring domains.
+    fn sum_range(lo: u64, hi: u64) -> u64 {
+        if hi - lo <= 8 {
+            return (lo..hi).sum();
+        }
+        let mid = lo + (hi - lo) / 2;
+        let (a, b) = join(|| sum_range(lo, mid), || sum_range(mid, hi));
+        a + b
+    }
+    let p = pool(4);
+    let subsets = p.split(&[1, 2, 1]);
+    let expect = (1u64 << 13) * ((1 << 13) - 1) / 2;
+    std::thread::scope(|s| {
+        for subset in &subsets {
+            s.spawn(move || {
+                for _ in 0..4 {
+                    assert_eq!(subset.install(|| sum_range(0, 1 << 13)), expect);
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn scope_inside_subset_stays_on_subset() {
+    let p = pool(4);
+    let subsets = p.split(&[2, 2]);
+    let counter = AtomicUsize::new(0);
+    subsets[1].install(|| {
+        scope(|s| {
+            for _ in 0..256 {
+                s.spawn(|_| {
+                    // Every spawned task still sees the subset's width.
+                    assert_eq!(rayon::current_num_threads(), 2);
+                    assert!(matches!(rayon::current_thread_index(), Some(i) if i < 2));
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+    });
+    assert_eq!(counter.load(Ordering::SeqCst), 256);
+}
+
+#[test]
+fn install_across_sibling_subsets_completes() {
+    // A subset worker blocking on a *different* subset of the same pool:
+    // the blocker must keep helping with eligible work instead of parking,
+    // and the target subset's workers must pick the job up.
+    let p = pool(4);
+    let subsets = p.split(&[2, 2]);
+    let (a, b) = (&subsets[0], &subsets[1]);
+    let result = a.install(|| {
+        let inner = b.install(|| {
+            assert_eq!(rayon::current_num_threads(), 2);
+            let v: Vec<u64> = (0..4_096).collect();
+            v.par_iter().with_min_len(16).map(|&x| x).sum::<u64>()
+        });
+        inner + 1
+    });
+    assert_eq!(result, 4_096 * 4_095 / 2 + 1);
+}
+
+#[test]
+fn nested_split_partitions_the_subset() {
+    // split_current inside a subset splits the *subset*, not the pool.
+    let p = pool(4);
+    let subsets = p.split(&[3, 1]);
+    let widths = subsets[0].install(|| {
+        let inner = split_current(&[1, 2]);
+        (
+            inner[0].install(rayon::current_num_threads),
+            inner[1].install(rayon::current_num_threads),
+        )
+    });
+    assert_eq!(widths, (1, 2));
+}
+
+#[test]
+fn split_current_off_pool_splits_the_global_pool() {
+    // From a plain thread, split_current partitions the global pool; the
+    // sizes must respect whatever width the environment configured, so
+    // ask for single-worker subsets (always valid).
+    let subsets = split_current(&[1]);
+    assert_eq!(subsets[0].install(rayon::current_num_threads), 1);
+    assert_eq!(subsets[0].install(rayon::current_thread_index), Some(0));
+}
+
+#[test]
+fn subset_of_one_runs_serially_but_correctly() {
+    // A width-1 subset degenerates to serial execution: parallel ops see
+    // one thread and run inline, and deep joins still complete.
+    let p = pool(3);
+    let subsets = p.split(&[1, 2]);
+    let sum = subsets[0].install(|| {
+        assert_eq!(rayon::current_num_threads(), 1);
+        let v: Vec<u64> = (0..10_000).collect();
+        v.par_iter().with_min_len(1).map(|&x| x).sum::<u64>()
+    });
+    assert_eq!(sum, 49_995_000);
+}
+
+#[test]
+fn panic_inside_subset_propagates_and_pool_survives() {
+    let p = pool(4);
+    let subsets = p.split(&[2, 2]);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        subsets[0].install(|| {
+            join(|| 1 + 1, || -> usize { panic!("boom in subset") });
+        })
+    }));
+    assert!(result.is_err(), "the subset panic must reach the caller");
+    // Both the panicking subset and its sibling stay fully operational.
+    for subset in &subsets {
+        let ok = subset.install(|| {
+            let v: Vec<u32> = (0..1_000).collect();
+            v.par_iter().with_min_len(1).map(|&x| x).sum::<u32>()
+        });
+        assert_eq!(ok, 499_500);
+    }
+    // And the parent pool as a whole.
+    let ok = p.install(|| {
+        let v: Vec<u32> = (0..100).collect();
+        v.par_iter().with_min_len(1).map(|&x| x).sum::<u32>()
+    });
+    assert_eq!(ok, 4_950);
+}
+
+#[test]
+fn storms_of_concurrent_subset_installs_drain() {
+    // Many external threads hammering both subsets at once; every install
+    // must complete (no lost wakeups, no cross-subset starvation).
+    let p = pool(4);
+    let subsets = p.split(&[2, 2]);
+    let done = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            let subset = &subsets[t % 2];
+            let done = &done;
+            s.spawn(move || {
+                for _ in 0..16 {
+                    let sum = subset.install(|| {
+                        let v: Vec<u64> = (0..1_024).map(|i| i + t as u64).collect();
+                        v.par_iter().with_min_len(8).map(|&x| x).sum::<u64>()
+                    });
+                    assert_eq!(sum, (0..1_024u64).map(|i| i + t as u64).sum::<u64>());
+                    done.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+    });
+    assert_eq!(done.load(Ordering::SeqCst), 8 * 16);
+}
+
+#[test]
+fn point_times_kernel_shape_end_to_end() {
+    // The exact shape the batched sweeps use: an outer scope fans points
+    // over subsets, each point runs a parallel kernel inside its subset.
+    let p = pool(4);
+    let subsets = p.split(&[2, 2]);
+    let n_points = 12;
+    let results: Vec<Mutex<Option<f64>>> = (0..n_points).map(|_| Mutex::new(None)).collect();
+    p.install(|| {
+        scope(|s| {
+            for (lane, subset) in subsets.iter().enumerate() {
+                let results = &results;
+                s.spawn(move |_| {
+                    for i in (lane..n_points).step_by(2) {
+                        let e = subset.install(|| {
+                            let v: Vec<f64> = (0..2_048).map(|k| ((i * k) as f64).sqrt()).collect();
+                            v.par_iter().with_min_len(8).sum::<f64>()
+                        });
+                        *results[i].lock().unwrap() = Some(e);
+                    }
+                });
+            }
+        });
+    });
+    for (i, slot) in results.iter().enumerate() {
+        let got = slot.lock().unwrap().expect("every point must complete");
+        let expect: f64 = (0..2_048).map(|k| ((i * k) as f64).sqrt()).sum();
+        assert!((got - expect).abs() < 1e-6, "point {i}");
+    }
+}
+
+#[test]
+fn invalid_splits_are_rejected() {
+    let p = pool(2);
+    for bad in [&[] as &[usize], &[0, 2], &[2, 1]] {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(p.split(bad))));
+        assert!(caught.is_err(), "split({bad:?}) must be rejected");
+    }
+    // Sizes summing to less than the width are fine (leftover workers
+    // simply take no subset work).
+    let subsets = p.split(&[1]);
+    assert_eq!(subsets.len(), 1);
+    assert_eq!(subsets[0].install(rayon::current_num_threads), 1);
+}
