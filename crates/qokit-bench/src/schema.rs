@@ -264,6 +264,50 @@ pub fn validate_bench_json(text: &str) -> Result<String, String> {
                 return Err("no \"split\" mode row: adaptive nesting went unmeasured".into());
             }
         }
+        "abl_landscape" => {
+            for key in [
+                "n_qubits",
+                "p",
+                "points",
+                "grid_steps",
+                "hw_threads",
+                "pool_width",
+                "reps",
+                "chunk",
+                "top_k",
+                "sequential_seconds",
+                "sequential_points_per_sec",
+                "best_speedup",
+            ] {
+                finite_positive(&root, key)?;
+            }
+            let ranks = match root.get("ranks") {
+                Some(Json::Arr(rows)) if !rows.is_empty() => rows,
+                other => {
+                    return Err(format!(
+                        "\"ranks\" must be a non-empty array, got {other:?}"
+                    ))
+                }
+            };
+            for (i, row) in ranks.iter().enumerate() {
+                for key in [
+                    "ranks",
+                    "seconds",
+                    "points_per_sec",
+                    "speedup_vs_sequential",
+                ] {
+                    finite_positive(row, key).map_err(|e| format!("ranks[{i}]: {e}"))?;
+                }
+                match row.get("ranks") {
+                    Some(Json::Num(k)) if k.fract() == 0.0 && *k >= 1.0 => {}
+                    other => {
+                        return Err(format!(
+                            "ranks[{i}]: rank count must be a positive integer, got {other:?}"
+                        ))
+                    }
+                }
+            }
+        }
         other => return Err(format!("unknown bench kind \"{other}\"")),
     }
     Ok(bench)
@@ -332,6 +376,46 @@ mod tests {
         let row = GOOD_SPLIT.replace("\"points_per_sec\": 1200.0, ", "");
         let err = validate_bench_json(&sweep_fixture(&row)).unwrap_err();
         assert!(err.contains("points_per_sec"), "{err}");
+    }
+
+    fn landscape_fixture(ranks: &str) -> String {
+        format!(
+            r#"{{"bench": "abl_landscape", "n_qubits": 8, "p": 1, "points": 1048576,
+                "grid_steps": 1024, "hw_threads": 1, "pool_width": 4, "reps": 3,
+                "chunk": 4096, "top_k": 16, "sequential_seconds": 2.5,
+                "sequential_points_per_sec": 419430.4, "best_speedup": 1.02,
+                "ranks": [{ranks}]}}"#
+        )
+    }
+
+    const GOOD_RANK_ROW: &str = r#"{"ranks": 2, "seconds": 2.4,
+        "points_per_sec": 436906.0, "speedup_vs_sequential": 1.02}"#;
+
+    #[test]
+    fn accepts_a_valid_landscape_record() {
+        assert_eq!(
+            validate_bench_json(&landscape_fixture(GOOD_RANK_ROW)).unwrap(),
+            "abl_landscape"
+        );
+    }
+
+    #[test]
+    fn landscape_rejects_empty_rank_sweep_and_bad_counts() {
+        let err = validate_bench_json(&landscape_fixture("")).unwrap_err();
+        assert!(err.contains("ranks"), "{err}");
+        let fractional = GOOD_RANK_ROW.replace("\"ranks\": 2", "\"ranks\": 2.5");
+        let err = validate_bench_json(&landscape_fixture(&fractional)).unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
+        let nan = GOOD_RANK_ROW.replace("\"points_per_sec\": 436906.0", "\"points_per_sec\": NaN");
+        assert!(validate_bench_json(&landscape_fixture(&nan)).is_err());
+    }
+
+    #[test]
+    fn landscape_rejects_missing_throughput() {
+        let missing = landscape_fixture(GOOD_RANK_ROW)
+            .replace("\"sequential_points_per_sec\": 419430.4,", "");
+        let err = validate_bench_json(&missing).unwrap_err();
+        assert!(err.contains("sequential_points_per_sec"), "{err}");
     }
 
     #[test]

@@ -39,6 +39,7 @@
 //! assert!(energies.iter().all(|e| e.is_finite()));
 //! ```
 
+use crate::landscape::EnergySink;
 use crate::simulator::{FurSimulator, QaoaSimulator};
 use qokit_statevec::exec::{Backend, ExecPolicy};
 use qokit_statevec::StateVec;
@@ -82,9 +83,51 @@ pub enum SweepNesting {
     /// One point per pool task; kernels inside each evaluation run
     /// serially. Deterministic: results are bit-identical to a serial
     /// sequential loop for any pool size.
+    ///
+    /// ```
+    /// use qokit_core::batch::{SweepNesting, SweepOptions, SweepPoint, SweepRunner};
+    /// use qokit_core::{FurSimulator, QaoaSimulator};
+    /// use qokit_statevec::ExecPolicy;
+    /// use qokit_terms::labs::labs_terms;
+    ///
+    /// let runner = SweepRunner::with_options(
+    ///     FurSimulator::new(&labs_terms(5)),
+    ///     SweepOptions {
+    ///         exec: ExecPolicy::rayon().with_threads(2), // 2-worker pool
+    ///         nested: SweepNesting::PointsParallel,
+    ///     },
+    /// );
+    /// let points: Vec<SweepPoint> =
+    ///     (0..4).map(|i| SweepPoint::p1(0.1 * i as f64, 0.4)).collect();
+    /// // Serial kernels inside each point: bit-identical to solo calls.
+    /// for (p, e) in points.iter().zip(runner.energies(&points)) {
+    ///     let solo = runner.simulator().objective(&p.gammas, &p.betas);
+    ///     assert_eq!(e.to_bits(), solo.to_bits());
+    /// }
+    /// ```
     PointsParallel,
     /// Points evaluated one at a time, each with parallel kernels —
     /// preferable for few points over large states.
+    ///
+    /// ```
+    /// use qokit_core::batch::{SweepNesting, SweepOptions, SweepPoint, SweepRunner};
+    /// use qokit_core::{FurSimulator, QaoaSimulator};
+    /// use qokit_statevec::ExecPolicy;
+    /// use qokit_terms::labs::labs_terms;
+    ///
+    /// let runner = SweepRunner::with_options(
+    ///     FurSimulator::new(&labs_terms(6)),
+    ///     SweepOptions {
+    ///         // min_len 1 forces the parallel kernel path even at n = 6.
+    ///         exec: ExecPolicy::rayon().with_threads(2).with_min_len(1),
+    ///         nested: SweepNesting::KernelsParallel,
+    ///     },
+    /// );
+    /// let point = SweepPoint::p1(0.2, 0.5);
+    /// let batched = runner.energies(std::slice::from_ref(&point))[0];
+    /// let solo = runner.simulator().objective(&point.gammas, &point.betas);
+    /// assert!((batched - solo).abs() < 1e-12);
+    /// ```
     KernelsParallel,
     /// Point×kernel nesting between the two extremes: the pool is split
     /// into `points` disjoint worker subsets
@@ -97,6 +140,28 @@ pub enum SweepNesting {
     /// at `width / lanes`, so any `(points, kernels_per_point)` is valid
     /// at any pool size, degenerating to a sequential kernels-parallel
     /// loop on one worker.
+    ///
+    /// ```
+    /// use qokit_core::batch::{SweepNesting, SweepOptions, SweepPoint, SweepRunner};
+    /// use qokit_core::{FurSimulator, QaoaSimulator};
+    /// use qokit_statevec::ExecPolicy;
+    /// use qokit_terms::labs::labs_terms;
+    ///
+    /// // A 2-worker pool carved into 2 lanes x 1 kernel worker each.
+    /// let runner = SweepRunner::with_options(
+    ///     FurSimulator::new(&labs_terms(6)),
+    ///     SweepOptions {
+    ///         exec: ExecPolicy::rayon().with_threads(2).with_min_len(1),
+    ///         nested: SweepNesting::Split { points: 2, kernels_per_point: 1 },
+    ///     },
+    /// );
+    /// let points: Vec<SweepPoint> =
+    ///     (0..5).map(|i| SweepPoint::p1(0.1 * i as f64, 0.3)).collect();
+    /// for (p, e) in points.iter().zip(runner.energies(&points)) {
+    ///     let solo = runner.simulator().objective(&p.gammas, &p.betas);
+    ///     assert!((e - solo).abs() < 1e-12);
+    /// }
+    /// ```
     Split {
         /// Number of concurrent evaluation lanes (worker subsets).
         points: usize,
@@ -109,6 +174,24 @@ pub enum SweepNesting {
     /// [`KernelsParallel`](SweepNesting::KernelsParallel) for a lone
     /// point, and [`Split`](SweepNesting::Split) in between, with lanes =
     /// batch size and the remaining workers shared per lane.
+    ///
+    /// ```
+    /// use qokit_core::batch::{SweepNesting, SweepOptions, SweepPoint, SweepRunner};
+    /// use qokit_core::FurSimulator;
+    /// use qokit_statevec::ExecPolicy;
+    /// use qokit_terms::labs::labs_terms;
+    ///
+    /// let runner = SweepRunner::with_options(
+    ///     FurSimulator::new(&labs_terms(5)),
+    ///     SweepOptions {
+    ///         exec: ExecPolicy::rayon().with_threads(2),
+    ///         nested: SweepNesting::Auto, // resolved per batch, inside the pool
+    ///     },
+    /// );
+    /// let energies = runner.energies_p1(&[(0.1, 0.4), (0.2, 0.3), (0.3, 0.2)]);
+    /// assert_eq!(energies.len(), 3);
+    /// assert!(energies.iter().all(|e| e.is_finite()));
+    /// ```
     Auto,
 }
 
@@ -341,6 +424,85 @@ impl SweepRunner {
     pub fn energies_p1(&self, points: &[(f64, f64)]) -> Vec<f64> {
         let points: Vec<SweepPoint> = points.iter().map(|&(g, b)| SweepPoint::p1(g, b)).collect();
         self.energies(&points)
+    }
+
+    /// Evaluates one batch and folds every energy into `sink` in
+    /// point-index order (global indices `base..base + points.len()`),
+    /// instead of returning a vector — the aggregator-sink form landscape
+    /// scans use so a huge sweep never materializes more than one batch of
+    /// energies. Every non-poisoned point is observed even when one point
+    /// panics; the error (carrying the *global* index of the lowest
+    /// poisoned point) is returned after the batch completed.
+    pub fn fold_energies_into<S: EnergySink>(
+        &self,
+        base: u64,
+        points: &[SweepPoint],
+        sink: &mut S,
+    ) -> Result<(), SweepError> {
+        let mut first_err = None;
+        for (i, result) in self.energies_checked(points).into_iter().enumerate() {
+            match result {
+                Ok(e) => sink.observe(base + i as u64, e),
+                Err(SweepError::PointPanicked { message, .. }) => {
+                    if first_err.is_none() {
+                        first_err = Some(SweepError::PointPanicked {
+                            index: base as usize + i,
+                            message,
+                        });
+                    }
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Streams an arbitrarily long point sequence through `sink`, `chunk`
+    /// points per batched dispatch, reusing one chunk buffer — peak memory
+    /// is O(`chunk`) regardless of scan length, and the observation order
+    /// (strict point-index order) is independent of `chunk`. Returns the
+    /// number of points evaluated, or the first poisoned point's error
+    /// (with its global index; later chunks are not started).
+    ///
+    /// ```
+    /// use qokit_core::batch::{SweepPoint, SweepRunner};
+    /// use qokit_core::landscape::LandscapeAggregator;
+    /// use qokit_core::FurSimulator;
+    /// use qokit_terms::labs::labs_terms;
+    ///
+    /// let runner = SweepRunner::new(FurSimulator::new(&labs_terms(6)));
+    /// let mut agg = LandscapeAggregator::new(4);
+    /// let n = runner
+    ///     .scan_into(
+    ///         (0..100).map(|i| SweepPoint::p1(0.01 * i as f64, 0.4)),
+    ///         16, // 7 chunks — same observations as any other chunking
+    ///         &mut agg,
+    ///     )
+    ///     .unwrap();
+    /// assert_eq!(n, 100);
+    /// assert_eq!(agg.count(), 100);
+    /// assert!(agg.argmin().is_some());
+    /// ```
+    pub fn scan_into<I, S>(&self, points: I, chunk: usize, sink: &mut S) -> Result<u64, SweepError>
+    where
+        I: IntoIterator<Item = SweepPoint>,
+        S: EnergySink,
+    {
+        assert!(chunk > 0, "chunk size must be at least 1");
+        let mut iter = points.into_iter();
+        let mut buf: Vec<SweepPoint> = Vec::with_capacity(chunk);
+        let mut base = 0u64;
+        loop {
+            buf.clear();
+            buf.extend(iter.by_ref().take(chunk));
+            if buf.is_empty() {
+                return Ok(base);
+            }
+            self.fold_energies_into(base, &buf, sink)?;
+            base += buf.len() as u64;
+        }
     }
 
     /// Resolves `Auto` into a concrete mode. Must run inside the sweep

@@ -1,0 +1,502 @@
+//! Streaming aggregation of `(γ, β)` landscape scans.
+//!
+//! The paper's flagship workload — one precomputed cost vector, evaluated
+//! at as many angle points as the budget allows — produces far more
+//! energies than anyone wants to keep: a `2^20`-point scan would
+//! materialize 8 MiB of `f64`s per run just to answer "where is the
+//! minimum?". A [`LandscapeAggregator`] is the O(top-k) alternative: an
+//! [`EnergySink`] that folds each `(point index, energy)` observation into
+//! a running minimum + argmin, a bounded list of the `k` best points, an
+//! optional coarse 2-D energy histogram of the scan grid, and count/sum —
+//! and then **merges** with sibling aggregators, so sharded scans (one
+//! aggregator per `qokit-dist` rank) reduce to one summary without any
+//! rank ever holding a full energy vector.
+//!
+//! Determinism: the minimum, argmin, top-k set, and histogram cells are
+//! *order-independent* — every observation order and every merge tree
+//! yields byte-identical values, because they select under the strict
+//! total order `(energy, index)` (ties go to the lower point index) or
+//! accumulate exact integers. Only [`LandscapeAggregator::sum`] (and hence
+//! `mean`) associates in observation/merge order; merged in rank order it
+//! is deterministic for a fixed rank count.
+//!
+//! ```
+//! use qokit_core::landscape::{EnergySink, LandscapeAggregator};
+//!
+//! let mut agg = LandscapeAggregator::new(3);
+//! for (i, e) in [4.0, -1.0, 2.5, -1.0, 0.0].into_iter().enumerate() {
+//!     agg.observe(i as u64, e);
+//! }
+//! assert_eq!(agg.count(), 5);
+//! assert_eq!(agg.argmin(), Some(1)); // ties go to the lowest index
+//! assert_eq!(agg.min_energy(), Some(-1.0));
+//! let top: Vec<u64> = agg.top_k().iter().map(|&(i, _)| i).collect();
+//! assert_eq!(top, vec![1, 3, 4]);
+//! ```
+
+/// Consumer of a streamed scan: one call per evaluated point, carrying the
+/// point's global index and its energy. Implemented by
+/// [`LandscapeAggregator`]; sweep drivers
+/// ([`SweepRunner::scan_into`](crate::batch::SweepRunner::scan_into)) feed
+/// sinks in point-index order.
+pub trait EnergySink {
+    /// Folds one `(point index, energy)` observation into the sink.
+    fn observe(&mut self, index: u64, energy: f64);
+}
+
+/// Strict total order on observations: lower energy first, ties to the
+/// lower point index. Total (via `total_cmp`) and free of duplicates
+/// (indices are unique), which is what makes top-k selection and argmin
+/// independent of observation and merge order.
+#[inline]
+fn entry_cmp(a: &(u64, f64), b: &(u64, f64)) -> std::cmp::Ordering {
+    a.1.total_cmp(&b.1).then(a.0.cmp(&b.0))
+}
+
+/// Geometry of the optional coarse 2-D energy histogram: the scan is a
+/// row-major `rows × cols` grid of points (γ varying across rows, β across
+/// columns, like `qokit-optim`'s `grid_points_2d`), downsampled onto
+/// `bin_rows × bin_cols` cells.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSpec {
+    /// Rows of the source scan grid (the γ axis).
+    pub rows: usize,
+    /// Columns of the source scan grid (the β axis).
+    pub cols: usize,
+    /// Histogram cells along the row axis.
+    pub bin_rows: usize,
+    /// Histogram cells along the column axis.
+    pub bin_cols: usize,
+}
+
+impl HistogramSpec {
+    /// Cell index for a global (row-major) point index, or `None` for
+    /// points past the grid (a scan larger than `rows × cols` keeps
+    /// aggregating min/top-k; only the histogram ignores the excess).
+    #[inline]
+    fn cell(&self, index: u64) -> Option<usize> {
+        let (row, col) = (index / self.cols as u64, index % self.cols as u64);
+        if row >= self.rows as u64 {
+            return None;
+        }
+        let r = (row as usize * self.bin_rows) / self.rows;
+        let c = (col as usize * self.bin_cols) / self.cols;
+        Some(r * self.bin_cols + c)
+    }
+}
+
+/// Coarse 2-D energy histogram of a grid scan: per cell, the number of
+/// points observed in it and the minimum energy among them — the landscape
+/// heat map of the paper's Fig. 1 optimization plots, at a resolution that
+/// stays O(cells) no matter how many points the scan evaluates.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram2d {
+    spec: HistogramSpec,
+    counts: Vec<u64>,
+    minima: Vec<f64>,
+}
+
+impl Histogram2d {
+    fn new(spec: HistogramSpec) -> Self {
+        assert!(
+            spec.rows > 0 && spec.cols > 0 && spec.bin_rows > 0 && spec.bin_cols > 0,
+            "histogram dimensions must be positive"
+        );
+        assert!(
+            spec.bin_rows <= spec.rows && spec.bin_cols <= spec.cols,
+            "histogram cannot have more cells than grid points per axis"
+        );
+        Histogram2d {
+            spec,
+            counts: vec![0; spec.bin_rows * spec.bin_cols],
+            minima: vec![f64::INFINITY; spec.bin_rows * spec.bin_cols],
+        }
+    }
+
+    /// The geometry this histogram was built with.
+    pub fn spec(&self) -> HistogramSpec {
+        self.spec
+    }
+
+    /// Points observed per cell, row-major over `bin_rows × bin_cols`.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Minimum energy per cell (`+∞` for cells no point fell into),
+    /// row-major over `bin_rows × bin_cols`.
+    pub fn minima(&self) -> &[f64] {
+        &self.minima
+    }
+
+    #[inline]
+    fn observe(&mut self, index: u64, energy: f64) {
+        if let Some(cell) = self.spec.cell(index) {
+            self.counts[cell] += 1;
+            if energy.total_cmp(&self.minima[cell]).is_lt() {
+                self.minima[cell] = energy;
+            }
+        }
+    }
+
+    fn merge(&mut self, other: &Histogram2d) {
+        assert_eq!(
+            self.spec, other.spec,
+            "cannot merge histograms of different geometry"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        for (m, o) in self.minima.iter_mut().zip(&other.minima) {
+            if o.total_cmp(m).is_lt() {
+                *m = *o;
+            }
+        }
+    }
+}
+
+/// Streaming summary of a landscape scan: running minimum + argmin, the
+/// `k` best points, count/sum, and an optional 2-D histogram — O(k +
+/// cells) memory for any number of observed points, mergeable across
+/// shards.
+///
+/// ```
+/// use qokit_core::landscape::{EnergySink, LandscapeAggregator};
+///
+/// // Two shards observe disjoint halves of a scan...
+/// let mut left = LandscapeAggregator::new(2);
+/// let mut right = left.clone();
+/// for i in 0..50u64 {
+///     left.observe(i, (i as f64 - 20.0).abs());
+///     right.observe(50 + i, (i as f64 + 30.0).abs());
+/// }
+/// // ...and merging them is equivalent to one aggregator seeing all 100.
+/// left.merge(right);
+/// assert_eq!(left.count(), 100);
+/// assert_eq!(left.argmin(), Some(20));
+/// assert_eq!(left.top_k(), &[(20, 0.0), (19, 1.0)]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct LandscapeAggregator {
+    k: usize,
+    count: u64,
+    sum: f64,
+    best: Option<(u64, f64)>,
+    /// The k best observations, ascending under [`entry_cmp`].
+    top: Vec<(u64, f64)>,
+    histogram: Option<Histogram2d>,
+}
+
+impl LandscapeAggregator {
+    /// An empty aggregator keeping the `top_k` best points (`top_k` may be
+    /// zero: min/argmin/count still accumulate).
+    pub fn new(top_k: usize) -> Self {
+        LandscapeAggregator {
+            k: top_k,
+            count: 0,
+            sum: 0.0,
+            best: None,
+            top: Vec::with_capacity(top_k.min(1024)),
+            histogram: None,
+        }
+    }
+
+    /// Adds a coarse 2-D energy histogram of the scan grid (see
+    /// [`HistogramSpec`]). Call before observing — merging requires every
+    /// shard to carry the same geometry.
+    ///
+    /// # Panics
+    /// If the spec has a zero dimension or more cells than points per axis.
+    pub fn with_histogram(mut self, spec: HistogramSpec) -> Self {
+        self.histogram = Some(Histogram2d::new(spec));
+        self
+    }
+
+    /// Number of observations folded in (across all merged shards).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed energies. Order-sensitive in the last bits:
+    /// within a shard it follows observation order, across shards merge
+    /// order — deterministic for a fixed shard count and chunking-
+    /// independent, but not bit-identical across different shard counts.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observed energy (see [`sum`](Self::sum) for determinism scope).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// The lowest observed energy.
+    pub fn min_energy(&self) -> Option<f64> {
+        self.best.map(|(_, e)| e)
+    }
+
+    /// Index of the minimizing point; ties resolve to the lowest index,
+    /// independent of observation or merge order.
+    pub fn argmin(&self) -> Option<u64> {
+        self.best.map(|(i, _)| i)
+    }
+
+    /// The `k` best `(index, energy)` observations, ascending by energy
+    /// (ties to the lower index). Order-independent: any observation order
+    /// and any merge tree produce this exact slice.
+    pub fn top_k(&self) -> &[(u64, f64)] {
+        &self.top
+    }
+
+    /// The 2-D histogram, when one was requested.
+    pub fn histogram(&self) -> Option<&Histogram2d> {
+        self.histogram.as_ref()
+    }
+
+    /// Folds `other` into `self`. Associative, and commutative in
+    /// everything except the floating-point [`sum`](Self::sum); sharded
+    /// scans merge in rank order to keep the sum deterministic too.
+    ///
+    /// # Panics
+    /// If exactly one side carries a histogram, or their geometries differ.
+    pub fn merge(&mut self, other: LandscapeAggregator) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if let Some(b) = other.best {
+            self.update_best(b);
+        }
+        // Merge two ascending top-k lists, keep the k best.
+        if !other.top.is_empty() {
+            let mut merged = Vec::with_capacity((self.top.len() + other.top.len()).min(self.k));
+            let (mut a, mut b) = (self.top.iter().peekable(), other.top.iter().peekable());
+            while merged.len() < self.k {
+                match (a.peek(), b.peek()) {
+                    (Some(&&x), Some(&&y)) => {
+                        if entry_cmp(&x, &y).is_le() {
+                            merged.push(x);
+                            a.next();
+                        } else {
+                            merged.push(y);
+                            b.next();
+                        }
+                    }
+                    (Some(&&x), None) => {
+                        merged.push(x);
+                        a.next();
+                    }
+                    (None, Some(&&y)) => {
+                        merged.push(y);
+                        b.next();
+                    }
+                    (None, None) => break,
+                }
+            }
+            self.top = merged;
+        }
+        match (&mut self.histogram, other.histogram) {
+            (Some(mine), Some(theirs)) => mine.merge(&theirs),
+            (None, None) => {}
+            _ => panic!("cannot merge aggregators with mismatched histograms"),
+        }
+    }
+
+    #[inline]
+    fn update_best(&mut self, entry: (u64, f64)) {
+        match self.best {
+            Some(b) if entry_cmp(&entry, &b).is_lt() => self.best = Some(entry),
+            None => self.best = Some(entry),
+            _ => {}
+        }
+    }
+}
+
+impl EnergySink for LandscapeAggregator {
+    fn observe(&mut self, index: u64, energy: f64) {
+        self.count += 1;
+        self.sum += energy;
+        self.update_best((index, energy));
+        if self.k > 0 {
+            let entry = (index, energy);
+            let full = self.top.len() == self.k;
+            if !full || entry_cmp(&entry, self.top.last().unwrap()).is_lt() {
+                if full {
+                    self.top.pop();
+                }
+                let at = self.top.partition_point(|e| entry_cmp(e, &entry).is_le());
+                self.top.insert(at, entry);
+            }
+        }
+        if let Some(h) = &mut self.histogram {
+            h.observe(index, energy);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn observe_all(agg: &mut LandscapeAggregator, entries: &[(u64, f64)]) {
+        for &(i, e) in entries {
+            agg.observe(i, e);
+        }
+    }
+
+    fn scan_entries(n: u64) -> Vec<(u64, f64)> {
+        // Deterministic pseudo-landscape with ties and sign changes.
+        (0..n)
+            .map(|i| (i, ((i * 37 + 11) % 23) as f64 - 9.0))
+            .collect()
+    }
+
+    #[test]
+    fn min_argmin_and_topk_track_the_best_points() {
+        let mut agg = LandscapeAggregator::new(4);
+        observe_all(
+            &mut agg,
+            &[(0, 3.0), (1, -2.0), (2, 5.0), (3, -2.0), (4, 0.5)],
+        );
+        assert_eq!(agg.count(), 5);
+        assert_eq!(agg.min_energy(), Some(-2.0));
+        assert_eq!(agg.argmin(), Some(1), "tie resolves to the lowest index");
+        assert_eq!(agg.top_k(), &[(1, -2.0), (3, -2.0), (4, 0.5), (0, 3.0)]);
+        assert!((agg.mean().unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topk_is_observation_order_independent() {
+        let entries = scan_entries(200);
+        let mut forward = LandscapeAggregator::new(7);
+        observe_all(&mut forward, &entries);
+        let mut backward = LandscapeAggregator::new(7);
+        let mut rev = entries.clone();
+        rev.reverse();
+        observe_all(&mut backward, &rev);
+        assert_eq!(forward.top_k(), backward.top_k());
+        assert_eq!(forward.argmin(), backward.argmin());
+        assert_eq!(
+            forward.min_energy().unwrap().to_bits(),
+            backward.min_energy().unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn merge_equals_single_aggregator() {
+        let entries = scan_entries(150);
+        let mut whole = LandscapeAggregator::new(5);
+        observe_all(&mut whole, &entries);
+        for split in [1usize, 40, 75, 149] {
+            let mut left = LandscapeAggregator::new(5);
+            let mut right = LandscapeAggregator::new(5);
+            observe_all(&mut left, &entries[..split]);
+            observe_all(&mut right, &entries[split..]);
+            left.merge(right);
+            assert_eq!(left.top_k(), whole.top_k(), "split at {split}");
+            assert_eq!(left.argmin(), whole.argmin());
+            assert_eq!(left.count(), whole.count());
+            // Integer-valued energies make even the float sum exact here;
+            // with general values the sum is only reassociation-equal.
+            assert_eq!(left.sum().to_bits(), whole.sum().to_bits());
+        }
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let entries = scan_entries(90);
+        let parts: Vec<_> = entries.chunks(30).collect();
+        let fresh = |chunk: &[(u64, f64)]| {
+            let mut a = LandscapeAggregator::new(6);
+            observe_all(&mut a, chunk);
+            a
+        };
+        // (a ⊕ b) ⊕ c
+        let mut ab_c = fresh(parts[0]);
+        ab_c.merge(fresh(parts[1]));
+        ab_c.merge(fresh(parts[2]));
+        // a ⊕ (b ⊕ c)
+        let mut bc = fresh(parts[1]);
+        bc.merge(fresh(parts[2]));
+        let mut a_bc = fresh(parts[0]);
+        a_bc.merge(bc);
+        assert_eq!(ab_c.top_k(), a_bc.top_k());
+        assert_eq!(ab_c.argmin(), a_bc.argmin());
+        assert_eq!(ab_c.count(), a_bc.count());
+        assert_eq!(ab_c.sum().to_bits(), a_bc.sum().to_bits());
+    }
+
+    #[test]
+    fn zero_k_still_tracks_the_minimum() {
+        let mut agg = LandscapeAggregator::new(0);
+        observe_all(&mut agg, &[(7, 2.0), (9, -1.0)]);
+        assert!(agg.top_k().is_empty());
+        assert_eq!(agg.argmin(), Some(9));
+    }
+
+    #[test]
+    fn histogram_bins_by_grid_cell_with_min_and_count() {
+        let spec = HistogramSpec {
+            rows: 4,
+            cols: 4,
+            bin_rows: 2,
+            bin_cols: 2,
+        };
+        let mut agg = LandscapeAggregator::new(1).with_histogram(spec);
+        // 16-point grid: energy = index, so each 2x2 cell's min is its
+        // top-left point.
+        for i in 0..16u64 {
+            agg.observe(i, i as f64);
+        }
+        let h = agg.histogram().unwrap();
+        assert_eq!(h.counts(), &[4, 4, 4, 4]);
+        assert_eq!(h.minima(), &[0.0, 2.0, 8.0, 10.0]);
+        // Points past the grid leave the histogram alone but count.
+        agg.observe(16, -5.0);
+        assert_eq!(agg.histogram().unwrap().counts().iter().sum::<u64>(), 16);
+        assert_eq!(agg.min_energy(), Some(-5.0));
+        assert_eq!(agg.count(), 17);
+    }
+
+    #[test]
+    fn histogram_merge_matches_whole_scan() {
+        let spec = HistogramSpec {
+            rows: 8,
+            cols: 8,
+            bin_rows: 4,
+            bin_cols: 2,
+        };
+        let entries = scan_entries(64);
+        let mut whole = LandscapeAggregator::new(2).with_histogram(spec);
+        observe_all(&mut whole, &entries);
+        let mut left = LandscapeAggregator::new(2).with_histogram(spec);
+        let mut right = LandscapeAggregator::new(2).with_histogram(spec);
+        observe_all(&mut left, &entries[..20]);
+        observe_all(&mut right, &entries[20..]);
+        left.merge(right);
+        assert_eq!(left.histogram(), whole.histogram());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched histograms")]
+    fn merge_rejects_mismatched_histograms() {
+        let mut a = LandscapeAggregator::new(1).with_histogram(HistogramSpec {
+            rows: 2,
+            cols: 2,
+            bin_rows: 1,
+            bin_cols: 1,
+        });
+        a.merge(LandscapeAggregator::new(1));
+    }
+
+    #[test]
+    fn non_finite_energies_never_shadow_finite_minima() {
+        let mut agg = LandscapeAggregator::new(3);
+        observe_all(&mut agg, &[(0, f64::NAN), (1, 2.0), (2, f64::INFINITY)]);
+        assert_eq!(agg.argmin(), Some(1));
+        // total_cmp orders: 2.0 < +inf < NaN (NaN != NaN, so compare bits).
+        let expect = [(1u64, 2.0f64), (2, f64::INFINITY), (0, f64::NAN)];
+        for (got, want) in agg.top_k().iter().zip(&expect) {
+            assert_eq!(got.0, want.0);
+            assert_eq!(got.1.to_bits(), want.1.to_bits());
+        }
+    }
+}

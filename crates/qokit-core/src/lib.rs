@@ -28,11 +28,13 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod landscape;
 pub mod mixers;
 pub mod sampling;
 pub mod simulator;
 
 pub use batch::{SweepError, SweepNesting, SweepOptions, SweepPoint, SweepRunner};
+pub use landscape::{EnergySink, Histogram2d, HistogramSpec, LandscapeAggregator};
 pub use mixers::{ring_edges, Mixer};
 pub use sampling::{best_sampled_cost, evolve_with_observer, sample_bitstrings, LayerSnapshot};
 pub use simulator::{

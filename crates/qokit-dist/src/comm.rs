@@ -43,6 +43,18 @@ impl CommStats {
 
 /// Driver handle for a K-rank BSP computation: runs supersteps as pool
 /// tasks and performs the collectives between them, counting traffic.
+///
+/// ```
+/// use qokit_dist::BspComm;
+///
+/// // Two ranks advance through one superstep (pool tasks), then the
+/// // driver reduces their contributions in rank order.
+/// let comm = BspComm::new(2);
+/// let mut states = vec![0usize; 2];
+/// comm.superstep(&mut states, |rank, s| *s = rank + 1);
+/// assert_eq!(states, vec![1, 2]);
+/// assert_eq!(comm.allreduce_sum(&[1.0, 2.0]), 3.0);
+/// ```
 #[derive(Debug)]
 pub struct BspComm {
     size: usize,
@@ -179,6 +191,40 @@ impl BspComm {
             acc = op(acc, v);
         }
         acc
+    }
+
+    /// All-reduce of one arbitrary per-rank value with a binary fold,
+    /// applied **in rank order** — the generic form behind the scalar
+    /// reduces, used by batch-sharded landscape scans to merge per-rank
+    /// `LandscapeAggregator`s byte-deterministically (rank 0's aggregate
+    /// absorbs rank 1's, then rank 2's, …, for any pool size).
+    ///
+    /// ```
+    /// use qokit_dist::BspComm;
+    ///
+    /// let comm = BspComm::new(3);
+    /// // Rank-order fold over non-scalar contributions.
+    /// let merged = comm.allreduce_with(
+    ///     vec![vec![0u32], vec![1], vec![2]],
+    ///     |mut a, b| {
+    ///         a.extend(b);
+    ///         a
+    ///     },
+    /// );
+    /// assert_eq!(merged, vec![0, 1, 2]);
+    /// ```
+    ///
+    /// # Panics
+    /// If `contributions.len() != self.size()`.
+    pub fn allreduce_with<T>(&self, contributions: Vec<T>, op: impl Fn(T, T) -> T) -> T {
+        assert_eq!(
+            contributions.len(),
+            self.size,
+            "allreduce needs one contribution per rank"
+        );
+        let mut ranks = contributions.into_iter();
+        let first = ranks.next().expect("at least one rank");
+        ranks.fold(first, op)
     }
 
     /// Sum all-reduce (rank order).

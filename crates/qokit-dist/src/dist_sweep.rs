@@ -1,0 +1,613 @@
+//! Batch-sharded distributed landscape scans: the paper's flagship
+//! workload at `>2^20` points.
+//!
+//! [`crate::dist_sim`] shards the *state* — K ranks each own `2^{n-k}`
+//! amplitudes and pay two all-to-all transposes per mixer. Landscape scans
+//! invert the economics: the state is small enough to fit one rank, but
+//! the **batch** of `(γ, β)` points is enormous. A [`DistSweepRunner`]
+//! therefore shards the batch instead: each of K ranks owns a *contiguous
+//! slice* of the point sequence, evaluates it through a rank-local
+//! [`SweepRunner`] in chunked BSP supersteps (ranks are pool tasks between
+//! driver barriers, exactly like [`BspComm::superstep`]), and folds every
+//! energy into a rank-local [`LandscapeAggregator`] —
+//! so a million-point scan holds K chunks and K aggregates in memory,
+//! never a million energies. After the last superstep the per-rank
+//! aggregates merge through [`BspComm::allreduce_with`] in rank order,
+//! byte-deterministically.
+//!
+//! Inside a superstep each rank inherits the configured
+//! [`SweepNesting`](qokit_core::batch::SweepNesting) on *its own slice of
+//! the pool*: when the pool is wide enough, the ranks are pinned to
+//! disjoint [`rayon::SubsetPool`]s (via [`rayon::split_current`]), so a
+//! 16-worker pool runs 4 ranks × 4 kernel workers without the ranks
+//! stealing each other's kernel tasks. Sharding moves no amplitude data —
+//! precompute happens once, in the shared simulator — so the only
+//! collective is the final aggregate merge.
+
+use crate::comm::BspComm;
+use qokit_core::batch::{SweepError, SweepOptions, SweepPoint, SweepRunner};
+use qokit_core::landscape::LandscapeAggregator;
+use qokit_core::FurSimulator;
+use qokit_statevec::exec::{Backend, ExecPolicy};
+use std::sync::Arc;
+
+/// A random-access sequence of sweep points, generated on demand — the
+/// input shape that lets a `2^20`-point scan exist without `2^20`
+/// materialized [`SweepPoint`]s. Rank `r` of a [`DistSweepRunner`] reads
+/// only its contiguous index range.
+pub trait PointSource: Sync {
+    /// Number of points in the scan.
+    fn len(&self) -> u64;
+    /// The point at global index `index` (`0 ≤ index < len()`).
+    fn point(&self, index: u64) -> SweepPoint;
+    /// `true` when the scan is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl PointSource for [SweepPoint] {
+    fn len(&self) -> u64 {
+        <[SweepPoint]>::len(self) as u64
+    }
+
+    fn point(&self, index: u64) -> SweepPoint {
+        self[index as usize].clone()
+    }
+}
+
+/// One axis of a [`Grid2d`]: `steps` evenly spaced values covering
+/// `[lo, hi]` inclusive (the same spacing as `qokit-optim`'s
+/// `grid_points_2d`).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Axis {
+    /// First value of the axis.
+    pub lo: f64,
+    /// Last value of the axis (inclusive).
+    pub hi: f64,
+    /// Number of grid lines (≥ 2).
+    pub steps: usize,
+}
+
+impl Axis {
+    /// A new axis over `[lo, hi]` with `steps` grid lines.
+    pub fn new(lo: f64, hi: f64, steps: usize) -> Self {
+        assert!(steps >= 2, "grid needs at least 2 points per axis");
+        Axis { lo, hi, steps }
+    }
+
+    #[inline]
+    fn value(&self, i: u64) -> f64 {
+        self.lo + (self.hi - self.lo) * i as f64 / (self.steps - 1) as f64
+    }
+}
+
+/// The depth-1 `(γ, β)` scan grid, row-major with γ on the outer (row)
+/// axis — index for index the point sequence of
+/// `qokit_optim::grid_points_2d`, but generated lazily: a `1024 × 1024`
+/// landscape is two `Axis` values, not a gigabyte of parameter vectors.
+///
+/// ```
+/// use qokit_dist::{Axis, Grid2d, PointSource};
+///
+/// let grid = Grid2d::new(Axis::new(0.0, 1.0, 3), Axis::new(-1.0, 0.0, 2));
+/// assert_eq!(grid.len(), 6);
+/// // Row-major: β varies fastest.
+/// assert_eq!(grid.point(1).gammas, vec![0.0]);
+/// assert_eq!(grid.point(1).betas, vec![0.0]);
+/// assert_eq!(grid.point(2).gammas, vec![0.5]);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Grid2d {
+    /// The γ (row) axis.
+    pub gamma: Axis,
+    /// The β (column) axis.
+    pub beta: Axis,
+}
+
+impl Grid2d {
+    /// A grid over the two axes.
+    pub fn new(gamma: Axis, beta: Axis) -> Self {
+        Grid2d { gamma, beta }
+    }
+
+    /// Rows of the grid (γ steps) — the histogram-geometry helper.
+    pub fn rows(&self) -> usize {
+        self.gamma.steps
+    }
+
+    /// Columns of the grid (β steps).
+    pub fn cols(&self) -> usize {
+        self.beta.steps
+    }
+}
+
+impl PointSource for Grid2d {
+    fn len(&self) -> u64 {
+        self.gamma.steps as u64 * self.beta.steps as u64
+    }
+
+    fn point(&self, index: u64) -> SweepPoint {
+        let cols = self.beta.steps as u64;
+        SweepPoint::p1(
+            self.gamma.value(index / cols),
+            self.beta.value(index % cols),
+        )
+    }
+}
+
+/// Configuration for a [`DistSweepRunner`].
+#[derive(Copy, Clone, Debug)]
+pub struct DistSweepOptions {
+    /// Number of BSP ranks the batch is sharded over. Any positive count
+    /// is valid — batch sharding has none of the power-of-two / `2k ≤ n`
+    /// constraints of state sharding.
+    pub ranks: usize,
+    /// Rank-local sweep configuration: the [`ExecPolicy`] the whole scan
+    /// installs, and the [`SweepNesting`](qokit_core::batch::SweepNesting)
+    /// every rank applies within its pool slice.
+    pub sweep: SweepOptions,
+    /// Points each rank evaluates per superstep (the streaming granularity
+    /// — peak memory is `O(ranks · chunk)` point buffers, never the scan).
+    pub chunk: usize,
+}
+
+impl Default for DistSweepOptions {
+    fn default() -> Self {
+        DistSweepOptions {
+            ranks: 1,
+            sweep: SweepOptions::default(),
+            chunk: 1024,
+        }
+    }
+}
+
+/// Error from a distributed scan: the lowest-rank poisoned point, with its
+/// **global** index. Only that point's evaluation was lost; sibling ranks
+/// completed their superstep and the pool stays reusable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DistSweepError {
+    /// A point's evaluation panicked inside one rank's superstep.
+    PointPanicked {
+        /// Rank whose slice contained the poisoned point.
+        rank: usize,
+        /// Global index of the poisoned point within the scan.
+        index: u64,
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for DistSweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistSweepError::PointPanicked {
+                rank,
+                index,
+                message,
+            } => {
+                write!(f, "scan point {index} (rank {rank}) panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistSweepError {}
+
+/// Outcome of a distributed landscape scan.
+#[derive(Clone, Debug)]
+pub struct DistScan {
+    /// The merged aggregate (rank-order merge — deterministic).
+    pub agg: LandscapeAggregator,
+    /// Points evaluated.
+    pub points: u64,
+    /// Ranks the batch was sharded over.
+    pub ranks: usize,
+    /// BSP supersteps the scan took (`⌈max slice length / chunk⌉`).
+    pub supersteps: u64,
+}
+
+/// Per-rank state between supersteps.
+struct RankScan {
+    runner: SweepRunner,
+    agg: LandscapeAggregator,
+    cursor: u64,
+    end: u64,
+    buf: Vec<SweepPoint>,
+    failed: Option<(u64, String)>,
+}
+
+/// Batch-sharded landscape scans over one shared simulator: K BSP ranks,
+/// each owning a contiguous slice of the point sequence, streaming
+/// energies into per-rank [`LandscapeAggregator`]s that merge in rank
+/// order — `O(ranks · (chunk + top_k))` memory for any scan length.
+///
+/// ```
+/// use qokit_core::landscape::LandscapeAggregator;
+/// use qokit_core::FurSimulator;
+/// use qokit_dist::{Axis, DistSweepOptions, DistSweepRunner, Grid2d};
+/// use qokit_statevec::ExecPolicy;
+/// use qokit_terms::labs::labs_terms;
+/// use std::sync::Arc;
+///
+/// // 2 ranks on a 2-worker pool scan a 16 x 16 grid.
+/// let runner = DistSweepRunner::with_options(
+///     Arc::new(FurSimulator::new(&labs_terms(6))),
+///     DistSweepOptions {
+///         ranks: 2,
+///         sweep: qokit_core::batch::SweepOptions {
+///             exec: ExecPolicy::rayon().with_threads(2),
+///             ..Default::default()
+///         },
+///         chunk: 32,
+///     },
+/// );
+/// let grid = Grid2d::new(Axis::new(-0.5, 0.5, 16), Axis::new(-0.5, 0.5, 16));
+/// let scan = runner.scan(&grid, LandscapeAggregator::new(4));
+/// assert_eq!(scan.points, 256);
+/// assert_eq!(scan.agg.count(), 256);
+/// assert_eq!(scan.agg.top_k().len(), 4);
+/// assert!(scan.agg.min_energy().unwrap().is_finite());
+/// ```
+#[derive(Debug)]
+pub struct DistSweepRunner {
+    sim: Arc<FurSimulator>,
+    opts: DistSweepOptions,
+}
+
+impl DistSweepRunner {
+    /// A runner sharding scans over `ranks` ranks with default sweep
+    /// options.
+    pub fn new(sim: FurSimulator, ranks: usize) -> Self {
+        Self::with_options(
+            Arc::new(sim),
+            DistSweepOptions {
+                ranks,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// A runner with explicit options over an already-shared simulator
+    /// (the `2^n` cost vector is precomputed once and shared by reference
+    /// across every rank's evaluations).
+    ///
+    /// # Panics
+    /// If `opts.ranks` or `opts.chunk` is zero.
+    pub fn with_options(sim: Arc<FurSimulator>, opts: DistSweepOptions) -> Self {
+        assert!(opts.ranks > 0, "need at least one rank");
+        assert!(opts.chunk > 0, "chunk size must be at least 1");
+        DistSweepRunner { sim, opts }
+    }
+
+    /// The shared simulator.
+    pub fn simulator(&self) -> &Arc<FurSimulator> {
+        &self.sim
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &DistSweepOptions {
+        &self.opts
+    }
+
+    /// Runs the scan, folding every point into clones of `proto` (one per
+    /// rank — carry the top-k size and histogram geometry there) and
+    /// merging the per-rank aggregates in rank order.
+    ///
+    /// # Panics
+    /// If a point's evaluation panicked (with that point's rank and global
+    /// index); use [`try_scan`](Self::try_scan) for the recoverable form.
+    pub fn scan<P>(&self, points: &P, proto: LandscapeAggregator) -> DistScan
+    where
+        P: PointSource + ?Sized,
+    {
+        self.try_scan(points, proto)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs the scan; a panicking point aborts it after its superstep
+    /// drains, reporting the lowest-rank poisoned point with its global
+    /// index. Sibling ranks complete the superstep and the pool stays
+    /// reusable.
+    pub fn try_scan<P>(
+        &self,
+        points: &P,
+        proto: LandscapeAggregator,
+    ) -> Result<DistScan, DistSweepError>
+    where
+        P: PointSource + ?Sized,
+    {
+        let k = self.opts.ranks;
+        let total = points.len();
+        let chunk = self.opts.chunk as u64;
+        let comm = BspComm::new(k);
+        // Rank-local runners inherit the scan policy with `threads: 0`, so
+        // their kernels execute in whatever context the rank runs under —
+        // its SubsetPool slice when one is pinned, the shared pool
+        // otherwise — never escaping into a differently-sized pool.
+        let rank_opts = SweepOptions {
+            exec: ExecPolicy {
+                threads: 0,
+                ..self.opts.sweep.exec
+            },
+            ..self.opts.sweep
+        };
+        // Contiguous batch shards: rank r owns [r·N/K, (r+1)·N/K).
+        let mut ranks: Vec<RankScan> = (0..k as u64)
+            .map(|r| RankScan {
+                runner: SweepRunner::from_arc(Arc::clone(&self.sim), rank_opts),
+                agg: proto.clone(),
+                cursor: total * r / k as u64,
+                end: total * (r + 1) / k as u64,
+                buf: Vec::with_capacity(self.opts.chunk),
+                failed: None,
+            })
+            .collect();
+
+        let policy = self.opts.sweep.exec;
+        let mut supersteps = 0u64;
+        let failure = policy.install(|| {
+            // Pin ranks to disjoint pool slices when every rank can own at
+            // least two workers; narrower pools just let the ranks share
+            // the whole pool through ordinary work stealing.
+            let width = rayon::current_num_threads().max(1);
+            let use_subsets = !matches!(policy.backend, Backend::Serial) && k > 1 && width >= 2 * k;
+            let subsets = use_subsets.then(|| rayon::split_current(&vec![width / k; k]));
+            loop {
+                if ranks.iter().all(|r| r.cursor >= r.end) {
+                    return None;
+                }
+                comm.superstep(&mut ranks, |rank, st| {
+                    if st.cursor >= st.end || st.failed.is_some() {
+                        return;
+                    }
+                    let n = chunk.min(st.end - st.cursor);
+                    st.buf.clear();
+                    st.buf
+                        .extend((st.cursor..st.cursor + n).map(|i| points.point(i)));
+                    let RankScan {
+                        runner,
+                        agg,
+                        cursor,
+                        buf,
+                        failed,
+                        ..
+                    } = st;
+                    let mut run = || runner.fold_energies_into(*cursor, buf, agg);
+                    let result = match &subsets {
+                        Some(subsets) => subsets[rank].install(run),
+                        None => run(),
+                    };
+                    if let Err(SweepError::PointPanicked { index, message }) = result {
+                        *failed = Some((index as u64, message));
+                    }
+                    st.cursor += n;
+                });
+                supersteps += 1;
+                if let Some((rank, (index, message))) = ranks
+                    .iter()
+                    .enumerate()
+                    .find_map(|(r, st)| st.failed.clone().map(|f| (r, f)))
+                {
+                    return Some(DistSweepError::PointPanicked {
+                        rank,
+                        index,
+                        message,
+                    });
+                }
+            }
+        });
+        if let Some(err) = failure {
+            return Err(err);
+        }
+
+        // The rank-order aggregate merge — the scan's one collective.
+        let aggs: Vec<LandscapeAggregator> = ranks.into_iter().map(|r| r.agg).collect();
+        let agg = comm.allreduce_with(aggs, |mut a, b| {
+            a.merge(b);
+            a
+        });
+        Ok(DistScan {
+            agg,
+            points: total,
+            ranks: k,
+            supersteps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qokit_core::batch::SweepNesting;
+    use qokit_core::landscape::HistogramSpec;
+    use qokit_core::QaoaSimulator;
+    use qokit_core::SimOptions;
+    use qokit_terms::labs::labs_terms;
+
+    fn serial_sim(n: usize) -> FurSimulator {
+        FurSimulator::with_options(
+            &labs_terms(n),
+            SimOptions {
+                exec: ExecPolicy::serial(),
+                ..SimOptions::default()
+            },
+        )
+    }
+
+    /// The reference: a sequential loop over the whole grid feeding one
+    /// aggregator.
+    fn sequential_reference(
+        sim: &FurSimulator,
+        grid: &Grid2d,
+        proto: LandscapeAggregator,
+    ) -> LandscapeAggregator {
+        use qokit_core::landscape::EnergySink;
+        let mut agg = proto;
+        for i in 0..grid.len() {
+            let p = grid.point(i);
+            agg.observe(i, sim.objective(&p.gammas, &p.betas));
+        }
+        agg
+    }
+
+    #[test]
+    fn sharded_scan_matches_sequential_reference() {
+        let grid = Grid2d::new(Axis::new(-0.6, 0.6, 9), Axis::new(-0.4, 0.4, 7));
+        let reference = sequential_reference(
+            &serial_sim(6),
+            &grid,
+            LandscapeAggregator::new(5).with_histogram(HistogramSpec {
+                rows: 9,
+                cols: 7,
+                bin_rows: 3,
+                bin_cols: 7,
+            }),
+        );
+        for ranks in [1usize, 2, 3, 4] {
+            for chunk in [1usize, 7, 64] {
+                let runner = DistSweepRunner::with_options(
+                    Arc::new(serial_sim(6)),
+                    DistSweepOptions {
+                        ranks,
+                        sweep: SweepOptions {
+                            exec: ExecPolicy::rayon().with_threads(2),
+                            nested: SweepNesting::PointsParallel,
+                        },
+                        chunk,
+                    },
+                );
+                let scan = runner.scan(
+                    &grid,
+                    LandscapeAggregator::new(5).with_histogram(HistogramSpec {
+                        rows: 9,
+                        cols: 7,
+                        bin_rows: 3,
+                        bin_cols: 7,
+                    }),
+                );
+                assert_eq!(scan.points, 63);
+                assert_eq!(scan.ranks, ranks);
+                assert_eq!(scan.agg.count(), reference.count(), "K={ranks} c={chunk}");
+                assert_eq!(scan.agg.argmin(), reference.argmin());
+                // Points-parallel keeps kernels serial: the selection
+                // aggregates are bit-identical for any rank/chunk split.
+                assert_eq!(
+                    scan.agg.min_energy().unwrap().to_bits(),
+                    reference.min_energy().unwrap().to_bits()
+                );
+                assert_eq!(scan.agg.top_k(), reference.top_k());
+                assert_eq!(scan.agg.histogram(), reference.histogram());
+            }
+        }
+    }
+
+    #[test]
+    fn superstep_count_follows_largest_shard() {
+        let runner = DistSweepRunner::with_options(
+            Arc::new(serial_sim(5)),
+            DistSweepOptions {
+                ranks: 2,
+                sweep: SweepOptions::default(),
+                chunk: 10,
+            },
+        );
+        let grid = Grid2d::new(Axis::new(0.0, 1.0, 5), Axis::new(0.0, 1.0, 10));
+        // 50 points → 25 per rank → 3 supersteps of chunk 10.
+        let scan = runner.scan(&grid, LandscapeAggregator::new(1));
+        assert_eq!(scan.supersteps, 3);
+        assert_eq!(scan.agg.count(), 50);
+    }
+
+    #[test]
+    fn slice_point_source_works() {
+        let pts: Vec<SweepPoint> = (0..10)
+            .map(|i| SweepPoint::new(vec![0.1 * i as f64, 0.2], vec![0.3, 0.4]))
+            .collect();
+        let runner = DistSweepRunner::new(serial_sim(5), 3);
+        let scan = runner.scan(&pts[..], LandscapeAggregator::new(2));
+        assert_eq!(scan.agg.count(), 10);
+        let reference = SweepRunner::new(serial_sim(5)).energies(&pts);
+        let best = reference
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        assert_eq!(scan.agg.argmin(), Some(best.0 as u64));
+    }
+
+    #[test]
+    fn empty_scan_is_empty() {
+        let runner = DistSweepRunner::new(serial_sim(4), 2);
+        let scan = runner.scan(&[][..], LandscapeAggregator::new(3));
+        assert_eq!(scan.points, 0);
+        assert_eq!(scan.supersteps, 0);
+        assert_eq!(scan.agg.count(), 0);
+        assert_eq!(scan.agg.argmin(), None);
+    }
+
+    #[test]
+    fn more_ranks_than_points_degenerates_cleanly() {
+        let pts: Vec<SweepPoint> = (0..3)
+            .map(|i| SweepPoint::p1(0.1 * i as f64, 0.2))
+            .collect();
+        let runner = DistSweepRunner::new(serial_sim(4), 8);
+        let scan = runner.scan(&pts[..], LandscapeAggregator::new(1));
+        assert_eq!(scan.agg.count(), 3);
+    }
+
+    #[test]
+    fn poisoned_point_reports_rank_and_global_index() {
+        let mut pts: Vec<SweepPoint> = (0..12)
+            .map(|i| SweepPoint::p1(0.1 * i as f64, 0.2))
+            .collect();
+        // Global index 7 lands in rank 2's slice of [6, 9).
+        pts[7] = SweepPoint::new(vec![0.1, 0.2], vec![0.3]); // length mismatch
+        let runner = DistSweepRunner::with_options(
+            Arc::new(serial_sim(5)),
+            DistSweepOptions {
+                ranks: 4,
+                sweep: SweepOptions::default(),
+                chunk: 2,
+            },
+        );
+        let err = runner
+            .try_scan(&pts[..], LandscapeAggregator::new(1))
+            .unwrap_err();
+        match err {
+            DistSweepError::PointPanicked {
+                rank,
+                index,
+                message,
+            } => {
+                assert_eq!(rank, 2);
+                assert_eq!(index, 7);
+                assert!(message.contains("same length"), "{message}");
+            }
+        }
+        // The runner (and the pool) stays reusable.
+        let ok = runner.scan(&pts[..7], LandscapeAggregator::new(1));
+        assert_eq!(ok.agg.count(), 7);
+    }
+
+    #[test]
+    fn grid_matches_optim_grid_points() {
+        // Grid2d must enumerate exactly qokit-optim's row-major grid, so
+        // scans and grid searches agree point for point. (Spacing formula
+        // is shared; spot-check endpoints and interior.)
+        let grid = Grid2d::new(Axis::new(-1.0, 1.0, 5), Axis::new(0.0, 0.5, 3));
+        assert_eq!(grid.len(), 15);
+        let p0 = grid.point(0);
+        assert_eq!((p0.gammas[0], p0.betas[0]), (-1.0, 0.0));
+        let p_last = grid.point(14);
+        assert_eq!((p_last.gammas[0], p_last.betas[0]), (1.0, 0.5));
+        let p = grid.point(7); // row 2, col 1
+        assert_eq!((p.gammas[0], p.betas[0]), (0.0, 0.25));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 points")]
+    fn axis_rejects_degenerate_steps() {
+        let _ = Axis::new(0.0, 1.0, 1);
+    }
+}

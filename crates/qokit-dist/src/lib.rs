@@ -11,6 +11,16 @@
 //! regenerates the paper's 1,024-GPU weak-scaling curves (Fig. 5) beyond
 //! what one machine can thread.
 //!
+//! The same BSP engine also shards along the *other* axis: a
+//! [`DistSweepRunner`] distributes the **batch** of a huge `(γ, β)`
+//! landscape scan — each rank owns a contiguous slice of the point
+//! sequence, streams it through a rank-local sweep runner on its slice of
+//! the pool, and folds energies into a
+//! [`LandscapeAggregator`](qokit_core::landscape::LandscapeAggregator)
+//! merged in rank order, so `>2^20`-point scans run in `O(ranks · top_k)`
+//! memory. See `docs/PARALLELISM.md` at the repository root for how the
+//! BSP layer composes with the pool, subset pools, and sweep nesting.
+//!
 //! ```
 //! use qokit_dist::DistSimulator;
 //! use qokit_terms::labs::labs_terms;
@@ -29,8 +39,12 @@
 
 pub mod comm;
 pub mod dist_sim;
+pub mod dist_sweep;
 pub mod model;
 
 pub use comm::{BspComm, CommStats};
 pub use dist_sim::{DistError, DistResult, DistSimulator};
+pub use dist_sweep::{
+    Axis, DistScan, DistSweepError, DistSweepOptions, DistSweepRunner, Grid2d, PointSource,
+};
 pub use model::{ClusterModel, CommBackend, ModeledLayerTime};

@@ -14,6 +14,11 @@
 //! **bit-identical for any pool size** — pinned by
 //! `tests/sweep_determinism.rs`.
 //!
+//! [`MultiStart::minimize_batched`] composes both batching levels: the
+//! restarts run as lanes on sibling subset pools while each restart's
+//! Nelder–Mead evaluates its candidate sets through a *batch* objective —
+//! with a trajectory bit-identical to the sequential driver.
+//!
 //! ```
 //! use qokit_optim::{MultiStart, NelderMead, RestartMethod};
 //!
@@ -39,6 +44,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::Mutex;
 
 /// The local optimizer each restart runs.
 #[derive(Clone, Debug)]
@@ -166,8 +172,111 @@ impl MultiStart {
                     .map_err(panic_message)
             })
             .collect();
+        Self::collect_run(slots)
+    }
 
-        let mut restarts = Vec::with_capacity(self.restarts);
+    /// As [`minimize`](Self::minimize), but each restart drives a *batch*
+    /// objective through [`NelderMead::minimize_batched`] — candidate sets
+    /// (initial simplex, speculative reflection+expansion pairs, shrink
+    /// rows) arrive as single calls, the shape a points-parallel
+    /// `SweepRunner` evaluates in one pool dispatch. The restarts
+    /// themselves run as **lanes on sibling subset pools**
+    /// ([`rayon::split_current`]): with `R` restarts on a `W`-worker pool,
+    /// `min(R, W)` lanes each own `W / lanes` workers, and a lane's batch
+    /// evaluations execute inside its own subset — restart-level ×
+    /// candidate-level parallelism with no cross-lane stealing.
+    ///
+    /// Determinism: given a batch objective that agrees pointwise with a
+    /// sequential objective, the returned [`MultiStartRun`] — every
+    /// restart's trajectory, `n_evals`, history, and the winning index —
+    /// is **bit-identical** to [`minimize`](Self::minimize) for any pool
+    /// size and lane count (each restart's trajectory is independent and
+    /// results stay keyed by restart index). [`RestartMethod::Spsa`]
+    /// restarts evaluate the batch objective one candidate at a time.
+    ///
+    /// # Panics
+    /// If a restart panicked; use
+    /// [`try_minimize_batched`](Self::try_minimize_batched) for the
+    /// recoverable form.
+    pub fn minimize_batched<F>(&self, f: &F) -> MultiStartRun
+    where
+        F: Fn(&[Vec<f64>]) -> Vec<f64> + Sync,
+    {
+        self.try_minimize_batched(f)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Recoverable form of [`minimize_batched`](Self::minimize_batched): a
+    /// panicking restart yields a clean error naming the lowest poisoned
+    /// index while the other lanes complete and the pool stays reusable.
+    pub fn try_minimize_batched<F>(&self, f: &F) -> Result<MultiStartRun, MultiStartError>
+    where
+        F: Fn(&[Vec<f64>]) -> Vec<f64> + Sync,
+    {
+        assert!(self.restarts > 0, "need at least one restart");
+        let starts = self.starting_points();
+        let width = rayon::current_num_threads().max(1);
+        let lanes = self.restarts.min(width);
+        if lanes <= 1 {
+            // One lane owns the whole pool: a plain sequential restart
+            // loop whose batch calls still parallelize inside.
+            let slots = starts
+                .iter()
+                .enumerate()
+                .map(|(i, x0)| {
+                    panic::catch_unwind(AssertUnwindSafe(|| self.run_one_batched(i, x0, f)))
+                        .map_err(panic_message)
+                })
+                .collect();
+            return Self::collect_run(slots);
+        }
+        // Restart lanes × candidate batches: lane l owns restarts
+        // l, l + lanes, … and a disjoint `width / lanes`-worker subset;
+        // leftover workers (when lanes ∤ width) help via ordinary
+        // stealing of the lane spawn tasks themselves.
+        let subsets = rayon::split_current(&vec![width / lanes; lanes]);
+        type LaneOut = Mutex<Vec<(usize, Result<OptimizeResult, String>)>>;
+        let outputs: Vec<LaneOut> = (0..lanes).map(|_| Mutex::new(Vec::new())).collect();
+        rayon::scope(|s| {
+            for (lane, subset) in subsets.iter().enumerate() {
+                let starts = &starts;
+                let out = &outputs[lane];
+                s.spawn(move |_| {
+                    subset.install(|| {
+                        for i in (lane..self.restarts).step_by(lanes) {
+                            let slot = panic::catch_unwind(AssertUnwindSafe(|| {
+                                self.run_one_batched(i, &starts[i], f)
+                            }))
+                            .map_err(panic_message);
+                            out.lock().unwrap().push((i, slot));
+                        }
+                    });
+                });
+            }
+        });
+        let mut slots: Vec<Option<Result<OptimizeResult, String>>> =
+            (0..self.restarts).map(|_| None).collect();
+        for out in outputs {
+            for (i, slot) in out.into_inner().unwrap() {
+                slots[i] = Some(slot);
+            }
+        }
+        Self::collect_run(
+            slots
+                .into_iter()
+                .map(|s| s.expect("every restart runs exactly once"))
+                .collect(),
+        )
+    }
+
+    /// Folds per-restart slots (keyed by restart index) into a
+    /// [`MultiStartRun`], surfacing the lowest poisoned index — the one
+    /// reduction the sequential, pool-parallel, and lane-batched drivers
+    /// all share, so winner tie-breaking cannot drift between them.
+    fn collect_run(
+        slots: Vec<Result<OptimizeResult, String>>,
+    ) -> Result<MultiStartRun, MultiStartError> {
+        let mut restarts = Vec::with_capacity(slots.len());
         for (i, slot) in slots.into_iter().enumerate() {
             match slot {
                 Ok(r) => restarts.push(r),
@@ -201,6 +310,22 @@ impl MultiStart {
             RestartMethod::Spsa(spsa) => {
                 let mut rng = StdRng::seed_from_u64(self.restart_seed(index));
                 spsa.minimize(|x| f(x), x0, &mut rng)
+            }
+        }
+    }
+
+    fn run_one_batched<F>(&self, index: usize, x0: &[f64], f: &F) -> OptimizeResult
+    where
+        F: Fn(&[Vec<f64>]) -> Vec<f64> + Sync,
+    {
+        match &self.method {
+            RestartMethod::NelderMead(nm) => nm.minimize_batched(|xs| f(xs), x0),
+            RestartMethod::Spsa(spsa) => {
+                // SPSA's two-sided perturbation is inherently sequential;
+                // feed it the batch objective one candidate at a time (the
+                // same evaluations `minimize` would make).
+                let mut rng = StdRng::seed_from_u64(self.restart_seed(index));
+                spsa.minimize(|x| f(std::slice::from_ref(&x.to_vec()))[0], x0, &mut rng)
             }
         }
     }
@@ -306,6 +431,73 @@ mod tests {
         ));
         // The pool survives: a fresh run still works.
         assert!(d.minimize(&two_basin).best().best_f < 1e-3);
+    }
+
+    fn batch_of(f: impl Fn(&[f64]) -> f64) -> impl Fn(&[Vec<f64>]) -> Vec<f64> {
+        move |xs: &[Vec<f64>]| xs.iter().map(|x| f(x)).collect()
+    }
+
+    #[test]
+    fn batched_driver_is_bit_identical_to_sequential() {
+        // Restart lanes × candidate batches must walk exactly the
+        // trajectories the plain driver walks — winner index included.
+        for restarts in [1usize, 3, 6] {
+            let d = driver(restarts);
+            let sequential = d.minimize(&two_basin);
+            let batched = d.minimize_batched(&batch_of(two_basin));
+            assert_eq!(sequential.best_restart, batched.best_restart);
+            for (a, b) in sequential.restarts.iter().zip(&batched.restarts) {
+                assert_eq!(a.best_f.to_bits(), b.best_f.to_bits());
+                assert_eq!(a.best_x, b.best_x);
+                assert_eq!(a.n_evals, b.n_evals);
+                assert_eq!(a.history.len(), b.history.len());
+                for (x, y) in a.history.iter().zip(&b.history) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_spsa_matches_pointwise_spsa() {
+        let d = MultiStart {
+            method: RestartMethod::Spsa(Spsa {
+                iterations: 60,
+                ..Spsa::default()
+            }),
+            restarts: 3,
+            seed: 11,
+            bounds: vec![(-1.0, 1.0)],
+        };
+        let f = |x: &[f64]| (x[0] + 0.3).powi(2);
+        let sequential = d.minimize(&f);
+        let batched = d.minimize_batched(&batch_of(f));
+        for (a, b) in sequential.restarts.iter().zip(&batched.restarts) {
+            assert_eq!(a.best_x, b.best_x);
+            assert_eq!(a.best_f.to_bits(), b.best_f.to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_panicking_restart_reports_its_index() {
+        let d = driver(4);
+        let poison = d.starting_points()[2].clone();
+        let err = d
+            .try_minimize_batched(&move |xs: &[Vec<f64>]| {
+                xs.iter()
+                    .map(|x| {
+                        assert!(x != &poison, "injected failure at restart 2's start");
+                        two_basin(x)
+                    })
+                    .collect()
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MultiStartError::RestartPanicked { restart: 2, .. }
+        ));
+        // Lanes and the pool stay reusable.
+        assert!(d.minimize_batched(&batch_of(two_basin)).best().best_f < 1e-3);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! | [`core`] | the fast simulator and its QOKit-style API |
 //! | [`gates`] | gate-based baseline (compilation, fusion, counting) |
 //! | [`tensornet`] | tensor-network baseline |
-//! | [`dist`] | simulated-MPI distributed simulation + cluster model |
+//! | [`dist`] | BSP distributed simulation (ranks as pool supersteps) + batch-sharded landscape scans + cluster model |
 //! | [`optim`] | Nelder–Mead/SPSA/grid optimizers and schedules |
 //!
 //! ## Execution backends and `QOKIT_THREADS`
@@ -50,9 +50,20 @@
 //! tasks over one `Arc`-shared cost vector (with recycled per-worker state
 //! buffers and a `nested` knob choosing points-parallel vs
 //! kernels-parallel execution), [`optim::MultiStart`] runs
-//! Nelder–Mead/SPSA restarts as pool tasks keyed by restart index, and
+//! Nelder–Mead/SPSA restarts as pool tasks keyed by restart index (and
+//! [`optim::MultiStart::minimize_batched`] runs them as *lanes* on
+//! sibling subset pools, each restart evaluating candidate batches), and
 //! [`optim::grid_search_2d_batched`] / [`optim::random_search_batched`]
 //! drive whole search grids through one batched call.
+//!
+//! Landscape scans past what a collected `Vec` of energies can hold go
+//! through [`dist::DistSweepRunner`]: K BSP ranks each own a contiguous
+//! slice of the batch and stream it into mergeable
+//! [`core::landscape::LandscapeAggregator`]s (running min/argmin, top-k,
+//! optional 2-D histogram) — `O(ranks · top_k)` memory at any scan size.
+//! The architecture guide for how these four parallel layers compose —
+//! the work-stealing pool, subset pools, `SweepNesting`, and BSP ranks —
+//! is `docs/PARALLELISM.md` at the repository root.
 //!
 //! ```
 //! use qokit::prelude::*;
@@ -102,10 +113,12 @@ pub use qokit_terms as terms;
 /// The most common imports in one place.
 pub mod prelude {
     pub use qokit_core::{
-        choose_simulator, FurSimulator, InitialState, Mixer, QaoaSimulator, SimOptions, SimResult,
-        SweepNesting, SweepOptions, SweepPoint, SweepRunner,
+        choose_simulator, EnergySink, FurSimulator, HistogramSpec, InitialState,
+        LandscapeAggregator, Mixer, QaoaSimulator, SimOptions, SimResult, SweepNesting,
+        SweepOptions, SweepPoint, SweepRunner,
     };
     pub use qokit_costvec::{CostVec, PrecomputeMethod};
+    pub use qokit_dist::{Axis, DistSweepOptions, DistSweepRunner, Grid2d, PointSource};
     pub use qokit_statevec::{Backend, ExecPolicy, StateVec, C64};
     pub use qokit_terms::{Graph, SpinPolynomial, Term};
 }

@@ -261,6 +261,92 @@ fn panicking_dist_rank_unwinds_through_the_pool() {
 }
 
 #[test]
+fn poisoned_point_in_a_dist_scan_names_rank_and_global_index() {
+    // Batch-sharded scans contain a point panic inside its rank's
+    // superstep: the error names the rank and the *global* point index,
+    // sibling ranks finish their superstep, and runner + pool stay
+    // reusable afterwards.
+    use qokit::core::landscape::LandscapeAggregator;
+    use qokit::dist::{DistSweepError, DistSweepOptions, DistSweepRunner};
+    use std::sync::Arc;
+    let runner = DistSweepRunner::with_options(
+        Arc::new(FurSimulator::new(&labs_terms(6))),
+        DistSweepOptions {
+            ranks: 4,
+            sweep: SweepOptions {
+                exec: ExecPolicy::rayon().with_min_len(1).with_min_chunk(4),
+                nested: SweepNesting::PointsParallel,
+            },
+            chunk: 2,
+        },
+    );
+    let mut points: Vec<SweepPoint> = (0..16)
+        .map(|i| SweepPoint::p1(0.05 * i as f64, 0.3))
+        .collect();
+    // Global index 9 lands in rank 2's contiguous slice [8, 12).
+    points[9] = SweepPoint::new(vec![0.1], vec![0.2, 0.3]); // length mismatch
+    let err = runner
+        .try_scan(&points[..], LandscapeAggregator::new(2))
+        .unwrap_err();
+    match &err {
+        DistSweepError::PointPanicked {
+            rank,
+            index,
+            message,
+        } => {
+            assert_eq!(*rank, 2);
+            assert_eq!(*index, 9);
+            assert!(message.contains("same length"), "{message}");
+        }
+    }
+    assert!(err.to_string().contains("point 9"), "{err}");
+    assert!(err.to_string().contains("rank 2"), "{err}");
+    // Containment: the same runner immediately scans clean input, with
+    // every point accounted for.
+    let ok = runner.scan(&points[..9], LandscapeAggregator::new(2));
+    assert_eq!(ok.agg.count(), 9);
+    assert!(ok.agg.min_energy().unwrap().is_finite());
+}
+
+#[test]
+fn panicking_batched_restart_poisons_only_itself() {
+    // The lane-batched multi-start driver matches try_minimize's
+    // containment: the lowest poisoned restart is named, sibling lanes
+    // complete, and the subset pools are reusable.
+    let driver = MultiStart {
+        method: RestartMethod::NelderMead(NelderMead {
+            max_evals: 40,
+            ..NelderMead::default()
+        }),
+        restarts: 5,
+        seed: 9,
+        bounds: vec![(-1.0, 1.0), (-1.0, 1.0)],
+    };
+    let poison = driver.starting_points()[3].clone();
+    let err = driver
+        .try_minimize_batched(&move |xs: &[Vec<f64>]| {
+            xs.iter()
+                .map(|x| {
+                    assert!(x != &poison, "injected failure in restart 3");
+                    x[0] * x[0] + x[1] * x[1]
+                })
+                .collect()
+        })
+        .unwrap_err();
+    match err {
+        MultiStartError::RestartPanicked { restart, message } => {
+            assert_eq!(restart, 3);
+            assert!(message.contains("injected failure"), "{message}");
+        }
+    }
+    let run = driver.minimize_batched(&|xs: &[Vec<f64>]| {
+        xs.iter().map(|x| x[0] * x[0] + x[1] * x[1]).collect()
+    });
+    assert_eq!(run.restarts.len(), 5);
+    assert!(run.best().best_f < 1e-4);
+}
+
+#[test]
 fn non_integral_quantized_simulator_degrades_gracefully() {
     // SK with Gaussian couplings cannot quantize exactly: the option must
     // silently fall back to f64, not corrupt the diagonal.

@@ -198,3 +198,116 @@ fn batched_random_search_reproduces_sequential_stream() {
         assert_eq!(a.to_bits(), b.to_bits());
     }
 }
+
+#[test]
+fn lane_batched_multistart_is_pool_size_invariant_and_equals_plain_driver() {
+    // `minimize_batched` adds two layers the plain driver lacks — restart
+    // lanes on sibling subset pools and candidate-batch objective calls —
+    // and must change nothing observable: for a pointwise-equal objective
+    // it is bit-identical to `minimize`, at every pool size.
+    let driver = MultiStart {
+        method: RestartMethod::NelderMead(NelderMead {
+            max_evals: 100,
+            ..NelderMead::default()
+        }),
+        restarts: 5,
+        seed: 29,
+        bounds: vec![(-0.8, 0.8); 4],
+    };
+    let f = qaoa_objective();
+    let reference = in_pool(1, || driver.minimize(&f));
+    let batch_f = |xs: &[Vec<f64>]| -> Vec<f64> { xs.iter().map(|x| f(x)).collect() };
+    for threads in [1usize, 2, 4] {
+        let run = in_pool(threads, || driver.minimize_batched(&batch_f));
+        assert_bit_identical(
+            &reference,
+            &run,
+            &format!("lane-batched NM, {threads} workers"),
+        );
+    }
+}
+
+#[test]
+fn lane_batched_multistart_through_sweep_runner_matches_serial_objective() {
+    // The full production composition: restart lanes × candidate batches
+    // evaluated by a points-parallel SweepRunner — still bit-identical to
+    // the sequential driver on the serial objective.
+    let p = 2;
+    let driver = MultiStart {
+        method: RestartMethod::NelderMead(NelderMead {
+            max_evals: 80,
+            ..NelderMead::default()
+        }),
+        restarts: 4,
+        seed: 13,
+        bounds: vec![(-0.7, 0.7); 2 * p],
+    };
+    let f = qaoa_objective();
+    let reference = driver.minimize(&f);
+    let runner = SweepRunner::with_options(
+        FurSimulator::with_options(
+            &labs_terms(7),
+            SimOptions {
+                exec: ExecPolicy::serial(),
+                ..SimOptions::default()
+            },
+        ),
+        SweepOptions {
+            exec: ExecPolicy::rayon().with_min_len(1).with_min_chunk(8),
+            nested: SweepNesting::PointsParallel,
+        },
+    );
+    let run = in_pool(4, || {
+        driver.minimize_batched(&|xs: &[Vec<f64>]| {
+            let points: Vec<SweepPoint> = xs
+                .iter()
+                .map(|x| {
+                    let (g, b) = schedules::unpack(x);
+                    SweepPoint::new(g.to_vec(), b.to_vec())
+                })
+                .collect();
+            runner.energies(&points)
+        })
+    });
+    assert_bit_identical(&reference, &run, "lanes x sweep batches");
+}
+
+#[test]
+fn dist_scan_aggregates_are_pool_size_invariant() {
+    // The batch-sharded scan's selection aggregates must not depend on
+    // how many workers execute the supersteps.
+    use qokit::core::landscape::LandscapeAggregator;
+    use qokit::dist::{Axis, DistSweepOptions, DistSweepRunner, Grid2d};
+    use std::sync::Arc;
+    let make = || {
+        DistSweepRunner::with_options(
+            Arc::new(FurSimulator::with_options(
+                &labs_terms(7),
+                SimOptions {
+                    exec: ExecPolicy::serial(),
+                    ..SimOptions::default()
+                },
+            )),
+            DistSweepOptions {
+                ranks: 3,
+                sweep: SweepOptions {
+                    exec: ExecPolicy::rayon().with_min_len(1).with_min_chunk(8),
+                    nested: SweepNesting::PointsParallel,
+                },
+                chunk: 5,
+            },
+        )
+    };
+    let grid = Grid2d::new(Axis::new(-0.6, 0.6, 8), Axis::new(-0.6, 0.6, 8));
+    let reference = in_pool(1, || make().scan(&grid, LandscapeAggregator::new(6)));
+    for threads in [2usize, 4] {
+        let scan = in_pool(threads, || make().scan(&grid, LandscapeAggregator::new(6)));
+        assert_eq!(scan.agg.argmin(), reference.agg.argmin());
+        assert_eq!(scan.agg.top_k(), reference.agg.top_k());
+        assert_eq!(
+            scan.agg.sum().to_bits(),
+            reference.agg.sum().to_bits(),
+            "rank-order merge must fix the sum for a fixed rank count"
+        );
+    }
+}
