@@ -308,6 +308,66 @@ pub fn validate_bench_json(text: &str) -> Result<String, String> {
                 }
             }
         }
+        "abl_lightcone" => {
+            for key in [
+                "n_vertices",
+                "edges",
+                "degree",
+                "hw_threads",
+                "pool_width",
+                "reps",
+                "best_hit_rate",
+                "dedup_speedup",
+            ] {
+                finite_positive(&root, key)?;
+            }
+            match root.get("energies_bit_identical") {
+                Some(Json::Bool(true)) => {}
+                Some(Json::Bool(false)) => {
+                    return Err(
+                        "\"energies_bit_identical\" is false: dedup moved the energy".into(),
+                    )
+                }
+                other => {
+                    return Err(format!(
+                        "\"energies_bit_identical\" must be a boolean, got {other:?}"
+                    ))
+                }
+            }
+            let runs = match root.get("runs") {
+                Some(Json::Arr(rows)) if !rows.is_empty() => rows,
+                other => return Err(format!("\"runs\" must be a non-empty array, got {other:?}")),
+            };
+            let (mut has_on, mut has_off) = (false, false);
+            for (i, row) in runs.iter().enumerate() {
+                let dedup =
+                    non_empty_string(row, "dedup").map_err(|e| format!("runs[{i}]: {e}"))?;
+                for key in ["p", "seconds", "edges_per_sec"] {
+                    finite_positive(row, key).map_err(|e| format!("runs[{i}]: {e}"))?;
+                }
+                match dedup.as_str() {
+                    "on" => {
+                        finite_positive(row, "unique_cones")
+                            .map_err(|e| format!("runs[{i}] (dedup on): {e}"))?;
+                        finite_positive(row, "hit_rate")
+                            .map_err(|e| format!("runs[{i}] (dedup on): {e}"))?;
+                        has_on = true;
+                    }
+                    "off" => has_off = true,
+                    other => {
+                        return Err(format!(
+                            "runs[{i}]: \"dedup\" must be \"on\" or \"off\", got \"{other}\""
+                        ))
+                    }
+                }
+            }
+            if !has_on || !has_off {
+                return Err(
+                    "need both a dedup-on and a dedup-off run: the cache ablation went unmeasured"
+                        .into(),
+                );
+            }
+        }
         other => return Err(format!("unknown bench kind \"{other}\"")),
     }
     Ok(bench)
@@ -416,6 +476,52 @@ mod tests {
             .replace("\"sequential_points_per_sec\": 419430.4,", "");
         let err = validate_bench_json(&missing).unwrap_err();
         assert!(err.contains("sequential_points_per_sec"), "{err}");
+    }
+
+    fn lightcone_fixture(runs: &str) -> String {
+        format!(
+            r#"{{"bench": "abl_lightcone", "n_vertices": 666666, "edges": 999999,
+                "degree": 3, "hw_threads": 4, "pool_width": 4, "reps": 3,
+                "best_hit_rate": 0.9999, "dedup_speedup": 12.5,
+                "energies_bit_identical": true, "runs": [{runs}]}}"#
+        )
+    }
+
+    const GOOD_LIGHTCONE_ROWS: &str = r#"
+        {"dedup": "off", "p": 1, "seconds": 4.1, "edges_per_sec": 243902.2},
+        {"dedup": "on", "p": 1, "seconds": 0.33, "edges_per_sec": 3030300.0,
+         "unique_cones": 2, "hit_rate": 0.9999}"#;
+
+    #[test]
+    fn accepts_a_valid_lightcone_record() {
+        assert_eq!(
+            validate_bench_json(&lightcone_fixture(GOOD_LIGHTCONE_ROWS)).unwrap(),
+            "abl_lightcone"
+        );
+    }
+
+    #[test]
+    fn lightcone_requires_both_cache_modes() {
+        let on_only = r#"{"dedup": "on", "p": 1, "seconds": 0.33,
+            "edges_per_sec": 3030300.0, "unique_cones": 2, "hit_rate": 0.9999}"#;
+        let err = validate_bench_json(&lightcone_fixture(on_only)).unwrap_err();
+        assert!(err.contains("dedup-off"), "{err}");
+        let off_only = r#"{"dedup": "off", "p": 1, "seconds": 4.1, "edges_per_sec": 243902.2}"#;
+        let err = validate_bench_json(&lightcone_fixture(off_only)).unwrap_err();
+        assert!(err.contains("dedup-on"), "{err}");
+    }
+
+    #[test]
+    fn lightcone_rejects_diverged_energies_and_missing_cache_stats() {
+        let diverged = lightcone_fixture(GOOD_LIGHTCONE_ROWS).replace(
+            "\"energies_bit_identical\": true",
+            "\"energies_bit_identical\": false",
+        );
+        let err = validate_bench_json(&diverged).unwrap_err();
+        assert!(err.contains("dedup moved the energy"), "{err}");
+        let no_hits = lightcone_fixture(GOOD_LIGHTCONE_ROWS).replace(", \"hit_rate\": 0.9999", "");
+        let err = validate_bench_json(&no_hits).unwrap_err();
+        assert!(err.contains("hit_rate"), "{err}");
     }
 
     #[test]

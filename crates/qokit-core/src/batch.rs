@@ -540,11 +540,13 @@ impl SweepRunner {
         }
     }
 
-    /// Point×kernel nesting: `lanes` worker subsets of `kernels_per_point`
-    /// workers each, every lane evaluating a strided share of the batch
-    /// with kernels parallel inside its own subset. Shapes are clamped to
-    /// the pool (see [`SweepNesting::Split`]); results stay keyed by point
-    /// index regardless of lane assignment or completion order.
+    /// Point×kernel nesting via [`rayon::strided_lanes`]: `lanes` worker
+    /// subsets of `kernels_per_point` workers each, every lane evaluating a
+    /// strided share of the batch with kernels parallel inside its own
+    /// subset (one `install` per lane, not per point). Shapes are clamped
+    /// to the pool (see [`SweepNesting::Split`]); results stay keyed by
+    /// point index regardless of lane assignment or completion order, and
+    /// a single surviving lane degenerates to exactly kernels-parallel.
     fn run_split<R, F>(
         &self,
         points: &[SweepPoint],
@@ -557,9 +559,6 @@ impl SweepRunner {
         R: Send,
         F: Fn(&FurSimulator, &StateVec, ExecPolicy) -> R + Sync,
     {
-        let width = rayon::current_num_threads().max(1);
-        let lanes = lanes.clamp(1, width.min(points.len().max(1)));
-        let kernels_per_point = kernels_per_point.clamp(1, (width / lanes).max(1));
         // Kernels inherit each lane's ambient subset: threads must be 0 so
         // `ExecPolicy::install` inside the evaluation is a no-op rather
         // than an escape into a differently-sized pool.
@@ -567,46 +566,12 @@ impl SweepRunner {
             threads: 0,
             ..policy
         };
-        if lanes <= 1 {
-            // One lane owning every worker is exactly kernels-parallel.
-            return self.run_sequential(points, inner, eval);
-        }
-        let subsets = rayon::split_current(&vec![kernels_per_point; lanes]);
         let init = self.sim.initial_state();
-        // One (point index, result) accumulator per lane, merged by index
-        // below.
-        type LaneOutput<R> = Mutex<Vec<(usize, Result<R, SweepError>)>>;
-        let lane_outputs: Vec<LaneOutput<R>> = (0..lanes).map(|_| Mutex::new(Vec::new())).collect();
-        rayon::scope(|s| {
-            for (lane, subset) in subsets.iter().enumerate() {
-                let init = &init;
-                let out = &lane_outputs[lane];
-                s.spawn(move |_| {
-                    // One install per lane, not per point: the whole
-                    // strided share runs inside the subset, so a lane task
-                    // picked up by a non-member worker pays a single
-                    // cross-thread handoff. eval_one contains each point's
-                    // panic, so one poisoned point cannot abort the lane.
-                    subset.install(|| {
-                        for index in (lane..points.len()).step_by(lanes) {
-                            let result = self.eval_one(index, &points[index], init, inner, eval);
-                            out.lock().unwrap().push((index, result));
-                        }
-                    });
-                });
-            }
-        });
-        let mut slots: Vec<Option<Result<R, SweepError>>> =
-            (0..points.len()).map(|_| None).collect();
-        for out in lane_outputs {
-            for (index, result) in out.into_inner().unwrap() {
-                slots[index] = Some(result);
-            }
-        }
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every point evaluates exactly once"))
-            .collect()
+        // eval_one contains each point's panic, so one poisoned point
+        // cannot abort its lane.
+        rayon::strided_lanes(points.len(), lanes, kernels_per_point, |index| {
+            self.eval_one(index, &points[index], &init, inner, eval)
+        })
     }
 
     /// One point per pool task, serial kernels inside.

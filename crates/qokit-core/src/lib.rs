@@ -29,12 +29,17 @@
 
 pub mod batch;
 pub mod landscape;
+pub mod lightcone;
 pub mod mixers;
 pub mod sampling;
 pub mod simulator;
 
 pub use batch::{SweepError, SweepNesting, SweepOptions, SweepPoint, SweepRunner};
 pub use landscape::{EnergySink, Histogram2d, HistogramSpec, LandscapeAggregator};
+pub use lightcone::{
+    cone_zz, ConePlan, LightConeError, LightConeEvaluator, LightConeOptions, LightConeRun,
+    LightConeStats, PlannedCone,
+};
 pub use mixers::{ring_edges, Mixer};
 pub use sampling::{best_sampled_cost, evolve_with_observer, sample_bitstrings, LayerSnapshot};
 pub use simulator::{

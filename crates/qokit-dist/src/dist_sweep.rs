@@ -8,7 +8,8 @@
 //! therefore shards the batch instead: each of K ranks owns a *contiguous
 //! slice* of the point sequence, evaluates it through a rank-local
 //! [`SweepRunner`] in chunked BSP supersteps (ranks are pool tasks between
-//! driver barriers, exactly like [`BspComm::superstep`]), and folds every
+//! driver barriers, the same schedule as [`BspComm::superstep`], driven
+//! through [`rayon::strided_lanes`]), and folds every
 //! energy into a rank-local [`LandscapeAggregator`] —
 //! so a million-point scan holds K chunks and K aggregates in memory,
 //! never a million energies. After the last superstep the per-rank
@@ -17,8 +18,8 @@
 //!
 //! Inside a superstep each rank inherits the configured
 //! [`SweepNesting`](qokit_core::batch::SweepNesting) on *its own slice of
-//! the pool*: when the pool is wide enough, the ranks are pinned to
-//! disjoint [`rayon::SubsetPool`]s (via [`rayon::split_current`]), so a
+//! the pool*: the ranks run as lanes pinned to disjoint
+//! [`rayon::SubsetPool`]s (via [`rayon::strided_lanes`]), so a
 //! 16-worker pool runs 4 ranks × 4 kernel workers without the ranks
 //! stealing each other's kernel tasks. Sharding moves no amplitude data —
 //! precompute happens once, in the shared simulator — so the only
@@ -28,8 +29,8 @@ use crate::comm::BspComm;
 use qokit_core::batch::{SweepError, SweepOptions, SweepPoint, SweepRunner};
 use qokit_core::landscape::LandscapeAggregator;
 use qokit_core::FurSimulator;
-use qokit_statevec::exec::{Backend, ExecPolicy};
-use std::sync::Arc;
+use qokit_statevec::exec::ExecPolicy;
+use std::sync::{Arc, Mutex};
 
 /// A random-access sequence of sweep points, generated on demand — the
 /// input shape that lets a `2^20`-point scan exist without `2^20`
@@ -332,32 +333,40 @@ impl DistSweepRunner {
             },
             ..self.opts.sweep
         };
-        // Contiguous batch shards: rank r owns [r·N/K, (r+1)·N/K).
-        let mut ranks: Vec<RankScan> = (0..k as u64)
-            .map(|r| RankScan {
-                runner: SweepRunner::from_arc(Arc::clone(&self.sim), rank_opts),
-                agg: proto.clone(),
-                cursor: total * r / k as u64,
-                end: total * (r + 1) / k as u64,
-                buf: Vec::with_capacity(self.opts.chunk),
-                failed: None,
+        // Contiguous batch shards: rank r owns [r·N/K, (r+1)·N/K). Each
+        // rank's state sits behind its own (uncontended) Mutex so the lane
+        // fan-out below can reach it mutably; lane r is the only locker.
+        let cells: Vec<Mutex<RankScan>> = (0..k as u64)
+            .map(|r| {
+                Mutex::new(RankScan {
+                    runner: SweepRunner::from_arc(Arc::clone(&self.sim), rank_opts),
+                    agg: proto.clone(),
+                    cursor: total * r / k as u64,
+                    end: total * (r + 1) / k as u64,
+                    buf: Vec::with_capacity(self.opts.chunk),
+                    failed: None,
+                })
             })
             .collect();
 
         let policy = self.opts.sweep.exec;
         let mut supersteps = 0u64;
         let failure = policy.install(|| {
-            // Pin ranks to disjoint pool slices when every rank can own at
-            // least two workers; narrower pools just let the ranks share
-            // the whole pool through ordinary work stealing.
-            let width = rayon::current_num_threads().max(1);
-            let use_subsets = !matches!(policy.backend, Backend::Serial) && k > 1 && width >= 2 * k;
-            let subsets = use_subsets.then(|| rayon::split_current(&vec![width / k; k]));
             loop {
-                if ranks.iter().all(|r| r.cursor >= r.end) {
+                if cells
+                    .iter()
+                    .all(|c| c.lock().map(|st| st.cursor >= st.end).unwrap())
+                {
                     return None;
                 }
-                comm.superstep(&mut ranks, |rank, st| {
+                // One BSP superstep: the K ranks run as strided lanes
+                // pinned to disjoint pool slices ([`rayon::strided_lanes`]
+                // clamps the shape, so narrow pools simply run several
+                // ranks per lane), with the lane drain as the implicit
+                // barrier before the driver inspects failures.
+                rayon::strided_lanes(k, k, 0, |rank| {
+                    let mut guard = cells[rank].lock().unwrap();
+                    let st = &mut *guard;
                     if st.cursor >= st.end || st.failed.is_some() {
                         return;
                     }
@@ -373,21 +382,17 @@ impl DistSweepRunner {
                         failed,
                         ..
                     } = st;
-                    let mut run = || runner.fold_energies_into(*cursor, buf, agg);
-                    let result = match &subsets {
-                        Some(subsets) => subsets[rank].install(run),
-                        None => run(),
-                    };
+                    let result = runner.fold_energies_into(*cursor, buf, agg);
                     if let Err(SweepError::PointPanicked { index, message }) = result {
                         *failed = Some((index as u64, message));
                     }
                     st.cursor += n;
                 });
                 supersteps += 1;
-                if let Some((rank, (index, message))) = ranks
+                if let Some((rank, (index, message))) = cells
                     .iter()
                     .enumerate()
-                    .find_map(|(r, st)| st.failed.clone().map(|f| (r, f)))
+                    .find_map(|(r, c)| c.lock().unwrap().failed.clone().map(|f| (r, f)))
                 {
                     return Some(DistSweepError::PointPanicked {
                         rank,
@@ -402,7 +407,10 @@ impl DistSweepRunner {
         }
 
         // The rank-order aggregate merge — the scan's one collective.
-        let aggs: Vec<LandscapeAggregator> = ranks.into_iter().map(|r| r.agg).collect();
+        let aggs: Vec<LandscapeAggregator> = cells
+            .into_iter()
+            .map(|c| c.into_inner().unwrap().agg)
+            .collect();
         let agg = comm.allreduce_with(aggs, |mut a, b| {
             a.merge(b);
             a

@@ -40,6 +40,7 @@
 pub mod comm;
 pub mod dist_sim;
 pub mod dist_sweep;
+pub mod lightcone;
 pub mod model;
 
 pub use comm::{BspComm, CommStats};
@@ -47,4 +48,5 @@ pub use dist_sim::{DistError, DistResult, DistSimulator};
 pub use dist_sweep::{
     Axis, DistScan, DistSweepError, DistSweepOptions, DistSweepRunner, Grid2d, PointSource,
 };
+pub use lightcone::{DistLightCone, DistLightConeError, DistLightConeRun};
 pub use model::{ClusterModel, CommBackend, ModeledLayerTime};

@@ -1,0 +1,269 @@
+//! Distributed light-cone evaluation: unique cones sharded across BSP
+//! ranks.
+//!
+//! For million-edge graphs the per-evaluation work is the set of *unique*
+//! cones of a [`ConePlan`] (after ego-graph deduplication, usually far
+//! smaller than the edge count). [`DistLightCone`] splits that set into
+//! `K` contiguous shards, simulates each shard inside one rank's
+//! [`BspComm::superstep_map`] task, concatenates the per-rank `⟨ZZ⟩`
+//! vectors in rank order, and hands the result to
+//! [`LightConeEvaluator::accumulate`] for the sequential edge-order fold.
+//! Every cone runs with serial kernels, the shard boundaries depend only
+//! on the cone count, and both the concatenation and the accumulation are
+//! rank-ordered — so the energy is bit-identical to the single-process
+//! evaluator at every rank count and pool size.
+//!
+//! ```
+//! use qokit_core::lightcone::LightConeEvaluator;
+//! use qokit_dist::lightcone::DistLightCone;
+//! use qokit_terms::graphs::Graph;
+//!
+//! let g = Graph::ring(16, 1.0);
+//! let local = LightConeEvaluator::new(g.clone()).try_energy(&[0.3], &[0.5]).unwrap();
+//! let dist = DistLightCone::new(LightConeEvaluator::new(g), 4)
+//!     .try_energy(&[0.3], &[0.5])
+//!     .unwrap();
+//! assert_eq!(dist.energy.to_bits(), local.energy.to_bits());
+//! ```
+
+use crate::comm::{BspComm, CommStats};
+use qokit_core::lightcone::{
+    cone_zz, ConePlan, LightConeError, LightConeEvaluator, LightConeStats,
+};
+use std::panic::{self, AssertUnwindSafe};
+
+/// Errors from a distributed light-cone evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DistLightConeError {
+    /// Planning failed before any rank ran (e.g. a cone exceeded the
+    /// evaluator's qubit ceiling).
+    Plan(LightConeError),
+    /// One cone's simulation panicked inside a rank's superstep. Sibling
+    /// ranks complete their shards; only this evaluation is poisoned.
+    ConePanicked {
+        /// Rank whose shard contained the poisoned cone.
+        rank: usize,
+        /// Global index (in `Graph::edges` order) of the cone's
+        /// representative edge.
+        edge: u64,
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for DistLightConeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistLightConeError::Plan(e) => write!(f, "light-cone planning failed: {e}"),
+            DistLightConeError::ConePanicked {
+                rank,
+                edge,
+                message,
+            } => {
+                write!(
+                    f,
+                    "light cone of edge {edge} (rank {rank}) panicked: {message}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistLightConeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistLightConeError::Plan(e) => Some(e),
+            DistLightConeError::ConePanicked { .. } => None,
+        }
+    }
+}
+
+/// Outcome of a distributed light-cone evaluation.
+#[derive(Clone, Debug)]
+pub struct DistLightConeRun {
+    /// The objective — bit-identical to
+    /// [`LightConeEvaluator::try_energy`] at any rank count.
+    pub energy: f64,
+    /// Dedup-cache counters of the underlying plan.
+    pub stats: LightConeStats,
+    /// Communicator traffic counters (zero bytes moved: only scalar
+    /// `⟨ZZ⟩` values cross rank boundaries, gathered by the driver).
+    pub comm: CommStats,
+}
+
+/// Shards the unique cones of a light-cone evaluation across `K` BSP
+/// ranks (see the [module docs](self)).
+#[derive(Debug)]
+pub struct DistLightCone {
+    evaluator: LightConeEvaluator,
+    ranks: usize,
+}
+
+impl DistLightCone {
+    /// Wraps an evaluator for `ranks`-way sharding. The evaluator's own
+    /// fan-out policy is ignored here — parallelism comes from running
+    /// ranks as pool tasks.
+    ///
+    /// # Panics
+    /// If `ranks` is zero.
+    pub fn new(evaluator: LightConeEvaluator, ranks: usize) -> Self {
+        assert!(ranks > 0, "need at least one rank");
+        DistLightCone { evaluator, ranks }
+    }
+
+    /// The wrapped evaluator.
+    pub fn evaluator(&self) -> &LightConeEvaluator {
+        &self.evaluator
+    }
+
+    /// Number of ranks K.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Plans, simulates the unique cones in `K` contiguous shards (one
+    /// per rank), and accumulates the depth-`p` objective
+    /// (`p = gammas.len()`).
+    ///
+    /// # Panics
+    /// If `gammas.len() != betas.len()`.
+    pub fn try_energy(
+        &self,
+        gammas: &[f64],
+        betas: &[f64],
+    ) -> Result<DistLightConeRun, DistLightConeError> {
+        assert_eq!(
+            gammas.len(),
+            betas.len(),
+            "gamma and beta must have the same length p"
+        );
+        let plan = self
+            .evaluator
+            .plan(gammas.len())
+            .map_err(DistLightConeError::Plan)?;
+        let comm = BspComm::new(self.ranks);
+        let zz = self.shard_zz(&comm, &plan, gammas, betas)?;
+        Ok(DistLightConeRun {
+            energy: self.evaluator.accumulate(&plan, &zz),
+            stats: plan.stats(),
+            comm: comm.stats(),
+        })
+    }
+
+    /// Runs one superstep in which rank `r` simulates the contiguous
+    /// unique-cone shard `[r·C/K, (r+1)·C/K)` and returns its `⟨ZZ⟩`
+    /// values; the driver concatenates the shards in rank order.
+    fn shard_zz(
+        &self,
+        comm: &BspComm,
+        plan: &ConePlan,
+        gammas: &[f64],
+        betas: &[f64],
+    ) -> Result<Vec<f64>, DistLightConeError> {
+        let k = self.ranks;
+        let cones = plan.cones();
+        let n = cones.len();
+        let mut bounds: Vec<(usize, usize)> =
+            (0..k).map(|r| (r * n / k, (r + 1) * n / k)).collect();
+        let shards = comm.superstep_map(&mut bounds, |rank, &mut (start, end)| {
+            let mut values = Vec::with_capacity(end - start);
+            for cone in &cones[start..end] {
+                let outcome =
+                    panic::catch_unwind(AssertUnwindSafe(|| cone_zz(cone.ego(), gammas, betas)));
+                match outcome {
+                    Ok(zz) => values.push(zz),
+                    Err(payload) => {
+                        return Err(DistLightConeError::ConePanicked {
+                            rank,
+                            edge: cone.edge() as u64,
+                            message: panic_message(payload),
+                        })
+                    }
+                }
+            }
+            Ok(values)
+        });
+        let mut zz = Vec::with_capacity(n);
+        for shard in shards {
+            zz.extend(shard?);
+        }
+        Ok(zz)
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qokit_core::lightcone::LightConeOptions;
+    use qokit_statevec::exec::ExecPolicy;
+    use qokit_terms::graphs::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_local_evaluator_bit_for_bit_at_every_rank_count() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = Graph::random_regular(18, 3, &mut rng);
+        let local = LightConeEvaluator::new(g.clone())
+            .try_energy(&[0.4, -0.2], &[0.6, 0.3])
+            .unwrap();
+        for ranks in [1, 2, 4] {
+            let dist = DistLightCone::new(LightConeEvaluator::new(g.clone()), ranks)
+                .try_energy(&[0.4, -0.2], &[0.6, 0.3])
+                .unwrap();
+            assert_eq!(
+                dist.energy.to_bits(),
+                local.energy.to_bits(),
+                "ranks = {ranks}"
+            );
+            assert_eq!(dist.stats, local.stats);
+            assert_eq!(dist.comm.total_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn more_ranks_than_cones_is_fine() {
+        let g = Graph::ring(10, 1.0); // one unique cone
+        let dist = DistLightCone::new(LightConeEvaluator::new(g.clone()), 4);
+        let run = dist.try_energy(&[0.3], &[0.5]).unwrap();
+        let local = LightConeEvaluator::new(g)
+            .try_energy(&[0.3], &[0.5])
+            .unwrap();
+        assert_eq!(run.energy.to_bits(), local.energy.to_bits());
+        assert_eq!(run.stats.unique_cones, 1);
+    }
+
+    #[test]
+    fn plan_errors_surface_before_any_rank_runs() {
+        let g = Graph::complete(8, 1.0);
+        let ev = LightConeEvaluator::with_options(
+            g,
+            LightConeOptions {
+                max_cone_qubits: 4,
+                exec: ExecPolicy::serial(),
+                ..LightConeOptions::default()
+            },
+        );
+        let err = DistLightCone::new(ev, 2)
+            .try_energy(&[0.3], &[0.5])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DistLightConeError::Plan(qokit_core::lightcone::LightConeError::ConeTooWide {
+                edge: 0,
+                qubits: 8,
+                max: 4
+            })
+        ));
+    }
+}

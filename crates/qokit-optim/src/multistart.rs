@@ -44,7 +44,6 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::Mutex;
 
 /// The local optimizer each restart runs.
 #[derive(Clone, Debug)]
@@ -181,7 +180,7 @@ impl MultiStart {
     /// rows) arrive as single calls, the shape a points-parallel
     /// `SweepRunner` evaluates in one pool dispatch. The restarts
     /// themselves run as **lanes on sibling subset pools**
-    /// ([`rayon::split_current`]): with `R` restarts on a `W`-worker pool,
+    /// ([`rayon::strided_lanes`]): with `R` restarts on a `W`-worker pool,
     /// `min(R, W)` lanes each own `W / lanes` workers, and a lane's batch
     /// evaluations execute inside its own subset — restart-level ×
     /// candidate-level parallelism with no cross-lane stealing.
@@ -215,58 +214,17 @@ impl MultiStart {
     {
         assert!(self.restarts > 0, "need at least one restart");
         let starts = self.starting_points();
-        let width = rayon::current_num_threads().max(1);
-        let lanes = self.restarts.min(width);
-        if lanes <= 1 {
-            // One lane owns the whole pool: a plain sequential restart
-            // loop whose batch calls still parallelize inside.
-            let slots = starts
-                .iter()
-                .enumerate()
-                .map(|(i, x0)| {
-                    panic::catch_unwind(AssertUnwindSafe(|| self.run_one_batched(i, x0, f)))
-                        .map_err(panic_message)
-                })
-                .collect();
-            return Self::collect_run(slots);
-        }
-        // Restart lanes × candidate batches: lane l owns restarts
-        // l, l + lanes, … and a disjoint `width / lanes`-worker subset;
-        // leftover workers (when lanes ∤ width) help via ordinary
-        // stealing of the lane spawn tasks themselves.
-        let subsets = rayon::split_current(&vec![width / lanes; lanes]);
-        type LaneOut = Mutex<Vec<(usize, Result<OptimizeResult, String>)>>;
-        let outputs: Vec<LaneOut> = (0..lanes).map(|_| Mutex::new(Vec::new())).collect();
-        rayon::scope(|s| {
-            for (lane, subset) in subsets.iter().enumerate() {
-                let starts = &starts;
-                let out = &outputs[lane];
-                s.spawn(move |_| {
-                    subset.install(|| {
-                        for i in (lane..self.restarts).step_by(lanes) {
-                            let slot = panic::catch_unwind(AssertUnwindSafe(|| {
-                                self.run_one_batched(i, &starts[i], f)
-                            }))
-                            .map_err(panic_message);
-                            out.lock().unwrap().push((i, slot));
-                        }
-                    });
-                });
-            }
+        // Restart lanes × candidate batches ([`rayon::strided_lanes`]):
+        // lane l owns restarts l, l + lanes, … and a disjoint
+        // `width / lanes`-worker subset; leftover workers (when lanes ∤
+        // width) help via ordinary stealing of the lane spawn tasks
+        // themselves, and a single lane degenerates to a sequential
+        // restart loop whose batch calls still parallelize inside.
+        let slots = rayon::strided_lanes(self.restarts, self.restarts, 0, |i| {
+            panic::catch_unwind(AssertUnwindSafe(|| self.run_one_batched(i, &starts[i], f)))
+                .map_err(panic_message)
         });
-        let mut slots: Vec<Option<Result<OptimizeResult, String>>> =
-            (0..self.restarts).map(|_| None).collect();
-        for out in outputs {
-            for (i, slot) in out.into_inner().unwrap() {
-                slots[i] = Some(slot);
-            }
-        }
-        Self::collect_run(
-            slots
-                .into_iter()
-                .map(|s| s.expect("every restart runs exactly once"))
-                .collect(),
-        )
+        Self::collect_run(slots)
     }
 
     /// Folds per-restart slots (keyed by restart index) into a

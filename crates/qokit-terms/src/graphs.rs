@@ -2,7 +2,11 @@
 //!
 //! The paper's CPU evaluation (Fig. 2) runs QAOA on MaxCut over random
 //! 3-regular graphs; the XY mixers are defined over ring and complete
-//! graphs. This module provides those generators plus the usual utilities.
+//! graphs. This module provides those generators plus the usual utilities,
+//! and the neighborhood substrate for light-cone evaluation: a CSR
+//! [`Adjacency`] view ([`Graph::adjacency`]) and per-edge radius-`p` ego
+//! extraction ([`Adjacency::edge_ego`]) with compact BFS relabeling and a
+//! canonical deduplication key ([`EgoNet::canonical_key`]).
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -164,7 +168,231 @@ impl Graph {
             .map(|&(u, v, w)| if (x >> u ^ x >> v) & 1 == 1 { w } else { 0.0 })
             .sum()
     }
+
+    /// Builds the compressed sparse adjacency view of this graph — the
+    /// random-access neighborhood substrate behind [`Adjacency::edge_ego`]
+    /// light-cone extraction. Neighbor lists are sorted by vertex id, so
+    /// every traversal order derived from them is deterministic.
+    pub fn adjacency(&self) -> Adjacency {
+        let mut offsets = vec![0usize; self.n + 1];
+        for &(u, v, _) in &self.edges {
+            offsets[u + 1] += 1;
+            offsets[v + 1] += 1;
+        }
+        for i in 0..self.n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![(0usize, 0.0f64); 2 * self.edges.len()];
+        for &(u, v, w) in &self.edges {
+            neighbors[cursor[u]] = (v, w);
+            cursor[u] += 1;
+            neighbors[cursor[v]] = (u, w);
+            cursor[v] += 1;
+        }
+        for v in 0..self.n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable_by_key(|&(b, _)| b);
+        }
+        Adjacency { offsets, neighbors }
+    }
 }
+
+/// Compressed-sparse adjacency view of a [`Graph`] (one sorted neighbor row
+/// per vertex), built once by [`Graph::adjacency`] and shared across the
+/// per-edge neighborhood extractions of a light-cone evaluation.
+#[derive(Clone, Debug)]
+pub struct Adjacency {
+    /// Row `v` of `neighbors` is `offsets[v]..offsets[v + 1]`.
+    offsets: Vec<usize>,
+    /// `(neighbor, edge weight)` pairs, sorted by neighbor id within a row.
+    neighbors: Vec<(usize, f64)>,
+}
+
+impl Adjacency {
+    /// Number of vertices.
+    pub fn n_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The `(neighbor, weight)` row of vertex `v`, sorted by neighbor id.
+    pub fn neighbors(&self, v: usize) -> &[(usize, f64)] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// The radius-`radius` ball around `seeds`: every vertex within graph
+    /// distance `radius` of a seed, in deterministic BFS discovery order
+    /// (seeds first, then distance-1 vertices in sorted-neighbor order, …).
+    ///
+    /// # Panics
+    /// If a seed is out of range or repeated.
+    pub fn ball(&self, seeds: &[usize], radius: usize) -> Vec<usize> {
+        let (vertices, _) = self.bfs(seeds, radius);
+        vertices
+    }
+
+    /// Extracts the exact depth-`radius` QAOA **light cone** of the edge
+    /// `(u, v)`: the radius-`radius` ball around the endpoints, compactly
+    /// relabeled in BFS discovery order (`u → 0`, `v → 1`), carrying every
+    /// original edge with at least one endpoint strictly inside the ball.
+    /// Edges between two frontier vertices (both at distance exactly
+    /// `radius`) are excluded — their phase gates commute out of the
+    /// evolved `Z_u Z_v` observable, so the cone is minimal *and* exact.
+    ///
+    /// The relabeling is a pure function of the neighborhood's labeled
+    /// structure, which makes [`EgoNet::canonical_key`] a valid
+    /// deduplication key: isomorphic-labeled neighborhoods (identical BFS
+    /// unfoldings with identical weights) produce identical keys.
+    ///
+    /// # Panics
+    /// If `u == v` or an endpoint is out of range. `(u, v)` need not be an
+    /// edge of the graph (any vertex pair has a well-defined cone).
+    pub fn edge_ego(&self, u: usize, v: usize, radius: usize) -> EgoNet {
+        let (vertices, dist) = self.bfs(&[u, v], radius);
+        // Compact labels = BFS discovery positions.
+        let compact: std::collections::HashMap<usize, usize> = vertices
+            .iter()
+            .enumerate()
+            .map(|(c, &orig)| (orig, c))
+            .collect();
+        // Deterministic edge order: interior vertices in compact order,
+        // neighbors in sorted-id order. Interior–interior edges are pushed
+        // from their smaller compact endpoint only; interior–frontier edges
+        // from their (unique) interior endpoint.
+        let mut edges = Vec::new();
+        for (ca, &a) in vertices.iter().enumerate() {
+            if dist[ca] >= radius {
+                continue;
+            }
+            for &(b, w) in self.neighbors(a) {
+                let cb = compact[&b];
+                if dist[cb] < radius && cb < ca {
+                    continue; // already pushed when `cb` was the source
+                }
+                edges.push((ca, cb, w));
+            }
+        }
+        EgoNet {
+            graph: Graph::new(vertices.len(), edges),
+            vertices,
+            dist,
+            radius,
+        }
+    }
+
+    /// Multi-source BFS to depth `radius`; returns vertices in discovery
+    /// order with their distances. The frontier (distance == radius) is
+    /// recorded but not expanded.
+    fn bfs(&self, seeds: &[usize], radius: usize) -> (Vec<usize>, Vec<usize>) {
+        let n = self.n_vertices();
+        let mut seen = std::collections::HashMap::new();
+        let mut vertices = Vec::with_capacity(seeds.len());
+        let mut dist = Vec::with_capacity(seeds.len());
+        for &s in seeds {
+            assert!(s < n, "seed {s} out of range for n = {n}");
+            assert!(
+                seen.insert(s, vertices.len()).is_none(),
+                "repeated seed {s}"
+            );
+            vertices.push(s);
+            dist.push(0);
+        }
+        let mut head = 0;
+        while head < vertices.len() {
+            let (a, da) = (vertices[head], dist[head]);
+            head += 1;
+            if da >= radius {
+                continue;
+            }
+            for &(b, _) in self.neighbors(a) {
+                if let std::collections::hash_map::Entry::Vacant(slot) = seen.entry(b) {
+                    slot.insert(vertices.len());
+                    vertices.push(b);
+                    dist.push(da + 1);
+                }
+            }
+        }
+        (vertices, dist)
+    }
+}
+
+/// The compact-relabeled light cone of one edge, produced by
+/// [`Adjacency::edge_ego`]: a small [`Graph`] on BFS-ordered labels with
+/// the seed edge's endpoints at compact indices `0` and `1`, plus the
+/// compact→original vertex map and per-vertex BFS distances.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EgoNet {
+    graph: Graph,
+    vertices: Vec<usize>,
+    dist: Vec<usize>,
+    radius: usize,
+}
+
+impl EgoNet {
+    /// The compact subgraph (seed endpoints at vertices `0` and `1`).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Compact index → original vertex id, in BFS discovery order.
+    pub fn vertices(&self) -> &[usize] {
+        &self.vertices
+    }
+
+    /// BFS distance of each compact vertex from the seed edge.
+    pub fn distances(&self) -> &[usize] {
+        &self.dist
+    }
+
+    /// The extraction radius this cone was built with.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Number of qubits a simulation of this cone needs.
+    pub fn n_qubits(&self) -> usize {
+        self.graph.n_vertices()
+    }
+
+    /// The seed edge's endpoints in compact index space — always `(0, 1)`
+    /// by construction; provided so callers never hard-code it.
+    pub fn seeds(&self) -> (usize, usize) {
+        (0, 1)
+    }
+
+    /// The canonical form of this labeled neighborhood — the ego-graph
+    /// deduplication cache key. The edge list is sorted before encoding,
+    /// so two cones collide exactly when their BFS unfoldings match vertex
+    /// for vertex, edge for edge, *and* weight for weight (bitwise):
+    /// isomorphic-labeled neighborhoods share one cache entry while
+    /// distinct weights never do.
+    pub fn canonical_key(&self) -> EgoKey {
+        let mut packed: Vec<(u64, u64)> = self
+            .graph
+            .edges()
+            .iter()
+            .map(|&(a, b, w)| (((a as u64) << 32) | b as u64, w.to_bits()))
+            .collect();
+        packed.sort_unstable();
+        let mut key = Vec::with_capacity(3 + 2 * packed.len());
+        key.push(self.graph.n_vertices() as u64);
+        key.push(self.radius as u64);
+        key.push(packed.len() as u64);
+        for (ab, w) in packed {
+            key.push(ab);
+            key.push(w);
+        }
+        EgoKey(key)
+    }
+}
+
+/// Canonical-form key of an [`EgoNet`] (see [`EgoNet::canonical_key`]).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct EgoKey(Vec<u64>);
 
 #[cfg(test)]
 mod tests {
@@ -257,5 +485,149 @@ mod tests {
         for &(_, _, w) in g.edges() {
             assert!((0.5..2.0).contains(&w));
         }
+    }
+
+    #[test]
+    fn adjacency_rows_are_sorted_and_complete() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = Graph::random_regular(10, 3, &mut rng);
+        let adj = g.adjacency();
+        assert_eq!(adj.n_vertices(), 10);
+        let mut seen = 0usize;
+        for v in 0..10 {
+            let row = adj.neighbors(v);
+            assert_eq!(adj.degree(v), 3);
+            assert!(row.windows(2).all(|w| w[0].0 < w[1].0), "row {v} unsorted");
+            seen += row.len();
+        }
+        assert_eq!(seen, 2 * g.n_edges());
+        // Every (row, entry) pair corresponds to a graph edge with its
+        // weight, and vice versa.
+        for &(u, v, w) in g.edges() {
+            assert!(adj.neighbors(u).contains(&(v, w)));
+            assert!(adj.neighbors(v).contains(&(u, w)));
+        }
+    }
+
+    #[test]
+    fn ball_respects_radius_bounds() {
+        // Ring: the radius-r ball around one vertex has 2r + 1 vertices;
+        // around an edge, 2r + 2.
+        let g = Graph::ring(12, 1.0);
+        let adj = g.adjacency();
+        for r in 0..4 {
+            assert_eq!(adj.ball(&[0], r).len(), 2 * r + 1, "radius {r}");
+            assert_eq!(adj.ball(&[0, 1], r).len(), 2 * r + 2, "radius {r}");
+        }
+        // BFS order: seeds first, then increasing distance.
+        assert_eq!(adj.ball(&[0, 1], 1), vec![0, 1, 11, 2]);
+    }
+
+    #[test]
+    fn edge_ego_ring_shapes() {
+        let g = Graph::ring(8, 1.0);
+        let adj = g.adjacency();
+        // Radius 0: just the endpoints, no gates.
+        let e0 = adj.edge_ego(2, 3, 0);
+        assert_eq!(e0.n_qubits(), 2);
+        assert_eq!(e0.graph().n_edges(), 0);
+        // Radius 1: the endpoints, their outer neighbors, and the three
+        // path edges — the neighbor–neighbor frontier edges don't exist on
+        // a ring this large.
+        let e1 = adj.edge_ego(2, 3, 1);
+        assert_eq!(e1.n_qubits(), 4);
+        assert_eq!(e1.graph().n_edges(), 3);
+        assert_eq!(e1.vertices(), &[2, 3, 1, 4]);
+        assert_eq!(e1.distances(), &[0, 0, 1, 1]);
+        assert_eq!(e1.seeds(), (0, 1));
+        // Radius ≥ diameter: the whole ring, all 8 edges interior.
+        let e4 = adj.edge_ego(2, 3, 4);
+        assert_eq!(e4.n_qubits(), 8);
+        assert_eq!(e4.graph().n_edges(), 8);
+    }
+
+    #[test]
+    fn edge_ego_excludes_frontier_frontier_edges() {
+        // Triangle plus a pendant: for the pendant edge (0,3) at radius 1,
+        // vertices 1 and 2 sit on the frontier — edge (1,2) must be
+        // dropped (it commutes out of the evolved observable), while the
+        // interior edges (0,1), (0,2), (0,3) all survive.
+        let g = Graph::new(4, vec![(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0), (0, 3, 1.0)]);
+        let ego = g.adjacency().edge_ego(0, 3, 1);
+        assert_eq!(ego.n_qubits(), 4);
+        assert_eq!(ego.graph().n_edges(), 3);
+        let original_edges: Vec<(usize, usize)> = ego
+            .graph()
+            .edges()
+            .iter()
+            .map(|&(a, b, _)| {
+                let (x, y) = (ego.vertices()[a], ego.vertices()[b]);
+                (x.min(y), x.max(y))
+            })
+            .collect();
+        assert!(!original_edges.contains(&(1, 2)), "{original_edges:?}");
+    }
+
+    #[test]
+    fn edge_ego_round_trips_to_original_edges() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let g = Graph::erdos_renyi(14, 0.3, &mut rng).with_random_weights(0.2, 1.8, &mut rng);
+        let adj = g.adjacency();
+        for &(u, v, _) in g.edges() {
+            for radius in 0..3 {
+                let ego = adj.edge_ego(u, v, radius);
+                assert_eq!(ego.vertices()[0], u);
+                assert_eq!(ego.vertices()[1], v);
+                assert_eq!(ego.radius(), radius);
+                // Every compact edge maps back to an original edge with
+                // the same weight.
+                for &(a, b, w) in ego.graph().edges() {
+                    let (x, y) = (ego.vertices()[a], ego.vertices()[b]);
+                    let key = (x.min(y), x.max(y));
+                    let orig = g
+                        .edges()
+                        .iter()
+                        .find(|&&(s, t, _)| (s, t) == key)
+                        .unwrap_or_else(|| panic!("({x},{y}) not an edge"));
+                    assert_eq!(orig.2.to_bits(), w.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_keys_collide_for_isomorphic_labeled_cones() {
+        // All edges of a uniform ring see the same labeled neighborhood:
+        // one cache entry for the whole graph.
+        let g = Graph::ring(10, 1.0);
+        let adj = g.adjacency();
+        let keys: std::collections::HashSet<_> = g
+            .edges()
+            .iter()
+            .map(|&(u, v, _)| adj.edge_ego(u, v, 2).canonical_key())
+            .collect();
+        assert_eq!(keys.len(), 1);
+    }
+
+    #[test]
+    fn canonical_keys_distinguish_weights_and_radii() {
+        let uniform = Graph::ring(10, 1.0);
+        let adj = uniform.adjacency();
+        let base = adj.edge_ego(0, 1, 2).canonical_key();
+        // Same structure, different weight on one cone edge → different key.
+        let mut edges = uniform.edges().to_vec();
+        edges[0].2 = 1.5; // edge (0, 1)
+        let heavier = Graph::new(10, edges);
+        let other = heavier.adjacency().edge_ego(0, 1, 2).canonical_key();
+        assert_ne!(base, other);
+        // Same cone at a different radius → different key.
+        assert_ne!(base, adj.edge_ego(0, 1, 1).canonical_key());
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated seed")]
+    fn ball_rejects_repeated_seed() {
+        let g = Graph::ring(5, 1.0);
+        let _ = g.adjacency().ball(&[2, 2], 1);
     }
 }

@@ -1,0 +1,94 @@
+//! Light-cone MaxCut evaluation on a graph far too large for any
+//! statevector: 100,000 vertices, 150,000 edges.
+//!
+//! A depth-`p` QAOA energy only needs each edge's radius-`p` neighborhood
+//! (a handful of qubits on a sparse graph), and on random-regular
+//! instances nearly every neighborhood is a copy of the same local tree —
+//! the ego-graph dedup cache turns 150k edges into a few dozen unique
+//! cone simulations. The run cross-checks the evaluator against the exact
+//! full-statevector objective on a small instance first, then evaluates
+//! the 10⁵-node graph at p = 1 and p = 2 and prints the cache economics,
+//! and finally confirms the distributed sharded evaluator reproduces the
+//! same bits.
+//!
+//! Run with: `cargo run --release --example lightcone_maxcut`
+//!
+//! Expected output: a small-graph cross-check agreeing to ≤ 1e-9, two
+//! large-graph energies in well under a second each with > 90 % dedup
+//! cache hit rates, and a bit-identical 4-rank distributed evaluation.
+
+use qokit::core::lightcone::LightConeEvaluator;
+use qokit::dist::DistLightCone;
+use qokit::prelude::*;
+use qokit::terms::maxcut::maxcut_polynomial;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    // --- Oracle cross-check on a small exactly-simulable instance ------
+    let mut rng = StdRng::seed_from_u64(42);
+    let small = Graph::random_regular(16, 3, &mut rng);
+    let exact = FurSimulator::new(&maxcut_polynomial(&small)).objective(&[0.4, -0.2], &[0.6, 0.3]);
+    let cone = LightConeEvaluator::new(small)
+        .try_energy(&[0.4, -0.2], &[0.6, 0.3])
+        .unwrap();
+    println!(
+        "oracle check (n = 16, p = 2): lightcone {:+.12} vs exact {exact:+.12}",
+        cone.energy
+    );
+    assert!(
+        (cone.energy - exact).abs() <= 1e-9,
+        "light-cone energy must match the full statevector"
+    );
+
+    // --- The workload no statevector can touch: n = 100,000 -----------
+    let n = 100_000;
+    let t = Instant::now();
+    let g = Graph::random_regular(n, 3, &mut rng);
+    println!(
+        "\ngraph: 3-regular, n = {n}, m = {} (built in {:.2?})",
+        g.n_edges(),
+        t.elapsed()
+    );
+    let evaluator = LightConeEvaluator::new(g.clone());
+    for p in [1usize, 2] {
+        let (gammas, betas) = (vec![0.4; p], vec![0.6; p]);
+        let t = Instant::now();
+        let run = evaluator.try_energy(&gammas, &betas).unwrap();
+        let dt = t.elapsed();
+        println!(
+            "p = {p}: <C> = {:.4} in {dt:.2?} — {} edges, {} unique cones \
+             (max {} qubits), cache hit rate {:.2}%",
+            run.energy,
+            run.stats.edges,
+            run.stats.unique_cones,
+            run.stats.max_cone_qubits_seen,
+            100.0 * run.stats.hit_rate()
+        );
+        assert!(
+            run.stats.hit_rate() > 0.9,
+            "random-regular cones must dedup heavily (got {:.3})",
+            run.stats.hit_rate()
+        );
+    }
+
+    // --- Sharded across 4 BSP ranks: identical bits --------------------
+    let reference = evaluator.try_energy(&[0.4], &[0.6]).unwrap();
+    let t = Instant::now();
+    let dist = DistLightCone::new(evaluator, 4)
+        .try_energy(&[0.4], &[0.6])
+        .unwrap();
+    println!(
+        "\n4-rank sharded evaluation in {:.2?}: <C> = {:.4}, {} bytes moved",
+        t.elapsed(),
+        dist.energy,
+        dist.comm.total_bytes()
+    );
+    assert_eq!(
+        dist.energy.to_bits(),
+        reference.energy.to_bits(),
+        "rank sharding must not change a single bit"
+    );
+    println!("single-process evaluator agrees bit for bit");
+}

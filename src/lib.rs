@@ -114,8 +114,8 @@ pub use qokit_terms as terms;
 pub mod prelude {
     pub use qokit_core::{
         choose_simulator, EnergySink, FurSimulator, HistogramSpec, InitialState,
-        LandscapeAggregator, Mixer, QaoaSimulator, SimOptions, SimResult, SweepNesting,
-        SweepOptions, SweepPoint, SweepRunner,
+        LandscapeAggregator, LightConeEvaluator, LightConeOptions, LightConeStats, Mixer,
+        QaoaSimulator, SimOptions, SimResult, SweepNesting, SweepOptions, SweepPoint, SweepRunner,
     };
     pub use qokit_costvec::{CostVec, PrecomputeMethod};
     pub use qokit_dist::{Axis, DistSweepOptions, DistSweepRunner, Grid2d, PointSource};

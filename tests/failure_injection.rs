@@ -347,6 +347,72 @@ fn panicking_batched_restart_poisons_only_itself() {
 }
 
 #[test]
+fn panicking_edge_cone_poisons_only_its_evaluation() {
+    // A panic while simulating one edge's light cone must surface as a
+    // clean error naming the *global* edge index, while sibling edge
+    // batches run to completion and the pool stays reusable.
+    use qokit::core::lightcone::{cone_zz, LightConeError};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let ev = LightConeEvaluator::with_options(
+        Graph::ring(12, 1.0),
+        LightConeOptions {
+            exec: ExecPolicy::rayon().with_threads(4),
+            dedup: false, // one cone per edge, so cone index = edge index
+            ..LightConeOptions::default()
+        },
+    );
+    let plan = ev.plan(1).unwrap();
+    let finished = AtomicUsize::new(0);
+    let err = ev
+        .try_zz_values_with(&plan, |i, ego| {
+            if i == 7 {
+                panic!("injected cone failure");
+            }
+            let zz = cone_zz(ego, &[0.3], &[0.5]);
+            finished.fetch_add(1, Ordering::SeqCst);
+            zz
+        })
+        .unwrap_err();
+    match &err {
+        LightConeError::ConePanicked { edge, message } => {
+            assert_eq!(*edge, 7);
+            assert!(message.contains("injected cone failure"), "{message}");
+        }
+        other => panic!("expected ConePanicked, got {other:?}"),
+    }
+    assert!(err.to_string().contains("edge 7"), "{err}");
+    // Sibling edges all completed despite the poisoned one.
+    assert_eq!(finished.load(Ordering::SeqCst), 11);
+    // Pool and evaluator stay healthy: a clean evaluation runs right after.
+    let run = ev.try_energy(&[0.3], &[0.5]).unwrap();
+    assert!(run.energy.is_finite());
+    assert_eq!(run.stats.edges, 12);
+}
+
+#[test]
+fn too_wide_light_cone_is_an_error_not_an_allocation() {
+    // Dense graphs (or excessive depth) must be refused with the offending
+    // edge named, before any 2^q statevector is allocated.
+    use qokit::core::lightcone::LightConeError;
+    let ev = LightConeEvaluator::with_options(
+        Graph::complete(10, 1.0),
+        LightConeOptions {
+            max_cone_qubits: 6,
+            ..LightConeOptions::default()
+        },
+    );
+    let err = ev.try_energy(&[0.3], &[0.5]).unwrap_err();
+    match err {
+        LightConeError::ConeTooWide { edge, qubits, max } => {
+            assert_eq!(edge, 0);
+            assert_eq!(qubits, 10);
+            assert_eq!(max, 6);
+        }
+        other => panic!("expected ConeTooWide, got {other:?}"),
+    }
+}
+
+#[test]
 fn non_integral_quantized_simulator_degrades_gracefully() {
     // SK with Gaussian couplings cannot quantize exactly: the option must
     // silently fall back to f64, not corrupt the diagonal.

@@ -1,0 +1,132 @@
+//! Strided lane fan-out over sibling [`SubsetPool`]s.
+//!
+//! Several qokit drivers share one scheduling shape: `n_items` independent
+//! tasks spread over `lanes` disjoint worker subsets, lane `l` owning items
+//! `l, l + lanes, l + 2·lanes, …`, with results collected **keyed by item
+//! index** regardless of lane assignment or completion order. Batched
+//! parameter sweeps (point×kernel nesting), multi-start optimizer lanes,
+//! distributed scan ranks, and light-cone edge batches all used to hand-roll
+//! it; [`strided_lanes`] is the one shared implementation.
+
+use crate::registry::{scope, split_current};
+use std::sync::Mutex;
+
+/// Runs `body(0..n_items)` across `lanes` sibling worker subsets and returns
+/// the results keyed by item index (slot `i` holds `body(i)`).
+///
+/// Lane `l` owns the strided share `l, l + lanes, …` and executes it inside
+/// its own [`SubsetPool`](crate::SubsetPool) of `workers_per_lane` workers
+/// (`install`ed once per lane, not once per item), so sibling lanes run
+/// concurrently without stealing each other's inner work. Shapes are clamped
+/// to the current context: `lanes` to `min(width, n_items)` and
+/// `workers_per_lane` to `width / lanes`, where `width` is
+/// [`current_num_threads`](crate::current_num_threads) at the call site.
+/// `workers_per_lane == 0` requests the even share `width / lanes`. Leftover
+/// workers (when `lanes · workers_per_lane < width`) help by stealing the
+/// lane tasks themselves.
+///
+/// With a single lane (one worker, one item, or `lanes <= 1` after clamping)
+/// the items run as a plain sequential loop in the calling context, so inner
+/// parallelism keeps the full ambient width — the degenerate case callers
+/// previously special-cased by hand.
+///
+/// # Determinism
+///
+/// The item→lane assignment is a pure function of `n_items` and the clamped
+/// `lanes`, and results are merged by index — so any `body` whose per-item
+/// output does not depend on where it runs yields identical `Vec`s for every
+/// pool size.
+///
+/// # Panics
+///
+/// A panic in `body` propagates to the caller after the lanes drain (the
+/// scope's barrier); remaining items of the panicking lane are abandoned.
+/// Callers needing per-item containment wrap `body` in
+/// `panic::catch_unwind` and return a `Result` — index-keyed slots make the
+/// poisoned item identifiable.
+///
+/// ```
+/// let squares = rayon::strided_lanes(8, 4, 0, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn strided_lanes<R, F>(n_items: usize, lanes: usize, workers_per_lane: usize, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let width = crate::current_num_threads().max(1);
+    let lanes = lanes.clamp(1, width.min(n_items.max(1)));
+    let even_share = (width / lanes).max(1);
+    let workers_per_lane = if workers_per_lane == 0 {
+        even_share
+    } else {
+        workers_per_lane.clamp(1, even_share)
+    };
+    if lanes <= 1 {
+        // One lane owning every worker: a sequential item loop whose inner
+        // work still sees the full ambient width.
+        return (0..n_items).map(body).collect();
+    }
+    let subsets = split_current(&vec![workers_per_lane; lanes]);
+    // One (item index, result) accumulator per lane, merged by index below.
+    let lane_outputs: Vec<Mutex<Vec<(usize, R)>>> =
+        (0..lanes).map(|_| Mutex::new(Vec::new())).collect();
+    scope(|s| {
+        for (lane, subset) in subsets.iter().enumerate() {
+            let out = &lane_outputs[lane];
+            let body = &body;
+            s.spawn(move |_| {
+                subset.install(|| {
+                    for index in (lane..n_items).step_by(lanes) {
+                        let result = body(index);
+                        out.lock().unwrap().push((index, result));
+                    }
+                });
+            });
+        }
+    });
+    let mut slots: Vec<Option<R>> = (0..n_items).map(|_| None).collect();
+    for out in lane_outputs {
+        for (index, result) in out.into_inner().unwrap() {
+            slots[index] = Some(result);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every item runs exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_index_keyed() {
+        let out = strided_lanes(37, 4, 1, |i| 3 * i + 1);
+        assert_eq!(out.len(), 37);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 3 * i + 1);
+        }
+    }
+
+    #[test]
+    fn zero_items_yield_empty_vec() {
+        let out: Vec<usize> = strided_lanes(0, 4, 2, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let out = strided_lanes(1, 8, 0, |i| i + 41);
+        assert_eq!(out, vec![41]);
+    }
+
+    #[test]
+    fn oversized_shapes_are_clamped() {
+        // More lanes than the pool has workers, absurd per-lane width:
+        // every item must still run exactly once.
+        let out = strided_lanes(11, usize::MAX, usize::MAX, |i| i);
+        assert_eq!(out, (0..11).collect::<Vec<_>>());
+    }
+}

@@ -21,7 +21,9 @@
 //!   ([`ThreadPool::split`] / [`split_current`]); `install` scopes execution
 //!   to the slice, with subset-local [`current_num_threads`] /
 //!   [`current_thread_index`], so sibling subsets run concurrently without
-//!   stealing each other's work (point×kernel nested parallelism).
+//!   stealing each other's work (point×kernel nested parallelism);
+//! * [`strided_lanes`] — the strided lane fan-out built on top: `n` items
+//!   spread over sibling subsets, results returned keyed by item index.
 //!
 //! The global pool's size comes from `QOKIT_THREADS` (then
 //! `RAYON_NUM_THREADS`); `0`, garbage, or absence mean the hardware thread
@@ -48,12 +50,14 @@
 #![warn(missing_docs)]
 
 mod iter;
+mod lanes;
 mod registry;
 
 pub use iter::{
     Chunks, ChunksMut, Enumerate, FromParallelIterator, Iter, IterMut, Map, ParallelIterator,
     ParallelSlice, ParallelSliceMut, Zip,
 };
+pub use lanes::strided_lanes;
 pub use registry::{join, scope, split_current, Scope, SubsetPool};
 
 use registry::Registry;

@@ -259,6 +259,99 @@ fn point_times_kernel_shape_end_to_end() {
 }
 
 #[test]
+fn strided_lanes_cover_every_item_exactly_once() {
+    // The shared lane fan-out behind batched sweeps, multi-start lanes,
+    // dist-scan ranks, and light-cone edge batches: every index-keyed slot
+    // filled, each item executed exactly once, for many (items, lanes,
+    // workers-per-lane) shapes including degenerate and over-clamped ones.
+    let p = pool(4);
+    for n_items in [0usize, 1, 3, 4, 7, 32] {
+        for lanes in [1usize, 2, 3, 4, 9, usize::MAX] {
+            for wpl in [0usize, 1, 2, usize::MAX] {
+                let counts: Vec<AtomicUsize> = (0..n_items).map(|_| AtomicUsize::new(0)).collect();
+                let out = p.install(|| {
+                    rayon::strided_lanes(n_items, lanes, wpl, |i| {
+                        counts[i].fetch_add(1, Ordering::SeqCst);
+                        i * i
+                    })
+                });
+                assert_eq!(out.len(), n_items, "n={n_items} l={lanes} w={wpl}");
+                for (i, v) in out.iter().enumerate() {
+                    assert_eq!(*v, i * i, "n={n_items} l={lanes} w={wpl}");
+                    assert_eq!(counts[i].load(Ordering::SeqCst), 1, "item {i} run count");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn strided_lanes_pin_inner_work_to_lane_subsets() {
+    // With 2 lanes × 2 workers on a 4-worker pool, every item's inner
+    // parallel region must observe the lane's subset width, and sibling
+    // lanes must execute on disjoint worker threads.
+    let p = pool(4);
+    let ids: Vec<Mutex<Vec<std::thread::ThreadId>>> =
+        (0..2).map(|_| Mutex::new(Vec::new())).collect();
+    let widths = p.install(|| {
+        rayon::strided_lanes(16, 2, 2, |i| {
+            let lane = i % 2;
+            ids[lane].lock().unwrap().push(std::thread::current().id());
+            let v: Vec<u32> = (0..256).collect();
+            let s = v.par_iter().with_min_len(1).map(|&x| x).sum::<u32>();
+            assert_eq!(s, 255 * 128);
+            rayon::current_num_threads()
+        })
+    });
+    assert!(widths.iter().all(|&w| w == 2), "inner width must be 2");
+    let a: std::collections::HashSet<_> = ids[0].lock().unwrap().iter().copied().collect();
+    let b: std::collections::HashSet<_> = ids[1].lock().unwrap().iter().copied().collect();
+    assert!(
+        a.is_disjoint(&b),
+        "sibling lanes must not share worker threads"
+    );
+}
+
+#[test]
+fn strided_lanes_sequential_fallback_keeps_full_width() {
+    // lanes <= 1 after clamping: items run as a plain loop in the calling
+    // context, so inner parallel work still sees the whole pool.
+    let p = pool(3);
+    let widths = p.install(|| rayon::strided_lanes(4, 1, 0, |_| rayon::current_num_threads()));
+    assert_eq!(widths, vec![3, 3, 3, 3]);
+}
+
+#[test]
+fn strided_lanes_panic_propagates_and_pool_survives() {
+    let p = pool(4);
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        p.install(|| {
+            rayon::strided_lanes(8, 2, 2, |i| {
+                if i == 5 {
+                    panic!("item 5 poisoned");
+                }
+                i
+            })
+        })
+    }));
+    assert!(caught.is_err(), "the item panic must reach the caller");
+    // The pool (and the helper) stay fully operational afterwards.
+    let out = p.install(|| rayon::strided_lanes(8, 2, 2, |i| i + 1));
+    assert_eq!(out, (1..=8).collect::<Vec<_>>());
+}
+
+#[test]
+fn strided_lanes_nest_inside_subsets() {
+    // Calling the helper from inside a subset splits the *subset*: inner
+    // lanes see widths of the subset partition, never the whole pool.
+    let p = pool(4);
+    let subsets = p.split(&[3, 1]);
+    let widths =
+        subsets[0].install(|| rayon::strided_lanes(6, 3, 1, |_| rayon::current_num_threads()));
+    assert_eq!(widths, vec![1; 6]);
+}
+
+#[test]
 fn invalid_splits_are_rejected() {
     let p = pool(2);
     for bad in [&[] as &[usize], &[0, 2], &[2, 1]] {
