@@ -11,11 +11,132 @@
 //! * Algorithm 2 (one in-place butterfly pass per qubit);
 //! * FWHT sandwich, in place (2 transforms + diagonal);
 //! * FWHT sandwich with the extra state copy (Ref. \[43\] as written).
+//!
+//! A second ablation compares the interleaved `C64` layout against the
+//! split-complex (`re`/`im` plane) kernel twins on every hot kernel and
+//! records the result to `BENCH_simd.json` (see [`layout_ablation`]).
 
 use qokit_bench::{bench_n, fast_mode, fmt_time, print_table, time_median};
-use qokit_statevec::fwht::{apply_x_mixer_fwht_copying, apply_x_mixer_fwht_inplace};
-use qokit_statevec::su2::apply_uniform_mat2;
-use qokit_statevec::{Backend, Mat2, StateVec};
+use qokit_statevec::diag::{apply_phase, apply_phase_split, expectation, expectation_split};
+use qokit_statevec::fwht::{
+    apply_x_mixer_fwht_copying, apply_x_mixer_fwht_inplace, fwht, fwht_split,
+};
+use qokit_statevec::su2::{apply_uniform_mat2, apply_uniform_mat2_split};
+use qokit_statevec::su4::{apply_xy, apply_xy_split};
+use qokit_statevec::{Backend, Mat2, SplitStateVec, StateVec};
+use std::io::Write;
+
+/// Interleaved-vs-split layout ablation on the hot kernels: same math, two
+/// memory layouts. Emits `BENCH_simd.json` (`abl_simd` schema) and, under
+/// `QOKIT_ABL_ASSERT=1`, fails unless the best kernel reaches ≥1.0× the
+/// interleaved baseline — the CI guard that the split layer pays its way.
+fn layout_ablation(n: usize, reps: usize) {
+    let simd_feature = cfg!(feature = "simd");
+    #[cfg(feature = "simd")]
+    let simd_active = qokit_statevec::simd::simd_active();
+    #[cfg(not(feature = "simd"))]
+    let simd_active = false;
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let mut inter = StateVec::uniform_superposition(n);
+    let mut split = SplitStateVec::from(&inter);
+    let costs: Vec<f64> = (0..1usize << n)
+        .map(|i| ((i * 37) % 101) as f64 - 50.0)
+        .collect();
+    let rx = Mat2::rx(-0.44);
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    let mut best_speedup = 0.0f64;
+    let kernels: [(&str, f64, f64); 5] = {
+        let t_fwht_i = time_median(reps, || fwht(inter.amplitudes_mut(), Backend::Serial));
+        let t_fwht_s = time_median(reps, || {
+            let (re, im) = split.planes_mut();
+            fwht_split(re, im, Backend::Serial);
+        });
+        let t_diag_i = time_median(reps, || {
+            apply_phase(inter.amplitudes_mut(), &costs, 0.2, Backend::Serial)
+        });
+        let t_diag_s = time_median(reps, || {
+            let (re, im) = split.planes_mut();
+            apply_phase_split(re, im, &costs, 0.2, Backend::Serial);
+        });
+        let t_exp_i = time_median(reps, || {
+            std::hint::black_box(expectation(inter.amplitudes(), &costs, Backend::Serial));
+        });
+        let t_exp_s = time_median(reps, || {
+            let (re, im) = split.planes();
+            std::hint::black_box(expectation_split(re, im, &costs, Backend::Serial));
+        });
+        let t_su2_i = time_median(reps, || {
+            apply_uniform_mat2(inter.amplitudes_mut(), &rx, Backend::Serial)
+        });
+        let t_su2_s = time_median(reps, || {
+            let (re, im) = split.planes_mut();
+            apply_uniform_mat2_split(re, im, &rx, Backend::Serial);
+        });
+        let t_xy_i = time_median(reps, || {
+            apply_xy(inter.amplitudes_mut(), 0, n - 1, 0.3, Backend::Serial)
+        });
+        let t_xy_s = time_median(reps, || {
+            let (re, im) = split.planes_mut();
+            apply_xy_split(re, im, 0, n - 1, 0.3, Backend::Serial);
+        });
+        [
+            ("fwht", t_fwht_i, t_fwht_s),
+            ("diag_phase", t_diag_i, t_diag_s),
+            ("expectation", t_exp_i, t_exp_s),
+            ("su2_uniform", t_su2_i, t_su2_s),
+            ("xy", t_xy_i, t_xy_s),
+        ]
+    };
+    for (kernel, t_i, t_s) in kernels {
+        let speedup = t_i / t_s;
+        best_speedup = best_speedup.max(speedup);
+        rows.push(vec![
+            kernel.to_string(),
+            fmt_time(t_i),
+            fmt_time(t_s),
+            format!("{speedup:.2}x"),
+        ]);
+        records.push(format!(
+            "    {{\"kernel\": \"{kernel}\", \"interleaved_seconds\": {t_i:.6e}, \"split_seconds\": {t_s:.6e}, \"speedup\": {speedup:.4}}}"
+        ));
+    }
+    print_table(
+        &format!(
+            "Memory layout: interleaved C64 vs split re/im planes, n = {n} \
+             (simd feature: {simd_feature}, active: {simd_active})"
+        ),
+        &["kernel", "interleaved", "split", "split speedup"],
+        &rows,
+    );
+    println!(
+        "\n(split planes let the autovectorizer pack pure-f64 loops; the conversion\n transpose is amortized over whole circuits — see README \"memory layout\")"
+    );
+
+    let json_path =
+        std::env::var("QOKIT_BENCH_JSON").unwrap_or_else(|_| "BENCH_simd.json".to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"abl_simd\",\n  \"n_qubits\": {n},\n  \"hw_threads\": {hw},\n  \"reps\": {reps},\n  \"simd_feature\": {simd_feature},\n  \"simd_active\": {simd_active},\n  \"layout_baseline\": \"interleaved\",\n  \"best_speedup\": {best_speedup:.4},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+        records.join(",\n")
+    );
+    match std::fs::File::create(&json_path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+
+    if std::env::var("QOKIT_ABL_ASSERT").is_ok_and(|v| v == "1") {
+        // CI gate: the split layout must win on at least one hot kernel.
+        if best_speedup < 1.0 {
+            eprintln!("ASSERT FAILED: best split speedup {best_speedup:.2}x < 1.0x interleaved");
+            std::process::exit(1);
+        }
+        println!("assert ok: best split speedup {best_speedup:.2}x >= 1.0x interleaved");
+    }
+}
 
 fn main() {
     let max_n = bench_n(if fast_mode() { 14 } else { 22 });
@@ -60,6 +181,8 @@ fn main() {
         );
     }
     println!(
-        "\n(the sandwich does 2n butterfly passes + 1 diagonal vs Algorithm 2's n passes —\n expect ≈2x, worse with the extra copy; memory: Algorithm 2 allocates nothing)"
+        "\n(the sandwich does 2n butterfly passes + 1 diagonal vs Algorithm 2's n passes —\n expect ≈2x, worse with the extra copy; memory: Algorithm 2 allocates nothing)\n"
     );
+
+    layout_ablation(max_n.min(bench_n(if fast_mode() { 14 } else { 20 })), reps);
 }

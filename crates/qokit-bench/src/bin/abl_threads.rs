@@ -9,7 +9,9 @@
 //!
 //! Besides the human-readable table, the run is recorded to
 //! `BENCH_threads.json` (override the path with `QOKIT_BENCH_JSON`) so the
-//! repository's performance trajectory is machine-readable.
+//! repository's performance trajectory is machine-readable. Every pool size
+//! runs the layer in both memory layouts (interleaved `C64` and split
+//! re/im planes) so the SIMD lane and the thread lane are ablated jointly.
 //!
 //! With `QOKIT_ABL_ASSERT=1` the binary exits non-zero unless the best
 //! parallel configuration reaches at least 0.8× the serial throughput —
@@ -18,13 +20,20 @@
 use qokit_bench::{bench_n, fast_mode, fmt_time, print_table, time_median};
 use qokit_core::Mixer;
 use qokit_costvec::{precompute_fwht, CostVec};
-use qokit_statevec::{Backend, StateVec};
+use qokit_statevec::{Backend, SplitStateVec, StateVec};
 use qokit_terms::labs::labs_terms;
 use std::io::Write;
 
 fn layer(costs: &CostVec, state: &mut StateVec, backend: Backend) {
     costs.apply_phase(state.amplitudes_mut(), 0.2, backend);
     Mixer::X.apply(state.amplitudes_mut(), -0.5, backend);
+}
+
+/// The same phase+mixer layer on the split-complex layout.
+fn layer_split(costs: &CostVec, state: &mut SplitStateVec, backend: Backend) {
+    let (re, im) = state.planes_mut();
+    costs.apply_phase_split(re, im, 0.2, backend);
+    Mixer::X.apply_split(re, im, -0.5, backend);
 }
 
 fn main() {
@@ -40,6 +49,12 @@ fn main() {
     let mut state = StateVec::uniform_superposition(n);
     let t_serial = time_median(reps, || layer(&costs, &mut state, Backend::Serial));
 
+    // Layout ablation rides along: the same serial layer on split planes.
+    let mut split_state = SplitStateVec::uniform_superposition(n);
+    let t_serial_split = time_median(reps, || {
+        layer_split(&costs, &mut split_state, Backend::Serial)
+    });
+
     // Pool sweep: 1, 2, 4, … up to at least 4 and at most 2× the hardware
     // count, so small machines still demonstrate oversubscription behavior.
     let mut pool_sizes = Vec::new();
@@ -49,12 +64,20 @@ fn main() {
         t *= 2;
     }
 
-    let mut rows = vec![vec![
-        "serial".to_string(),
-        fmt_time(t_serial),
-        "1.00x".to_string(),
-        "-".to_string(),
-    ]];
+    let mut rows = vec![
+        vec![
+            "serial".to_string(),
+            fmt_time(t_serial),
+            "1.00x".to_string(),
+            "-".to_string(),
+        ],
+        vec![
+            "serial (split)".to_string(),
+            fmt_time(t_serial_split),
+            format!("{:.2}x", t_serial / t_serial_split),
+            "-".to_string(),
+        ],
+    ];
     let mut records = Vec::new();
     let mut best_speedup = 0.0f64;
     for &threads in &pool_sizes {
@@ -74,7 +97,25 @@ fn main() {
             format!("{:.0}%", 100.0 * speedup / threads as f64),
         ]);
         records.push(format!(
-            "    {{\"threads\": {threads}, \"seconds\": {t_par:.6e}, \"speedup_vs_serial\": {speedup:.4}}}"
+            "    {{\"threads\": {threads}, \"layout\": \"interleaved\", \"seconds\": {t_par:.6e}, \"speedup_vs_serial\": {speedup:.4}}}"
+        ));
+
+        let mut split_state = SplitStateVec::uniform_superposition(n);
+        let t_par_split = pool.install(|| {
+            time_median(reps, || {
+                layer_split(&costs, &mut split_state, Backend::Rayon)
+            })
+        });
+        let speedup_split = t_serial / t_par_split;
+        best_speedup = best_speedup.max(speedup_split);
+        rows.push(vec![
+            format!("{threads} (split)"),
+            fmt_time(t_par_split),
+            format!("{speedup_split:.2}x"),
+            format!("{:.0}%", 100.0 * speedup_split / threads as f64),
+        ]);
+        records.push(format!(
+            "    {{\"threads\": {threads}, \"layout\": \"split\", \"seconds\": {t_par_split:.6e}, \"speedup_vs_serial\": {speedup_split:.4}}}"
         ));
     }
     print_table(

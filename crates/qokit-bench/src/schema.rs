@@ -368,6 +368,35 @@ pub fn validate_bench_json(text: &str) -> Result<String, String> {
                 );
             }
         }
+        "abl_simd" => {
+            for key in ["n_qubits", "hw_threads", "reps", "best_speedup"] {
+                finite_positive(&root, key)?;
+            }
+            // The feature flags record which code actually ran: whether the
+            // `simd` cargo feature was compiled in, and whether the runtime
+            // gate (env + CPU detection) enabled the explicit lanes.
+            for key in ["simd_feature", "simd_active"] {
+                match root.get(key) {
+                    Some(Json::Bool(_)) => {}
+                    other => return Err(format!("\"{key}\" must be a boolean, got {other:?}")),
+                }
+            }
+            non_empty_string(&root, "layout_baseline")?;
+            let kernels = match root.get("kernels") {
+                Some(Json::Arr(rows)) if !rows.is_empty() => rows,
+                other => {
+                    return Err(format!(
+                        "\"kernels\" must be a non-empty array, got {other:?}"
+                    ))
+                }
+            };
+            for (i, row) in kernels.iter().enumerate() {
+                non_empty_string(row, "kernel").map_err(|e| format!("kernels[{i}]: {e}"))?;
+                for key in ["interleaved_seconds", "split_seconds", "speedup"] {
+                    finite_positive(row, key).map_err(|e| format!("kernels[{i}]: {e}"))?;
+                }
+            }
+        }
         other => return Err(format!("unknown bench kind \"{other}\"")),
     }
     Ok(bench)
@@ -522,6 +551,39 @@ mod tests {
         let no_hits = lightcone_fixture(GOOD_LIGHTCONE_ROWS).replace(", \"hit_rate\": 0.9999", "");
         let err = validate_bench_json(&no_hits).unwrap_err();
         assert!(err.contains("hit_rate"), "{err}");
+    }
+
+    fn simd_fixture(kernels: &str) -> String {
+        format!(
+            r#"{{"bench": "abl_simd", "n_qubits": 18, "hw_threads": 1, "reps": 3,
+                "simd_feature": false, "simd_active": false,
+                "layout_baseline": "interleaved", "best_speedup": 1.31,
+                "kernels": [{kernels}]}}"#
+        )
+    }
+
+    const GOOD_SIMD_ROW: &str = r#"{"kernel": "fwht", "interleaved_seconds": 2.1e-3,
+        "split_seconds": 1.6e-3, "speedup": 1.31}"#;
+
+    #[test]
+    fn accepts_a_valid_simd_record() {
+        assert_eq!(
+            validate_bench_json(&simd_fixture(GOOD_SIMD_ROW)).unwrap(),
+            "abl_simd"
+        );
+    }
+
+    #[test]
+    fn simd_rejects_missing_flags_and_kernels() {
+        let no_flag =
+            simd_fixture(GOOD_SIMD_ROW).replace("\"simd_active\": false,", "\"simd_active\": 1,");
+        let err = validate_bench_json(&no_flag).unwrap_err();
+        assert!(err.contains("simd_active"), "{err}");
+        let err = validate_bench_json(&simd_fixture("")).unwrap_err();
+        assert!(err.contains("kernels"), "{err}");
+        let bad_row = GOOD_SIMD_ROW.replace("\"speedup\": 1.31", "\"speedup\": 0.0");
+        let err = validate_bench_json(&simd_fixture(&bad_row)).unwrap_err();
+        assert!(err.contains("speedup"), "{err}");
     }
 
     #[test]

@@ -375,7 +375,15 @@ impl SweepRunner {
     {
         let policy = self.opts.exec;
         if matches!(policy.backend, Backend::Serial) {
-            return self.run_sequential(points, ExecPolicy::serial(), &eval);
+            // Preserve the layout (and thresholds) — only force one worker.
+            return self.run_sequential(
+                points,
+                ExecPolicy {
+                    threads: 0,
+                    ..policy
+                },
+                &eval,
+            );
         }
         policy.install(|| match self.resolve_nesting(points.len()) {
             SweepNesting::PointsParallel => self.run_points_parallel(points, &eval),
@@ -585,7 +593,9 @@ impl SweepRunner {
         F: Fn(&FurSimulator, &StateVec, ExecPolicy) -> R + Sync,
     {
         let init = self.sim.initial_state();
-        let inner = ExecPolicy::serial();
+        // Serial kernels per point, but keep the sweep policy's layout so a
+        // split-layout sweep stays split inside each point.
+        let inner = ExecPolicy::serial().with_layout(self.opts.exec.layout);
         // The position-preserving parallel collect keeps slot i = point i.
         points
             .par_iter()

@@ -12,8 +12,8 @@
 
 use qokit_statevec::exec::ExecPolicy;
 use qokit_statevec::matrices::Mat2;
-use qokit_statevec::su2::apply_uniform_mat2;
-use qokit_statevec::su4::apply_xy;
+use qokit_statevec::su2::{apply_uniform_mat2, apply_uniform_mat2_split};
+use qokit_statevec::su4::{apply_xy, apply_xy_split};
 use qokit_statevec::C64;
 
 /// The QAOA mixing operator.
@@ -44,6 +44,36 @@ impl Mixer {
                 for a in 0..n {
                     for b in a + 1..n {
                         apply_xy(amps, a, b, beta, policy);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Split-plane twin of [`Mixer::apply`]: one mixer layer on the
+    /// `re`/`im` planes of a [`qokit_statevec::SplitStateVec`]. Same gate
+    /// order as the interleaved path, so results agree to rounding.
+    pub fn apply_split(
+        &self,
+        re: &mut [f64],
+        im: &mut [f64],
+        beta: f64,
+        exec: impl Into<ExecPolicy>,
+    ) {
+        let policy = exec.into();
+        match self {
+            Mixer::X => apply_uniform_mat2_split(re, im, &Mat2::rx(beta), policy),
+            Mixer::XyRing => {
+                let n = re.len().trailing_zeros() as usize;
+                for (a, b) in ring_edges(n) {
+                    apply_xy_split(re, im, a, b, beta, policy);
+                }
+            }
+            Mixer::XyComplete => {
+                let n = re.len().trailing_zeros() as usize;
+                for a in 0..n {
+                    for b in a + 1..n {
+                        apply_xy_split(re, im, a, b, beta, policy);
                     }
                 }
             }
@@ -179,6 +209,22 @@ mod tests {
             mixer.apply(a.amplitudes_mut(), 0.8, Backend::Serial);
             mixer.apply(b.amplitudes_mut(), 0.8, Backend::Rayon);
             assert!(a.max_abs_diff(&b) < 1e-12, "{mixer:?}");
+        }
+    }
+
+    #[test]
+    fn split_apply_matches_interleaved() {
+        for mixer in [Mixer::X, Mixer::XyRing, Mixer::XyComplete] {
+            let n = 7;
+            let mut inter = StateVec::dicke_state(n, 3);
+            let mut split = qokit_statevec::SplitStateVec::from(&inter);
+            mixer.apply(inter.amplitudes_mut(), 0.67, Backend::Serial);
+            let (re, im) = split.planes_mut();
+            mixer.apply_split(re, im, 0.67, Backend::Serial);
+            assert!(
+                split.max_abs_diff_interleaved(inter.amplitudes()) < 1e-12,
+                "{mixer:?}"
+            );
         }
     }
 

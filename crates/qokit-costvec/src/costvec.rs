@@ -198,6 +198,33 @@ impl CostVec {
         }
     }
 
+    /// Split-plane twin of [`CostVec::apply_phase`]: rotates the `re`/`im`
+    /// planes of a [`qokit_statevec::SplitStateVec`] in place.
+    pub fn apply_phase_split(
+        &self,
+        re: &mut [f64],
+        im: &mut [f64],
+        gamma: f64,
+        exec: impl Into<ExecPolicy>,
+    ) {
+        match self {
+            CostVec::F64(v) => diag::apply_phase_split(re, im, v, gamma, exec),
+            CostVec::U16 { data, offset, step } => {
+                diag::apply_phase_u16_split(re, im, data, *offset, *step, gamma, exec)
+            }
+        }
+    }
+
+    /// Split-plane twin of [`CostVec::expectation`].
+    pub fn expectation_split(&self, re: &[f64], im: &[f64], exec: impl Into<ExecPolicy>) -> f64 {
+        match self {
+            CostVec::F64(v) => diag::expectation_split(re, im, v, exec),
+            CostVec::U16 { data, offset, step } => {
+                diag::expectation_u16_split(re, im, data, *offset, *step, exec)
+            }
+        }
+    }
+
     /// Minimum and maximum cost values.
     pub fn extrema(&self) -> (f64, f64) {
         match self {
@@ -373,6 +400,29 @@ mod tests {
         let s = StateVec::uniform_superposition(n);
         let k = cv.ground_state_indices(1e-9).len() as f64;
         assert!((cv.overlap(s.amplitudes()) - k / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_phase_and_expectation_match_interleaved() {
+        let n = 9;
+        for cv in [
+            labs_costvec(n),
+            CostVec::quantize_exact(&labs_costvec(n).to_f64_vec(), 1.0).unwrap(),
+        ] {
+            let mut inter = StateVec::uniform_superposition(n);
+            let mut split = qokit_statevec::SplitStateVec::from(&inter);
+            cv.apply_phase(inter.amplitudes_mut(), 0.41, Backend::Serial);
+            {
+                let (re, im) = split.planes_mut();
+                cv.apply_phase_split(re, im, 0.41, Backend::Serial);
+            }
+            // Identical per-element arithmetic in both layouts.
+            assert_eq!(split.max_abs_diff_interleaved(inter.amplitudes()), 0.0);
+            let (re, im) = split.planes();
+            let es = cv.expectation_split(re, im, Backend::Serial);
+            let ei = cv.expectation(inter.amplitudes(), Backend::Serial);
+            assert_eq!(es, ei);
+        }
     }
 
     #[test]

@@ -191,6 +191,173 @@ pub fn probability_mass(amps: &[C64], indices: &[usize]) -> f64 {
     indices.iter().map(|&i| amps[i].norm_sqr()).sum()
 }
 
+// ------------------------------------------------------------ split-plane
+
+/// One split-plane phase rotation, written to match the interleaved
+/// `ψ ← ψ·cis(θ)` exactly: `re' = r·cos − i·sin`, `im' = r·sin + i·cos`.
+/// The `sin`/`cos` streams are data-dependent (`sin_cos` per element), so
+/// the win here is plane-local memory traffic, not packing the
+/// trigonometry.
+#[inline(always)]
+fn phase_rotate(r: &mut f64, i: &mut f64, theta: f64) {
+    let (s, c) = theta.sin_cos();
+    let (r0, i0) = (*r, *i);
+    *r = r0 * c - i0 * s;
+    *i = r0 * s + i0 * c;
+}
+
+/// Split-plane phase operator: `ψ_k ← e^{-iγ c_k} ψ_k` on `re`/`im` planes.
+/// Bit-identical to [`apply_phase`] on the interleaved layout (same
+/// per-element operations in the same order).
+///
+/// # Panics
+/// If plane and cost-vector lengths differ.
+pub fn apply_phase_split(
+    re: &mut [f64],
+    im: &mut [f64],
+    costs: &[f64],
+    gamma: f64,
+    exec: impl Into<ExecPolicy>,
+) {
+    assert_eq!(re.len(), im.len(), "plane length mismatch");
+    assert_eq!(re.len(), costs.len(), "cost vector length mismatch");
+    let policy = exec.into();
+    if policy.parallel(re.len()) {
+        let chunk = policy.chunk_len(re.len(), 1);
+        policy.install(|| {
+            re.par_chunks_mut(chunk)
+                .zip(im.par_chunks_mut(chunk))
+                .zip(costs.par_chunks(chunk))
+                .for_each(|((rc, ic), cc)| {
+                    for ((r, i), &c) in rc.iter_mut().zip(ic.iter_mut()).zip(cc.iter()) {
+                        phase_rotate(r, i, -gamma * c);
+                    }
+                });
+        });
+    } else {
+        for ((r, i), &c) in re.iter_mut().zip(im.iter_mut()).zip(costs.iter()) {
+            phase_rotate(r, i, -gamma * c);
+        }
+    }
+}
+
+/// Split-plane phase operator over a quantized `u16` cost vector with
+/// `c_k = offset + scale·q_k`. Bit-identical to [`apply_phase_u16`].
+///
+/// # Panics
+/// If plane and cost-vector lengths differ.
+pub fn apply_phase_u16_split(
+    re: &mut [f64],
+    im: &mut [f64],
+    costs: &[u16],
+    offset: f64,
+    scale: f64,
+    gamma: f64,
+    exec: impl Into<ExecPolicy>,
+) {
+    assert_eq!(re.len(), im.len(), "plane length mismatch");
+    assert_eq!(re.len(), costs.len(), "cost vector length mismatch");
+    let policy = exec.into();
+    if policy.parallel(re.len()) {
+        let chunk = policy.chunk_len(re.len(), 1);
+        policy.install(|| {
+            re.par_chunks_mut(chunk)
+                .zip(im.par_chunks_mut(chunk))
+                .zip(costs.par_chunks(chunk))
+                .for_each(|((rc, ic), cc)| {
+                    for ((r, i), &q) in rc.iter_mut().zip(ic.iter_mut()).zip(cc.iter()) {
+                        phase_rotate(r, i, -gamma * (offset + scale * q as f64));
+                    }
+                });
+        });
+    } else {
+        for ((r, i), &q) in re.iter_mut().zip(im.iter_mut()).zip(costs.iter()) {
+            phase_rotate(r, i, -gamma * (offset + scale * q as f64));
+        }
+    }
+}
+
+/// Split-plane objective: `Σ c_k (re_k² + im_k²)`. Serially bit-identical
+/// to [`expectation`] (same per-element products and summation order);
+/// parallel partial sums associate along the split tree like every other
+/// reduction here.
+///
+/// # Panics
+/// If plane and cost-vector lengths differ.
+pub fn expectation_split(
+    re: &[f64],
+    im: &[f64],
+    costs: &[f64],
+    exec: impl Into<ExecPolicy>,
+) -> f64 {
+    assert_eq!(re.len(), im.len(), "plane length mismatch");
+    assert_eq!(re.len(), costs.len(), "cost vector length mismatch");
+    let policy = exec.into();
+    if policy.parallel(re.len()) {
+        policy.install(|| {
+            re.par_iter()
+                .with_min_len(policy.min_chunk)
+                .zip(im.par_iter().with_min_len(policy.min_chunk))
+                .zip(costs.par_iter().with_min_len(policy.min_chunk))
+                .map(|((&r, &i), &c)| c * (r * r + i * i))
+                .sum()
+        })
+    } else {
+        re.iter()
+            .zip(im.iter())
+            .zip(costs.iter())
+            .map(|((&r, &i), &c)| c * (r * r + i * i))
+            .sum()
+    }
+}
+
+/// Split-plane objective over a quantized `u16` cost vector — the plane
+/// twin of [`expectation_u16`], using the same
+/// `offset·‖ψ‖² + scale·Σ q|ψ|²` decomposition.
+///
+/// # Panics
+/// If plane and cost-vector lengths differ.
+pub fn expectation_u16_split(
+    re: &[f64],
+    im: &[f64],
+    costs: &[u16],
+    offset: f64,
+    scale: f64,
+    exec: impl Into<ExecPolicy>,
+) -> f64 {
+    assert_eq!(re.len(), im.len(), "plane length mismatch");
+    assert_eq!(re.len(), costs.len(), "cost vector length mismatch");
+    let policy = exec.into();
+    let (raw, norm): (f64, f64) = if policy.parallel(re.len()) {
+        policy.install(|| {
+            let raw = re
+                .par_iter()
+                .with_min_len(policy.min_chunk)
+                .zip(im.par_iter().with_min_len(policy.min_chunk))
+                .zip(costs.par_iter().with_min_len(policy.min_chunk))
+                .map(|((&r, &i), &q)| q as f64 * (r * r + i * i))
+                .sum();
+            let norm = re
+                .par_iter()
+                .with_min_len(policy.min_chunk)
+                .zip(im.par_iter().with_min_len(policy.min_chunk))
+                .map(|(&r, &i)| r * r + i * i)
+                .sum();
+            (raw, norm)
+        })
+    } else {
+        (
+            re.iter()
+                .zip(im.iter())
+                .zip(costs.iter())
+                .map(|((&r, &i), &q)| q as f64 * (r * r + i * i))
+                .sum(),
+            re.iter().zip(im.iter()).map(|(&r, &i)| r * r + i * i).sum(),
+        )
+    };
+    offset * norm + scale * raw
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,6 +487,77 @@ mod tests {
     fn phase_rejects_length_mismatch() {
         let mut s = StateVec::zero_state(3);
         apply_phase_serial(s.amplitudes_mut(), &[0.0; 4], 1.0);
+    }
+
+    #[test]
+    fn split_phase_and_expectation_match_interleaved() {
+        let n = 9;
+        let s = StateVec::dicke_state(n, 4);
+        let costs = ramp_costs(s.dim());
+        let mut interleaved = s.clone();
+        apply_phase_serial(interleaved.amplitudes_mut(), &costs, 0.93);
+        let mut split = crate::split::SplitStateVec::from(&s);
+        {
+            let (re, im) = split.planes_mut();
+            apply_phase_split(re, im, &costs, 0.93, Backend::Serial);
+        }
+        assert_eq!(
+            split.max_abs_diff_interleaved(interleaved.amplitudes()),
+            0.0,
+            "split phase twin uses identical per-element ops"
+        );
+        let (re, im) = split.planes();
+        let e_split = expectation_split(re, im, &costs, Backend::Serial);
+        let e_inter = expectation_serial(interleaved.amplitudes(), &costs);
+        assert_eq!(e_split, e_inter, "serial reductions share summation order");
+    }
+
+    #[test]
+    fn split_phase_forced_parallel_matches_serial() {
+        let forced = ExecPolicy::rayon().with_min_len(1).with_min_chunk(2);
+        let n = 8;
+        let s = StateVec::uniform_superposition(n);
+        let costs = ramp_costs(s.dim());
+        let mut a = crate::split::SplitStateVec::from(&s);
+        let mut b = a.clone();
+        {
+            let (re, im) = a.planes_mut();
+            apply_phase_split(re, im, &costs, 1.21, Backend::Serial);
+        }
+        {
+            let (re, im) = b.planes_mut();
+            apply_phase_split(re, im, &costs, 1.21, forced);
+        }
+        assert_eq!(a, b, "elementwise split kernel is split-invariant");
+        let (re, im) = a.planes();
+        let e_s = expectation_split(re, im, &costs, Backend::Serial);
+        let e_p = expectation_split(re, im, &costs, forced);
+        assert!((e_s - e_p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_u16_matches_f64_split() {
+        let n = 9;
+        let dim = 1usize << n;
+        let costs_f: Vec<f64> = (0..dim).map(|i| ((i % 17) as f64) - 8.0).collect();
+        let costs_q: Vec<u16> = (0..dim).map(|i| (i % 17) as u16).collect();
+        let (offset, scale) = (-8.0, 1.0);
+        let s = StateVec::uniform_superposition(n);
+        let mut a = crate::split::SplitStateVec::from(&s);
+        let mut b = a.clone();
+        {
+            let (re, im) = a.planes_mut();
+            apply_phase_split(re, im, &costs_f, 0.71, Backend::Serial);
+        }
+        {
+            let (re, im) = b.planes_mut();
+            apply_phase_u16_split(re, im, &costs_q, offset, scale, 0.71, Backend::Serial);
+        }
+        assert_eq!(a, b, "u16 decode reproduces the f64 costs exactly here");
+        let (re, im) = a.planes();
+        let e_f = expectation_split(re, im, &costs_f, Backend::Serial);
+        let e_q = expectation_u16_split(re, im, &costs_q, offset, scale, Backend::Serial);
+        assert!((e_f - e_q).abs() < 1e-10);
     }
 
     #[test]

@@ -5,12 +5,24 @@
 //! arithmetic is identical, only the executor changes — which is exactly the
 //! property the paper relies on when comparing implementations.
 //!
-//! [`ExecPolicy`] is the one object every kernel consults: backend, worker
-//! count, and the two splitting thresholds that used to be scattered
-//! constants. [`Backend`] remains as the thin two-variant selector it always
-//! was — every kernel accepts `impl Into<ExecPolicy>`, so passing a bare
-//! `Backend` keeps working and resolves to that backend with default
-//! thresholds.
+//! [`ExecPolicy`] is the one object every kernel consults, and it now holds
+//! **two** independent kernel knobs plus the splitting thresholds:
+//!
+//! 1. **Executor** ([`Backend`]): serial loops vs the work-stealing pool.
+//!    [`Backend`] remains the thin two-variant selector it always was —
+//!    every kernel accepts `impl Into<ExecPolicy>`, so passing a bare
+//!    `Backend` keeps working and resolves to that backend with default
+//!    thresholds (and the default [`Layout::Interleaved`]).
+//! 2. **Memory layout** ([`Layout`]): interleaved `C64` amplitudes vs
+//!    split-complex (structure-of-arrays) `re`/`im` `f64` planes
+//!    ([`crate::split::SplitStateVec`]). The layout is consulted where
+//!    storage is *chosen* (e.g. `FurSimulator::evolve_in_place_with`), not
+//!    inside the kernels themselves — each kernel module provides an
+//!    interleaved and a `*_split` plane-wise entry point with identical
+//!    index arithmetic. `QOKIT_LAYOUT=split` flips the default returned by
+//!    [`Layout::auto`] / [`ExecPolicy::auto`], so every simulator built
+//!    with default options picks up the vectorizable layout without
+//!    call-site changes.
 //!
 //! # Thread-count resolution
 //!
@@ -20,6 +32,29 @@
 //! sizes the global pool. An explicit [`ExecPolicy::threads`] (via
 //! [`ExecPolicy::with_threads`]) overrides the global pool with a cached
 //! per-size pool entered through [`ExecPolicy::install`].
+//!
+//! # SIMD resolution (`simd` feature × `QOKIT_SIMD` × CPU detection)
+//!
+//! The split-plane kernels are written so the autovectorizer emits packed
+//! ops on any target; that scalar plane-wise form is the portable default.
+//! Explicit `core::arch` inner loops (AVX2 on x86_64, NEON on aarch64) are
+//! compiled only behind the **`simd` cargo feature** and engage with this
+//! precedence, highest first:
+//!
+//! 1. Feature flag: without `--features simd` the explicit paths do not
+//!    exist; nothing to configure.
+//! 2. `QOKIT_SIMD=0` in the environment disables the explicit paths at
+//!    runtime (scalar plane loops run instead) — useful for A/B timing and
+//!    for pinning down a suspected intrinsics bug.
+//! 3. Runtime CPU detection: on x86_64 the AVX2 path runs only when
+//!    `is_x86_feature_detected!("avx2")` reports support; aarch64 NEON is
+//!    baseline. Unsupported CPUs fall back to the scalar plane loops.
+//!
+//! The explicit paths are element-wise identical to their scalar twins
+//! (same per-element operation order, no FMA contraction, no reduction
+//! reassociation), so toggling any of the three knobs never changes
+//! results beyond the documented ≤1e-12 kernel tolerance — in practice the
+//! butterflies are bit-identical.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -51,6 +86,37 @@ impl Backend {
     }
 }
 
+/// How amplitudes are stored while the hot kernels run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Layout {
+    /// Array-of-structs: one `Vec<C64>` with `re`/`im` adjacent per
+    /// amplitude. The historical layout; every public `StateVec` API speaks
+    /// it.
+    #[default]
+    Interleaved,
+    /// Structure-of-arrays: separate `re`/`im` `f64` planes
+    /// ([`crate::split::SplitStateVec`]), the layout QOKit's fastest CPU
+    /// backend uses so the kernels vectorize.
+    Split,
+}
+
+impl Layout {
+    /// Resolves the default layout from the `QOKIT_LAYOUT` environment
+    /// variable: `split` (case-insensitive, also `soa`) selects
+    /// [`Layout::Split`]; anything else — including unset — selects
+    /// [`Layout::Interleaved`]. The value is read once per process and
+    /// cached.
+    pub fn auto() -> Layout {
+        static LAYOUT: OnceLock<Layout> = OnceLock::new();
+        *LAYOUT.get_or_init(|| match std::env::var("QOKIT_LAYOUT") {
+            Ok(v) if v.eq_ignore_ascii_case("split") || v.eq_ignore_ascii_case("soa") => {
+                Layout::Split
+            }
+            _ => Layout::Interleaved,
+        })
+    }
+}
+
 /// Default for [`ExecPolicy::min_len`]: vectors shorter than this are always
 /// processed serially — task spawning costs more than the sweep itself.
 pub const PAR_MIN_LEN: usize = 1 << 13;
@@ -74,6 +140,10 @@ pub struct ExecPolicy {
     pub min_len: usize,
     /// Minimum elements per parallel task.
     pub min_chunk: usize,
+    /// Amplitude storage layout for storage-choosing callers (the
+    /// simulator's evolve loop). Kernel entry points ignore it — the slice
+    /// types they take already fix the layout.
+    pub layout: Layout,
 }
 
 impl ExecPolicy {
@@ -84,6 +154,7 @@ impl ExecPolicy {
             threads: 0,
             min_len: PAR_MIN_LEN,
             min_chunk: PAR_MIN_CHUNK,
+            layout: Layout::Interleaved,
         }
     }
 
@@ -94,13 +165,15 @@ impl ExecPolicy {
             threads: 0,
             min_len: PAR_MIN_LEN,
             min_chunk: PAR_MIN_CHUNK,
+            layout: Layout::Interleaved,
         }
     }
 
-    /// Backend from [`Backend::auto`] (which honors `QOKIT_THREADS`),
-    /// default thresholds.
+    /// Backend from [`Backend::auto`] (which honors `QOKIT_THREADS`) and
+    /// layout from [`Layout::auto`] (which honors `QOKIT_LAYOUT`), default
+    /// thresholds.
     pub fn auto() -> ExecPolicy {
-        ExecPolicy::from(Backend::auto())
+        ExecPolicy::from(Backend::auto()).with_layout(Layout::auto())
     }
 
     /// Returns the policy with an explicit worker count (see
@@ -119,6 +192,12 @@ impl ExecPolicy {
     /// Returns the policy with a custom per-task element floor.
     pub const fn with_min_chunk(mut self, min_chunk: usize) -> ExecPolicy {
         self.min_chunk = min_chunk;
+        self
+    }
+
+    /// Returns the policy with an explicit amplitude [`Layout`].
+    pub const fn with_layout(mut self, layout: Layout) -> ExecPolicy {
+        self.layout = layout;
         self
     }
 
@@ -282,6 +361,20 @@ mod tests {
         let p = ExecPolicy::rayon().with_min_chunk(1 << 6);
         assert_eq!(p.chunk_len(1 << 12, 2), 1 << 6);
         assert_eq!(p.chunk_len(1 << 12, 1 << 8), 1 << 8);
+    }
+
+    #[test]
+    fn layout_defaults_and_builder() {
+        assert_eq!(ExecPolicy::serial().layout, Layout::Interleaved);
+        assert_eq!(ExecPolicy::rayon().layout, Layout::Interleaved);
+        let p: ExecPolicy = Backend::Rayon.into();
+        assert_eq!(p.layout, Layout::Interleaved);
+        let s = ExecPolicy::rayon().with_layout(Layout::Split);
+        assert_eq!(s.layout, Layout::Split);
+        assert_eq!(s.backend, Backend::Rayon);
+        // auto() resolves from the environment; it must agree with
+        // Layout::auto() (both read the cached QOKIT_LAYOUT value).
+        assert_eq!(ExecPolicy::auto().layout, Layout::auto());
     }
 
     #[test]

@@ -99,17 +99,103 @@ pub fn fwht(amps: &mut [C64], exec: impl Into<ExecPolicy>) {
     }
 }
 
+/// Butterfly over two equal-length `f64` lane runs:
+/// `(lo_k, hi_k) ← (lo_k + hi_k, lo_k − hi_k)`.
+///
+/// The scalar body is two independent streams of adds/subs — exactly the
+/// shape the autovectorizer packs. With the `simd` feature the explicit
+/// AVX2/NEON path runs instead; IEEE add/sub is exact per lane, so both
+/// paths are bit-identical.
+#[inline]
+pub(crate) fn butterfly_lanes(lo: &mut [f64], hi: &mut [f64]) {
+    debug_assert_eq!(lo.len(), hi.len());
+    #[cfg(feature = "simd")]
+    if crate::simd::butterfly_f64(lo, hi) {
+        return;
+    }
+    for (l, h) in lo.iter_mut().zip(hi.iter_mut()) {
+        let x0 = *l;
+        let x1 = *h;
+        *l = x0 + x1;
+        *h = x0 - x1;
+    }
+}
+
 /// One serial butterfly pass of the real-vector transform.
 #[inline]
 fn butterfly_pass_serial_f64(vals: &mut [f64], stride: usize) {
     for block in vals.chunks_exact_mut(stride * 2) {
         let (lo, hi) = block.split_at_mut(stride);
-        for (l, h) in lo.iter_mut().zip(hi.iter_mut()) {
-            let x0 = *l;
-            let x1 = *h;
-            *l = x0 + x1;
-            *h = x0 - x1;
+        butterfly_lanes(lo, hi);
+    }
+}
+
+/// Cache-block row length for the blocked FWHT: `2^14` doubles = 128 KiB,
+/// comfortably inside a typical per-core L2.
+const FWHT_BLOCK_F64: usize = 1 << 14;
+
+/// Minimum column-tile width for the high passes of the blocked FWHT: a
+/// full 64-byte cache line of doubles, so tiles never split lines.
+const FWHT_MIN_TILE: usize = 8;
+
+/// All butterfly passes with `stride < vals.len()` run serially, in
+/// ascending stride order (the plain, unblocked schedule).
+fn fwht_f64_passes(vals: &mut [f64]) {
+    let len = vals.len();
+    let mut stride = 1usize;
+    while stride < len {
+        butterfly_pass_serial_f64(vals, stride);
+        stride <<= 1;
+    }
+}
+
+/// Serial cache-blocked FWHT of a real vector.
+///
+/// Factorizes `H_{2^n} = (H_R ⊗ I_C)(I_R ⊗ H_C)` for `len = R·C` with
+/// `C = FWHT_BLOCK_F64`:
+///
+/// 1. **Low passes** (`stride < C`): each contiguous `C`-double row is a
+///    self-contained transform that fits in L2, so every pass over it hits
+///    cache instead of streaming the whole vector per pass.
+/// 2. **High passes** (`stride ≥ C`): butterflies pair whole rows. We tile
+///    by column so all `log2(R)` passes finish on one resident
+///    `R × tile`-double working set before moving to the next tile.
+///
+/// Every element goes through the same butterfly DAG in the same per-node
+/// operand order as the unblocked schedule — only the traversal order of
+/// independent nodes changes — so the result is **bit-identical** to
+/// [`fwht_f64_passes`].
+fn fwht_f64_blocked_serial(vals: &mut [f64]) {
+    let len = vals.len();
+    let cols = FWHT_BLOCK_F64;
+    if len <= cols {
+        return fwht_f64_passes(vals);
+    }
+    let rows = len / cols;
+    // Step 1: low passes, one cache-resident row at a time.
+    for row in vals.chunks_exact_mut(cols) {
+        fwht_f64_passes(row);
+    }
+    // Step 2: high passes, column-tiled. Tile width keeps the working set
+    // (rows × tile doubles) near one block while staying line-aligned.
+    let tile = (cols / rows).clamp(FWHT_MIN_TILE, cols);
+    let mut t = 0;
+    while t < cols {
+        let mut sr = 1usize; // row stride of this pass
+        while sr < rows {
+            let mut base = 0;
+            while base < rows {
+                for j in base..base + sr {
+                    let i0 = j * cols + t;
+                    let i1 = (j + sr) * cols + t;
+                    let (lo, hi) = vals.split_at_mut(i1);
+                    butterfly_lanes(&mut lo[i0..i0 + tile], &mut hi[..tile]);
+                }
+                base += sr * 2;
+            }
+            sr <<= 1;
         }
+        t += tile;
     }
 }
 
@@ -152,11 +238,35 @@ pub fn fwht_f64(vals: &mut [f64], exec: impl Into<ExecPolicy>) {
     if policy.parallel(len) {
         policy.install(|| fwht_f64_parallel(vals, &policy));
     } else {
-        let mut stride = 1usize;
-        while stride < len {
-            butterfly_pass_serial_f64(vals, stride);
-            stride <<= 1;
-        }
+        fwht_f64_blocked_serial(vals);
+    }
+}
+
+/// Split-complex FWHT: transforms the `re` and `im` planes of a
+/// [`crate::split::SplitStateVec`] independently.
+///
+/// The complex butterfly `(x0, x1) ← (x0 + x1, x0 − x1)` never mixes real
+/// and imaginary parts, so the split-layout transform is literally two
+/// independent **real** transforms — each a pure `f64` stream the
+/// autovectorizer packs, each cache-blocked serially. Under a parallel
+/// policy the two planes run as a `join` pair of pass-parallel transforms.
+///
+/// # Panics
+/// If the planes have different lengths.
+pub fn fwht_split(re: &mut [f64], im: &mut [f64], exec: impl Into<ExecPolicy>) {
+    assert_eq!(re.len(), im.len(), "plane length mismatch");
+    debug_assert!(re.len().is_power_of_two());
+    let policy = exec.into();
+    if policy.parallel(re.len()) {
+        policy.install(|| {
+            rayon::join(
+                || fwht_f64_parallel(re, &policy),
+                || fwht_f64_parallel(im, &policy),
+            );
+        });
+    } else {
+        fwht_f64_blocked_serial(re);
+        fwht_f64_blocked_serial(im);
     }
 }
 
@@ -360,5 +470,49 @@ mod tests {
         let mut s = random_state(10, 6);
         apply_x_mixer_fwht_inplace(s.amplitudes_mut(), 1.9, Backend::Rayon);
         assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocked_fwht_is_bit_identical_to_passes() {
+        // 2^16 doubles: four 2^14 rows, so both blocked steps (low passes
+        // per row, column-tiled high passes) genuinely engage.
+        let vals: Vec<f64> = (0..1usize << 16)
+            .map(|i| (i as f64 * 0.7321).sin())
+            .collect();
+        let mut plain = vals.clone();
+        let mut blocked = vals;
+        fwht_f64_passes(&mut plain);
+        fwht_f64_blocked_serial(&mut blocked);
+        assert_eq!(plain, blocked, "blocked schedule must be bit-identical");
+    }
+
+    #[test]
+    fn fwht_split_matches_complex() {
+        for n in [3usize, 9, 13] {
+            let s = random_state(n, 21 + n as u64);
+            let mut interleaved = s.clone();
+            fwht_serial(interleaved.amplitudes_mut());
+            let mut split = crate::split::SplitStateVec::from(&s);
+            let (re, im) = split.planes_mut();
+            fwht_split(re, im, Backend::Serial);
+            assert_eq!(
+                split.max_abs_diff_interleaved(interleaved.amplitudes()),
+                0.0,
+                "n = {n}: plane-wise butterflies are the same adds/subs"
+            );
+        }
+    }
+
+    #[test]
+    fn fwht_split_forced_parallel_matches_serial() {
+        let forced = ExecPolicy::rayon().with_min_len(1).with_min_chunk(4);
+        let s = random_state(10, 77);
+        let mut a = crate::split::SplitStateVec::from(&s);
+        let mut b = a.clone();
+        let (re, im) = a.planes_mut();
+        fwht_split(re, im, Backend::Serial);
+        let (re, im) = b.planes_mut();
+        fwht_split(re, im, forced);
+        assert_eq!(a, b, "parallel split FWHT must match serial exactly");
     }
 }

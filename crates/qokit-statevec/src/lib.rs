@@ -14,6 +14,14 @@
 //! the `exec` argument of every kernel. The parallel flavor runs on the real
 //! work-stealing pool in `vendor/rayon`, sized by `QOKIT_THREADS`.
 //!
+//! Amplitudes come in two memory layouts: interleaved [`C64`] pairs
+//! ([`StateVec`], the default) and split-complex planes
+//! ([`split::SplitStateVec`], two bare `f64` arrays) whose plane-wise kernel
+//! twins (`*_split`) compile to straight-line `f64` loops the
+//! autovectorizer packs into SIMD lanes. The optional `simd` cargo feature
+//! adds explicit AVX2/NEON inner loops behind runtime detection; see
+//! [`exec`] for the layout/SIMD knobs and the exactness contract.
+//!
 //! ```
 //! use qokit_statevec::{Backend, Mat2, StateVec};
 //! use qokit_statevec::su2::apply_uniform_mat2;
@@ -36,11 +44,15 @@ pub mod exec;
 pub mod fwht;
 pub mod matrices;
 pub mod reference;
+#[cfg(feature = "simd")]
+pub mod simd;
+pub mod split;
 pub mod state;
 pub mod su2;
 pub mod su4;
 
 pub use complex::{AMP_BYTES, C64};
-pub use exec::{Backend, ExecPolicy};
+pub use exec::{Backend, ExecPolicy, Layout};
 pub use matrices::{Mat2, Mat4};
-pub use state::{binomial, StateVec, MAX_QUBITS};
+pub use split::SplitStateVec;
+pub use state::{binomial, StateVec, AMP_ALIGN_BYTES, MAX_QUBITS};

@@ -1,0 +1,516 @@
+//! Explicit SIMD inner loops for the split-plane kernels (`simd` feature).
+//!
+//! The plane-wise scalar loops in `fwht`/`su2`/`su4` are already written so
+//! the autovectorizer packs them; this module adds hand-written `core::arch`
+//! bodies for the three hottest element-wise shapes — the FWHT butterfly,
+//! the SU(2) pair mix, and the XY Givens rotation — as a guaranteed
+//! baseline on x86_64 (AVX2) and aarch64 (NEON).
+//!
+//! # Precedence (documented in [`crate::exec`])
+//!
+//! 1. Without `--features simd` this module is not compiled.
+//! 2. `QOKIT_SIMD=0` disables the explicit paths at runtime.
+//! 3. x86_64 requires `is_x86_feature_detected!("avx2")`; aarch64 NEON is
+//!    baseline; other architectures always use the scalar loops.
+//!
+//! # Exactness contract
+//!
+//! Every vector body performs the **same per-element operations in the same
+//! order** as its scalar twin: plain mul/add/sub intrinsics, no FMA
+//! contraction, no reduction reassociation (reductions are deliberately not
+//! vectorized here). IEEE-754 lane arithmetic therefore makes the explicit
+//! paths bit-identical to the scalar plane loops — toggling the feature or
+//! `QOKIT_SIMD` can never change a result.
+//!
+//! All loads/stores are unaligned (`loadu`/`storeu`); 64-byte buffer
+//! alignment ([`crate::state::AMP_ALIGN_BYTES`]) is a performance
+//! expectation, not a safety requirement.
+
+use std::sync::OnceLock;
+
+/// `true` when the explicit SIMD paths should run: the CPU supports them
+/// and `QOKIT_SIMD` is not `0`. Resolved once per process.
+pub fn simd_active() -> bool {
+    static ACTIVE: OnceLock<bool> = OnceLock::new();
+    *ACTIVE.get_or_init(|| {
+        if matches!(std::env::var("QOKIT_SIMD"), Ok(v) if v == "0") {
+            return false;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            true // NEON is baseline on aarch64.
+        }
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        {
+            false
+        }
+    })
+}
+
+/// FWHT butterfly `(lo, hi) ← (lo + hi, lo − hi)` over equal-length runs.
+/// Returns `false` (untouched) when the explicit path is inactive.
+#[inline]
+pub fn butterfly_f64(lo: &mut [f64], hi: &mut [f64]) -> bool {
+    debug_assert_eq!(lo.len(), hi.len());
+    if !simd_active() {
+        return false;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: simd_active() verified AVX2 support.
+        unsafe { x86::butterfly_avx2(lo, hi) };
+        true
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        arm::butterfly_neon(lo, hi);
+        true
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        false
+    }
+}
+
+/// SU(2) pair mix over four planes with the broadcast coefficient block
+/// `m = [ar, ai, br, bi, cr, ci, dr, di]` (the 2×2 complex matrix split
+/// into planes):
+///
+/// ```text
+/// rl' = ((ar·rl − ai·il) + br·rh) − bi·ih
+/// il' = ((ar·il + ai·rl) + br·ih) + bi·rh
+/// rh' = ((cr·rl − ci·il) + dr·rh) − di·ih
+/// ih' = ((cr·il + ci·rl) + dr·ih) + di·rh
+/// ```
+///
+/// Returns `false` (untouched) when the explicit path is inactive.
+#[inline]
+pub fn su2_mix_f64(
+    rl: &mut [f64],
+    il: &mut [f64],
+    rh: &mut [f64],
+    ih: &mut [f64],
+    m: &[f64; 8],
+) -> bool {
+    debug_assert!(rl.len() == il.len() && rl.len() == rh.len() && rl.len() == ih.len());
+    if !simd_active() {
+        return false;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: simd_active() verified AVX2 support.
+        unsafe { x86::su2_mix_avx2(rl, il, rh, ih, m) };
+        true
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        arm::su2_mix_neon(rl, il, rh, ih, m);
+        true
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        false
+    }
+}
+
+/// XY Givens rotation over the |01⟩/|10⟩ plane runs:
+///
+/// ```text
+/// r01' = c·r01 + s·i10      i01' = c·i01 − s·r10
+/// r10' = s·i01 + c·r10      i10' = c·i10 − s·r01
+/// ```
+///
+/// Returns `false` (untouched) when the explicit path is inactive.
+#[inline]
+pub fn xy_mix_f64(
+    r01: &mut [f64],
+    i01: &mut [f64],
+    r10: &mut [f64],
+    i10: &mut [f64],
+    c: f64,
+    s: f64,
+) -> bool {
+    debug_assert!(r01.len() == i01.len() && r01.len() == r10.len() && r01.len() == i10.len());
+    if !simd_active() {
+        return false;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: simd_active() verified AVX2 support.
+        unsafe { x86::xy_mix_avx2(r01, i01, r10, i10, c, s) };
+        true
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        arm::xy_mix_neon(r01, i01, r10, i10, c, s);
+        true
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        false
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    const LANES: usize = 4; // __m256d holds 4 × f64.
+
+    /// # Safety
+    /// Caller must have verified AVX2 support; slice lengths must match.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn butterfly_avx2(lo: &mut [f64], hi: &mut [f64]) {
+        let n = lo.len();
+        let (lp, hp) = (lo.as_mut_ptr(), hi.as_mut_ptr());
+        let mut k = 0;
+        while k + LANES <= n {
+            let a = _mm256_loadu_pd(lp.add(k));
+            let b = _mm256_loadu_pd(hp.add(k));
+            _mm256_storeu_pd(lp.add(k), _mm256_add_pd(a, b));
+            _mm256_storeu_pd(hp.add(k), _mm256_sub_pd(a, b));
+            k += LANES;
+        }
+        while k < n {
+            let a = *lp.add(k);
+            let b = *hp.add(k);
+            *lp.add(k) = a + b;
+            *hp.add(k) = a - b;
+            k += 1;
+        }
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support; slice lengths must match.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn su2_mix_avx2(
+        rl: &mut [f64],
+        il: &mut [f64],
+        rh: &mut [f64],
+        ih: &mut [f64],
+        m: &[f64; 8],
+    ) {
+        let n = rl.len();
+        let [ar, ai, br, bi, cr, ci, dr, di] = *m;
+        let (var, vai) = (_mm256_set1_pd(ar), _mm256_set1_pd(ai));
+        let (vbr, vbi) = (_mm256_set1_pd(br), _mm256_set1_pd(bi));
+        let (vcr, vci) = (_mm256_set1_pd(cr), _mm256_set1_pd(ci));
+        let (vdr, vdi) = (_mm256_set1_pd(dr), _mm256_set1_pd(di));
+        let (prl, pil, prh, pih) = (
+            rl.as_mut_ptr(),
+            il.as_mut_ptr(),
+            rh.as_mut_ptr(),
+            ih.as_mut_ptr(),
+        );
+        let mut k = 0;
+        while k + LANES <= n {
+            let xr0 = _mm256_loadu_pd(prl.add(k));
+            let xi0 = _mm256_loadu_pd(pil.add(k));
+            let xr1 = _mm256_loadu_pd(prh.add(k));
+            let xi1 = _mm256_loadu_pd(pih.add(k));
+            // Same association as the scalar twin: ((t1 − t2) + t3) ∓ t4.
+            let yr0 = _mm256_sub_pd(
+                _mm256_add_pd(
+                    _mm256_sub_pd(_mm256_mul_pd(var, xr0), _mm256_mul_pd(vai, xi0)),
+                    _mm256_mul_pd(vbr, xr1),
+                ),
+                _mm256_mul_pd(vbi, xi1),
+            );
+            let yi0 = _mm256_add_pd(
+                _mm256_add_pd(
+                    _mm256_add_pd(_mm256_mul_pd(var, xi0), _mm256_mul_pd(vai, xr0)),
+                    _mm256_mul_pd(vbr, xi1),
+                ),
+                _mm256_mul_pd(vbi, xr1),
+            );
+            let yr1 = _mm256_sub_pd(
+                _mm256_add_pd(
+                    _mm256_sub_pd(_mm256_mul_pd(vcr, xr0), _mm256_mul_pd(vci, xi0)),
+                    _mm256_mul_pd(vdr, xr1),
+                ),
+                _mm256_mul_pd(vdi, xi1),
+            );
+            let yi1 = _mm256_add_pd(
+                _mm256_add_pd(
+                    _mm256_add_pd(_mm256_mul_pd(vcr, xi0), _mm256_mul_pd(vci, xr0)),
+                    _mm256_mul_pd(vdr, xi1),
+                ),
+                _mm256_mul_pd(vdi, xr1),
+            );
+            _mm256_storeu_pd(prl.add(k), yr0);
+            _mm256_storeu_pd(pil.add(k), yi0);
+            _mm256_storeu_pd(prh.add(k), yr1);
+            _mm256_storeu_pd(pih.add(k), yi1);
+            k += LANES;
+        }
+        while k < n {
+            let (xr0, xi0, xr1, xi1) = (*prl.add(k), *pil.add(k), *prh.add(k), *pih.add(k));
+            *prl.add(k) = ((ar * xr0 - ai * xi0) + br * xr1) - bi * xi1;
+            *pil.add(k) = ((ar * xi0 + ai * xr0) + br * xi1) + bi * xr1;
+            *prh.add(k) = ((cr * xr0 - ci * xi0) + dr * xr1) - di * xi1;
+            *pih.add(k) = ((cr * xi0 + ci * xr0) + dr * xi1) + di * xr1;
+            k += 1;
+        }
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support; slice lengths must match.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn xy_mix_avx2(
+        r01: &mut [f64],
+        i01: &mut [f64],
+        r10: &mut [f64],
+        i10: &mut [f64],
+        c: f64,
+        s: f64,
+    ) {
+        let n = r01.len();
+        let (vc, vs) = (_mm256_set1_pd(c), _mm256_set1_pd(s));
+        let (pr0, pi0, pr1, pi1) = (
+            r01.as_mut_ptr(),
+            i01.as_mut_ptr(),
+            r10.as_mut_ptr(),
+            i10.as_mut_ptr(),
+        );
+        let mut k = 0;
+        while k + LANES <= n {
+            let ar = _mm256_loadu_pd(pr0.add(k));
+            let ai = _mm256_loadu_pd(pi0.add(k));
+            let br = _mm256_loadu_pd(pr1.add(k));
+            let bi = _mm256_loadu_pd(pi1.add(k));
+            _mm256_storeu_pd(
+                pr0.add(k),
+                _mm256_add_pd(_mm256_mul_pd(vc, ar), _mm256_mul_pd(vs, bi)),
+            );
+            _mm256_storeu_pd(
+                pi0.add(k),
+                _mm256_sub_pd(_mm256_mul_pd(vc, ai), _mm256_mul_pd(vs, br)),
+            );
+            _mm256_storeu_pd(
+                pr1.add(k),
+                _mm256_add_pd(_mm256_mul_pd(vs, ai), _mm256_mul_pd(vc, br)),
+            );
+            _mm256_storeu_pd(
+                pi1.add(k),
+                _mm256_sub_pd(_mm256_mul_pd(vc, bi), _mm256_mul_pd(vs, ar)),
+            );
+            k += LANES;
+        }
+        while k < n {
+            let (ar, ai, br, bi) = (*pr0.add(k), *pi0.add(k), *pr1.add(k), *pi1.add(k));
+            *pr0.add(k) = c * ar + s * bi;
+            *pi0.add(k) = c * ai - s * br;
+            *pr1.add(k) = s * ai + c * br;
+            *pi1.add(k) = c * bi - s * ar;
+            k += 1;
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod arm {
+    use std::arch::aarch64::*;
+
+    const LANES: usize = 2; // float64x2_t holds 2 × f64.
+
+    pub fn butterfly_neon(lo: &mut [f64], hi: &mut [f64]) {
+        let n = lo.len();
+        let (lp, hp) = (lo.as_mut_ptr(), hi.as_mut_ptr());
+        let mut k = 0;
+        // SAFETY: NEON is baseline on aarch64; indices stay within n.
+        unsafe {
+            while k + LANES <= n {
+                let a = vld1q_f64(lp.add(k));
+                let b = vld1q_f64(hp.add(k));
+                vst1q_f64(lp.add(k), vaddq_f64(a, b));
+                vst1q_f64(hp.add(k), vsubq_f64(a, b));
+                k += LANES;
+            }
+            while k < n {
+                let a = *lp.add(k);
+                let b = *hp.add(k);
+                *lp.add(k) = a + b;
+                *hp.add(k) = a - b;
+                k += 1;
+            }
+        }
+    }
+
+    pub fn su2_mix_neon(
+        rl: &mut [f64],
+        il: &mut [f64],
+        rh: &mut [f64],
+        ih: &mut [f64],
+        m: &[f64; 8],
+    ) {
+        let n = rl.len();
+        let [ar, ai, br, bi, cr, ci, dr, di] = *m;
+        let (prl, pil, prh, pih) = (
+            rl.as_mut_ptr(),
+            il.as_mut_ptr(),
+            rh.as_mut_ptr(),
+            ih.as_mut_ptr(),
+        );
+        let mut k = 0;
+        // SAFETY: NEON is baseline on aarch64; indices stay within n.
+        unsafe {
+            let (var, vai) = (vdupq_n_f64(ar), vdupq_n_f64(ai));
+            let (vbr, vbi) = (vdupq_n_f64(br), vdupq_n_f64(bi));
+            let (vcr, vci) = (vdupq_n_f64(cr), vdupq_n_f64(ci));
+            let (vdr, vdi) = (vdupq_n_f64(dr), vdupq_n_f64(di));
+            while k + LANES <= n {
+                let xr0 = vld1q_f64(prl.add(k));
+                let xi0 = vld1q_f64(pil.add(k));
+                let xr1 = vld1q_f64(prh.add(k));
+                let xi1 = vld1q_f64(pih.add(k));
+                let yr0 = vsubq_f64(
+                    vaddq_f64(
+                        vsubq_f64(vmulq_f64(var, xr0), vmulq_f64(vai, xi0)),
+                        vmulq_f64(vbr, xr1),
+                    ),
+                    vmulq_f64(vbi, xi1),
+                );
+                let yi0 = vaddq_f64(
+                    vaddq_f64(
+                        vaddq_f64(vmulq_f64(var, xi0), vmulq_f64(vai, xr0)),
+                        vmulq_f64(vbr, xi1),
+                    ),
+                    vmulq_f64(vbi, xr1),
+                );
+                let yr1 = vsubq_f64(
+                    vaddq_f64(
+                        vsubq_f64(vmulq_f64(vcr, xr0), vmulq_f64(vci, xi0)),
+                        vmulq_f64(vdr, xr1),
+                    ),
+                    vmulq_f64(vdi, xi1),
+                );
+                let yi1 = vaddq_f64(
+                    vaddq_f64(
+                        vaddq_f64(vmulq_f64(vcr, xi0), vmulq_f64(vci, xr0)),
+                        vmulq_f64(vdr, xi1),
+                    ),
+                    vmulq_f64(vdi, xr1),
+                );
+                vst1q_f64(prl.add(k), yr0);
+                vst1q_f64(pil.add(k), yi0);
+                vst1q_f64(prh.add(k), yr1);
+                vst1q_f64(pih.add(k), yi1);
+                k += LANES;
+            }
+            while k < n {
+                let (xr0, xi0, xr1, xi1) = (*prl.add(k), *pil.add(k), *prh.add(k), *pih.add(k));
+                *prl.add(k) = ((ar * xr0 - ai * xi0) + br * xr1) - bi * xi1;
+                *pil.add(k) = ((ar * xi0 + ai * xr0) + br * xi1) + bi * xr1;
+                *prh.add(k) = ((cr * xr0 - ci * xi0) + dr * xr1) - di * xi1;
+                *pih.add(k) = ((cr * xi0 + ci * xr0) + dr * xi1) + di * xr1;
+                k += 1;
+            }
+        }
+    }
+
+    pub fn xy_mix_neon(
+        r01: &mut [f64],
+        i01: &mut [f64],
+        r10: &mut [f64],
+        i10: &mut [f64],
+        c: f64,
+        s: f64,
+    ) {
+        let n = r01.len();
+        let (pr0, pi0, pr1, pi1) = (
+            r01.as_mut_ptr(),
+            i01.as_mut_ptr(),
+            r10.as_mut_ptr(),
+            i10.as_mut_ptr(),
+        );
+        let mut k = 0;
+        // SAFETY: NEON is baseline on aarch64; indices stay within n.
+        unsafe {
+            let (vc, vs) = (vdupq_n_f64(c), vdupq_n_f64(s));
+            while k + LANES <= n {
+                let ar = vld1q_f64(pr0.add(k));
+                let ai = vld1q_f64(pi0.add(k));
+                let br = vld1q_f64(pr1.add(k));
+                let bi = vld1q_f64(pi1.add(k));
+                vst1q_f64(pr0.add(k), vaddq_f64(vmulq_f64(vc, ar), vmulq_f64(vs, bi)));
+                vst1q_f64(pi0.add(k), vsubq_f64(vmulq_f64(vc, ai), vmulq_f64(vs, br)));
+                vst1q_f64(pr1.add(k), vaddq_f64(vmulq_f64(vs, ai), vmulq_f64(vc, br)));
+                vst1q_f64(pi1.add(k), vsubq_f64(vmulq_f64(vc, bi), vmulq_f64(vs, ar)));
+                k += LANES;
+            }
+            while k < n {
+                let (ar, ai, br, bi) = (*pr0.add(k), *pi0.add(k), *pr1.add(k), *pi1.add(k));
+                *pr0.add(k) = c * ar + s * bi;
+                *pi0.add(k) = c * ai - s * br;
+                *pr1.add(k) = s * ai + c * br;
+                *pi1.add(k) = c * bi - s * ar;
+                k += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn butterfly_matches_scalar() {
+        if !simd_active() {
+            return;
+        }
+        let n = 37; // odd length exercises the scalar tail
+        let mut lo: Vec<f64> = (0..n).map(|i| (i as f64 * 0.91).sin()).collect();
+        let mut hi: Vec<f64> = (0..n).map(|i| (i as f64 * 1.73).cos()).collect();
+        let (slo, shi) = (lo.clone(), hi.clone());
+        assert!(butterfly_f64(&mut lo, &mut hi));
+        for k in 0..n {
+            assert_eq!(lo[k], slo[k] + shi[k]);
+            assert_eq!(hi[k], slo[k] - shi[k]);
+        }
+    }
+
+    #[test]
+    fn su2_mix_matches_scalar() {
+        if !simd_active() {
+            return;
+        }
+        let n = 21;
+        let m = [0.3, -0.7, 0.11, 0.93, -0.45, 0.2, 0.81, -0.05];
+        let mk = |f: f64| (0..n).map(|i| (i as f64 * f).sin()).collect::<Vec<f64>>();
+        let (mut rl, mut il, mut rh, mut ih) = (mk(0.3), mk(0.7), mk(1.1), mk(1.9));
+        let (srl, sil, srh, sih) = (rl.clone(), il.clone(), rh.clone(), ih.clone());
+        assert!(su2_mix_f64(&mut rl, &mut il, &mut rh, &mut ih, &m));
+        let [ar, ai, br, bi, cr, ci, dr, di] = m;
+        for k in 0..n {
+            let (xr0, xi0, xr1, xi1) = (srl[k], sil[k], srh[k], sih[k]);
+            assert_eq!(rl[k], ((ar * xr0 - ai * xi0) + br * xr1) - bi * xi1);
+            assert_eq!(il[k], ((ar * xi0 + ai * xr0) + br * xi1) + bi * xr1);
+            assert_eq!(rh[k], ((cr * xr0 - ci * xi0) + dr * xr1) - di * xi1);
+            assert_eq!(ih[k], ((cr * xi0 + ci * xr0) + dr * xi1) + di * xr1);
+        }
+    }
+
+    #[test]
+    fn xy_mix_matches_scalar() {
+        if !simd_active() {
+            return;
+        }
+        let n = 13;
+        let (s, c) = 0.83f64.sin_cos();
+        let mk = |f: f64| (0..n).map(|i| (i as f64 * f).cos()).collect::<Vec<f64>>();
+        let (mut r0, mut i0, mut r1, mut i1) = (mk(0.2), mk(0.9), mk(1.4), mk(2.2));
+        let (sr0, si0, sr1, si1) = (r0.clone(), i0.clone(), r1.clone(), i1.clone());
+        assert!(xy_mix_f64(&mut r0, &mut i0, &mut r1, &mut i1, c, s));
+        for k in 0..n {
+            assert_eq!(r0[k], c * sr0[k] + s * si1[k]);
+            assert_eq!(i0[k], c * si0[k] - s * sr1[k]);
+            assert_eq!(r1[k], s * si0[k] + c * sr1[k]);
+            assert_eq!(i1[k], c * si1[k] - s * sr0[k]);
+        }
+    }
+}

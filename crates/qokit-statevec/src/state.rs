@@ -6,6 +6,46 @@ use crate::complex::C64;
 /// single-node memory; the guard catches accidental `1 << huge` overflow).
 pub const MAX_QUBITS: usize = 40;
 
+/// Cache-line alignment (bytes) the SIMD kernel paths are tuned for.
+///
+/// The explicit AVX2/NEON inner loops (behind the `simd` feature) use
+/// *unaligned* loads, so alignment is a performance expectation, not a
+/// correctness requirement: a 64-byte-aligned buffer keeps every 4-lane
+/// `f64` vector inside one cache line and avoids split loads. Rust's global
+/// allocator guarantees only the type's natural alignment (16 bytes for
+/// [`C64`], 8 for `f64`); in practice large allocations come back
+/// page-aligned. The internal allocator (`alloc_amps`) debug-asserts the
+/// guaranteed part.
+pub const AMP_ALIGN_BYTES: usize = 64;
+
+/// Validates `n ≤ MAX_QUBITS` and returns the Hilbert-space dimension
+/// `2^n`. Every constructor's dim check funnels through here so the guard
+/// (and its panic message) exists exactly once.
+///
+/// # Panics
+/// If `n > MAX_QUBITS`.
+#[inline]
+pub(crate) fn checked_dim(n: usize) -> usize {
+    assert!(n <= MAX_QUBITS, "n = {n} exceeds MAX_QUBITS = {MAX_QUBITS}");
+    1usize << n
+}
+
+/// The single dim-checked amplitude allocator every constructor funnels
+/// through: validates `n ≤ MAX_QUBITS` via [`checked_dim`], allocates `2^n`
+/// amplitudes filled with `fill`, and debug-asserts the natural alignment
+/// the kernels assume.
+///
+/// # Panics
+/// If `n > MAX_QUBITS`.
+pub(crate) fn alloc_amps(n: usize, fill: C64) -> Vec<C64> {
+    let amps = vec![fill; checked_dim(n)];
+    debug_assert!(
+        (amps.as_ptr() as usize).is_multiple_of(std::mem::align_of::<C64>()),
+        "amplitude buffer must be naturally aligned (see AMP_ALIGN_BYTES)"
+    );
+    amps
+}
+
 /// A pure quantum state on `n` qubits stored as `2^n` complex amplitudes.
 ///
 /// Index convention: basis state `|b_{n-1} … b_1 b_0⟩` lives at index
@@ -27,10 +67,8 @@ impl StateVec {
     /// # Panics
     /// If `n > MAX_QUBITS` or `x >= 2^n`.
     pub fn basis_state(n: usize, x: usize) -> Self {
-        assert!(n <= MAX_QUBITS, "n = {n} exceeds MAX_QUBITS = {MAX_QUBITS}");
-        let dim = 1usize << n;
-        assert!(x < dim, "basis index {x} out of range for n = {n}");
-        let mut amps = vec![C64::ZERO; dim];
+        let mut amps = alloc_amps(n, C64::ZERO);
+        assert!(x < amps.len(), "basis index {x} out of range for n = {n}");
         amps[x] = C64::ONE;
         StateVec { n, amps }
     }
@@ -38,13 +76,9 @@ impl StateVec {
     /// The uniform superposition `|+⟩^{⊗n}` — the standard QAOA initial
     /// state for the transverse-field mixer.
     pub fn uniform_superposition(n: usize) -> Self {
-        assert!(n <= MAX_QUBITS, "n = {n} exceeds MAX_QUBITS = {MAX_QUBITS}");
-        let dim = 1usize << n;
-        let amp = C64::from_re(1.0 / (dim as f64).sqrt());
-        StateVec {
-            n,
-            amps: vec![amp; dim],
-        }
+        let dim = checked_dim(n);
+        let amps = alloc_amps(n, C64::from_re(1.0 / (dim as f64).sqrt()));
+        StateVec { n, amps }
     }
 
     /// The Dicke state `|D^n_k⟩`: the uniform superposition over all basis
@@ -55,11 +89,9 @@ impl StateVec {
     /// # Panics
     /// If `k > n`.
     pub fn dicke_state(n: usize, k: usize) -> Self {
-        assert!(n <= MAX_QUBITS, "n = {n} exceeds MAX_QUBITS = {MAX_QUBITS}");
         assert!(k <= n, "Hamming weight {k} exceeds qubit count {n}");
-        let dim = 1usize << n;
         let amp = C64::from_re(1.0 / binomial(n, k).sqrt());
-        let mut amps = vec![C64::ZERO; dim];
+        let mut amps = alloc_amps(n, C64::ZERO);
         for (x, a) in amps.iter_mut().enumerate() {
             if x.count_ones() as usize == k {
                 *a = amp;

@@ -104,6 +104,142 @@ pub fn apply_uniform_mat2(amps: &mut [C64], u: &Mat2, exec: impl Into<ExecPolicy
     });
 }
 
+// ------------------------------------------------------------ split-plane
+
+/// The 2×2 complex matrix flattened into broadcast plane coefficients
+/// `[ar, ai, br, bi, cr, ci, dr, di]` for the plane-wise mix.
+#[inline]
+fn mat2_planes(u: &Mat2) -> [f64; 8] {
+    [
+        u.m[0][0].re,
+        u.m[0][0].im,
+        u.m[0][1].re,
+        u.m[0][1].im,
+        u.m[1][0].re,
+        u.m[1][0].im,
+        u.m[1][1].re,
+        u.m[1][1].im,
+    ]
+}
+
+/// Plane-wise pair mix over four equal-length lane runs: the split twin of
+/// [`mix_pair`], with no complex multiplies in the loop — four independent
+/// `f64` output streams the autovectorizer packs (or the explicit `simd`
+/// path handles).
+#[inline]
+fn mix_planes(rl: &mut [f64], il: &mut [f64], rh: &mut [f64], ih: &mut [f64], m: &[f64; 8]) {
+    #[cfg(feature = "simd")]
+    if crate::simd::su2_mix_f64(rl, il, rh, ih, m) {
+        return;
+    }
+    let n = rl.len();
+    let [ar, ai, br, bi, cr, ci, dr, di] = *m;
+    // Equal-length reslices let the compiler drop the bounds checks.
+    let (il, rh, ih) = (&mut il[..n], &mut rh[..n], &mut ih[..n]);
+    for k in 0..n {
+        let (xr0, xi0, xr1, xi1) = (rl[k], il[k], rh[k], ih[k]);
+        rl[k] = ((ar * xr0 - ai * xi0) + br * xr1) - bi * xi1;
+        il[k] = ((ar * xi0 + ai * xr0) + br * xi1) + bi * xr1;
+        rh[k] = ((cr * xr0 - ci * xi0) + dr * xr1) - di * xi1;
+        ih[k] = ((cr * xi0 + ci * xr0) + dr * xi1) + di * xr1;
+    }
+}
+
+/// Serial split-plane Algorithm 1: applies `U` to qubit `q` of the
+/// `re`/`im` planes in place.
+///
+/// # Panics
+/// If plane lengths differ, or `q` is out of range (debug builds).
+pub fn apply_mat2_split_serial(re: &mut [f64], im: &mut [f64], q: usize, u: &Mat2) {
+    assert_eq!(re.len(), im.len(), "plane length mismatch");
+    let stride = 1usize << q;
+    debug_assert!(stride * 2 <= re.len(), "qubit {q} out of range");
+    let m = mat2_planes(u);
+    for (rb, ib) in re
+        .chunks_exact_mut(stride * 2)
+        .zip(im.chunks_exact_mut(stride * 2))
+    {
+        let (rl, rh) = rb.split_at_mut(stride);
+        let (il, ih) = ib.split_at_mut(stride);
+        mix_planes(rl, il, rh, ih, &m);
+    }
+}
+
+/// Parallel split-plane Algorithm 1 splitting by `policy`.
+fn apply_mat2_split_parallel(
+    re: &mut [f64],
+    im: &mut [f64],
+    q: usize,
+    u: &Mat2,
+    policy: &ExecPolicy,
+) {
+    let len = re.len();
+    let stride = 1usize << q;
+    let block = stride * 2;
+    debug_assert!(block <= len, "qubit {q} out of range");
+    let m = mat2_planes(u);
+    if block >= len {
+        // Single block: parallelize across the pair index. The four plane
+        // halves chunk identically, so index-aligned zips stay in lockstep.
+        let (rl, rh) = re.split_at_mut(stride);
+        let (il, ih) = im.split_at_mut(stride);
+        let chunk = policy.chunk_len(stride, 1);
+        rl.par_chunks_mut(chunk)
+            .zip(il.par_chunks_mut(chunk))
+            .zip(rh.par_chunks_mut(chunk))
+            .zip(ih.par_chunks_mut(chunk))
+            .for_each(|(((rlc, ilc), rhc), ihc)| mix_planes(rlc, ilc, rhc, ihc, &m));
+        return;
+    }
+    let chunk = policy.chunk_len(len, block);
+    re.par_chunks_mut(chunk)
+        .zip(im.par_chunks_mut(chunk))
+        .for_each(|(rc, ic)| {
+            for (rb, ib) in rc.chunks_exact_mut(block).zip(ic.chunks_exact_mut(block)) {
+                let (rl, rh) = rb.split_at_mut(stride);
+                let (il, ih) = ib.split_at_mut(stride);
+                mix_planes(rl, il, rh, ih, &m);
+            }
+        });
+}
+
+/// Policy-dispatched split-plane Algorithm 1.
+#[inline]
+pub fn apply_mat2_split(
+    re: &mut [f64],
+    im: &mut [f64],
+    q: usize,
+    u: &Mat2,
+    exec: impl Into<ExecPolicy>,
+) {
+    assert_eq!(re.len(), im.len(), "plane length mismatch");
+    let policy = exec.into();
+    if policy.parallel(re.len()) {
+        policy.install(|| apply_mat2_split_parallel(re, im, q, u, &policy));
+    } else {
+        apply_mat2_split_serial(re, im, q, u);
+    }
+}
+
+/// Split-plane Algorithm 2: applies the same `U` to every qubit of the
+/// `re`/`im` planes — the full transverse-field mixer for `U = rx(β)`.
+pub fn apply_uniform_mat2_split(
+    re: &mut [f64],
+    im: &mut [f64],
+    u: &Mat2,
+    exec: impl Into<ExecPolicy>,
+) {
+    assert_eq!(re.len(), im.len(), "plane length mismatch");
+    let policy = exec.into();
+    let n = re.len().trailing_zeros() as usize;
+    debug_assert!(re.len().is_power_of_two());
+    policy.install(|| {
+        for q in 0..n {
+            apply_mat2_split(re, im, q, u, policy);
+        }
+    });
+}
+
 /// Generalized Algorithm 2 with a per-qubit matrix: applies
 /// `U_{n-1} ⊗ … ⊗ U_1 ⊗ U_0` (qubit `i` receives `us[i]`).
 ///
@@ -238,6 +374,58 @@ mod tests {
         }
         apply_mat2_sequence(s.amplitudes_mut(), &us, Backend::Serial);
         assert_close(s.amplitudes(), &expect, 1e-12);
+    }
+
+    #[test]
+    fn split_matches_interleaved_on_every_qubit() {
+        let n = 8;
+        let u = Mat2::rx(0.83).matmul(&Mat2::rz(0.41));
+        for q in 0..n {
+            let s = random_state(n, 300 + q as u64);
+            let mut interleaved = s.clone();
+            apply_mat2_serial(interleaved.amplitudes_mut(), q, &u);
+            let mut split = crate::split::SplitStateVec::from(&s);
+            let (re, im) = split.planes_mut();
+            apply_mat2_split_serial(re, im, q, &u);
+            assert!(
+                split.max_abs_diff_interleaved(interleaved.amplitudes()) < 1e-12,
+                "qubit {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_forced_parallel_matches_serial() {
+        let forced = ExecPolicy::rayon().with_min_len(1).with_min_chunk(1);
+        let n = 9;
+        let u = Mat2::ry(1.3).matmul(&Mat2::rz(0.7));
+        for q in [0usize, 4, n - 1] {
+            let s = random_state(n, 400 + q as u64);
+            let mut a = crate::split::SplitStateVec::from(&s);
+            let mut b = a.clone();
+            {
+                let (re, im) = a.planes_mut();
+                apply_mat2_split_serial(re, im, q, &u);
+            }
+            {
+                let (re, im) = b.planes_mut();
+                apply_mat2_split(re, im, q, &u, forced);
+            }
+            assert_eq!(a, b, "qubit {q}: split kernel is split-invariant");
+        }
+    }
+
+    #[test]
+    fn split_uniform_matches_interleaved_mixer() {
+        let n = 7;
+        let u = Mat2::rx(0.59);
+        let s = random_state(n, 500);
+        let mut interleaved = s.clone();
+        apply_uniform_mat2(interleaved.amplitudes_mut(), &u, Backend::Serial);
+        let mut split = crate::split::SplitStateVec::from(&s);
+        let (re, im) = split.planes_mut();
+        apply_uniform_mat2_split(re, im, &u, Backend::Serial);
+        assert!(split.max_abs_diff_interleaved(interleaved.amplitudes()) < 1e-12);
     }
 
     #[test]

@@ -119,6 +119,6 @@ pub mod prelude {
     };
     pub use qokit_costvec::{CostVec, PrecomputeMethod};
     pub use qokit_dist::{Axis, DistSweepOptions, DistSweepRunner, Grid2d, PointSource};
-    pub use qokit_statevec::{Backend, ExecPolicy, StateVec, C64};
+    pub use qokit_statevec::{Backend, ExecPolicy, Layout, SplitStateVec, StateVec, C64};
     pub use qokit_terms::{Graph, SpinPolynomial, Term};
 }
