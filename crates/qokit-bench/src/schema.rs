@@ -185,6 +185,20 @@ fn finite_positive(root: &Json, key: &str) -> Result<f64, String> {
     }
 }
 
+/// Like [`finite_positive`] but admits zero — for byte counters where a
+/// legitimate measurement can be exactly `0` (the in-process transport
+/// moves no wire bytes).
+fn finite_non_negative(root: &Json, key: &str) -> Result<f64, String> {
+    match root.get(key) {
+        Some(Json::Num(v)) if v.is_finite() && *v >= 0.0 => Ok(*v),
+        Some(Json::Num(v)) => Err(format!(
+            "\"{key}\" must be finite and non-negative, got {v}"
+        )),
+        Some(other) => Err(format!("\"{key}\" must be a number, got {other:?}")),
+        None => Err(format!("missing required key \"{key}\"")),
+    }
+}
+
 fn non_empty_string(root: &Json, key: &str) -> Result<String, String> {
     match root.get(key) {
         Some(Json::Str(s)) if !s.is_empty() => Ok(s.clone()),
@@ -364,6 +378,76 @@ pub fn validate_bench_json(text: &str) -> Result<String, String> {
             if !has_on || !has_off {
                 return Err(
                     "need both a dedup-on and a dedup-off run: the cache ablation went unmeasured"
+                        .into(),
+                );
+            }
+        }
+        "abl_transport" => {
+            for key in [
+                "n_qubits",
+                "p",
+                "points",
+                "grid_steps",
+                "hw_threads",
+                "pool_width",
+                "reps",
+                "chunk",
+                "top_k",
+            ] {
+                finite_positive(&root, key)?;
+            }
+            match root.get("aggregates_bit_identical") {
+                Some(Json::Bool(true)) => {}
+                Some(Json::Bool(false)) => {
+                    return Err(
+                        "\"aggregates_bit_identical\" is false: a transport moved the bits".into(),
+                    )
+                }
+                other => {
+                    return Err(format!(
+                        "\"aggregates_bit_identical\" must be a boolean, got {other:?}"
+                    ))
+                }
+            }
+            let rows = match root.get("transports") {
+                Some(Json::Arr(rows)) if !rows.is_empty() => rows,
+                other => {
+                    return Err(format!(
+                        "\"transports\" must be a non-empty array, got {other:?}"
+                    ))
+                }
+            };
+            let (mut has_in_process, mut has_tcp) = (false, false);
+            for (i, row) in rows.iter().enumerate() {
+                let kind = non_empty_string(row, "transport")
+                    .map_err(|e| format!("transports[{i}]: {e}"))?;
+                for key in ["ranks", "seconds", "points_per_sec"] {
+                    finite_positive(row, key).map_err(|e| format!("transports[{i}]: {e}"))?;
+                }
+                let bytes = finite_non_negative(row, "wire_bytes")
+                    .map_err(|e| format!("transports[{i}]: {e}"))?;
+                match kind.as_str() {
+                    "in_process" => has_in_process = true,
+                    "tcp" => {
+                        if bytes == 0.0 {
+                            return Err(format!(
+                                "transports[{i}]: a tcp run reports zero wire bytes — nothing \
+                                 left the process"
+                            ));
+                        }
+                        has_tcp = true;
+                    }
+                    other => {
+                        return Err(format!(
+                            "transports[{i}]: \"transport\" must be \"in_process\" or \"tcp\", \
+                             got \"{other}\""
+                        ))
+                    }
+                }
+            }
+            if !has_in_process || !has_tcp {
+                return Err(
+                    "need both an in_process and a tcp run: the transport ablation went unmeasured"
                         .into(),
                 );
             }
@@ -551,6 +635,54 @@ mod tests {
         let no_hits = lightcone_fixture(GOOD_LIGHTCONE_ROWS).replace(", \"hit_rate\": 0.9999", "");
         let err = validate_bench_json(&no_hits).unwrap_err();
         assert!(err.contains("hit_rate"), "{err}");
+    }
+
+    fn transport_fixture(rows: &str) -> String {
+        format!(
+            r#"{{"bench": "abl_transport", "n_qubits": 8, "p": 1, "points": 65536,
+                "grid_steps": 256, "hw_threads": 4, "pool_width": 4, "reps": 3,
+                "chunk": 1024, "top_k": 16, "aggregates_bit_identical": true,
+                "transports": [{rows}]}}"#
+        )
+    }
+
+    const GOOD_TRANSPORT_ROWS: &str = r#"
+        {"transport": "in_process", "ranks": 2, "seconds": 1.1,
+         "points_per_sec": 59578.2, "wire_bytes": 0},
+        {"transport": "tcp", "ranks": 2, "seconds": 1.3,
+         "points_per_sec": 50412.3, "wire_bytes": 2097152}"#;
+
+    #[test]
+    fn accepts_a_valid_transport_record() {
+        assert_eq!(
+            validate_bench_json(&transport_fixture(GOOD_TRANSPORT_ROWS)).unwrap(),
+            "abl_transport"
+        );
+    }
+
+    #[test]
+    fn transport_requires_both_impls_and_real_tcp_traffic() {
+        let in_process_only = r#"{"transport": "in_process", "ranks": 2, "seconds": 1.1,
+            "points_per_sec": 59578.2, "wire_bytes": 0}"#;
+        let err = validate_bench_json(&transport_fixture(in_process_only)).unwrap_err();
+        assert!(err.contains("tcp"), "{err}");
+        let silent_tcp =
+            GOOD_TRANSPORT_ROWS.replace("\"wire_bytes\": 2097152", "\"wire_bytes\": 0");
+        let err = validate_bench_json(&transport_fixture(&silent_tcp)).unwrap_err();
+        assert!(err.contains("zero wire bytes"), "{err}");
+        let negative = GOOD_TRANSPORT_ROWS.replace("\"wire_bytes\": 2097152", "\"wire_bytes\": -1");
+        let err = validate_bench_json(&transport_fixture(&negative)).unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
+    }
+
+    #[test]
+    fn transport_rejects_diverged_aggregates() {
+        let diverged = transport_fixture(GOOD_TRANSPORT_ROWS).replace(
+            "\"aggregates_bit_identical\": true",
+            "\"aggregates_bit_identical\": false",
+        );
+        let err = validate_bench_json(&diverged).unwrap_err();
+        assert!(err.contains("moved the bits"), "{err}");
     }
 
     fn simd_fixture(kernels: &str) -> String {

@@ -281,7 +281,7 @@ impl BufferPool {
     /// A buffer of the right dimension; contents are unspecified (every
     /// evaluation overwrites it with the initial state first).
     fn checkout(&self, n_qubits: usize) -> StateVec {
-        let recycled = self.shard().lock().unwrap().pop();
+        let recycled = Self::lock_recovering(self.shard()).pop();
         match recycled {
             Some(buf) if buf.n_qubits() == n_qubits => buf,
             _ => StateVec::zero_state(n_qubits),
@@ -289,7 +289,21 @@ impl BufferPool {
     }
 
     fn checkin(&self, buf: StateVec) {
-        self.shard().lock().unwrap().push(buf);
+        Self::lock_recovering(self.shard()).push(buf);
+    }
+
+    /// Locks a shard, recovering from poison: a panic while a shard lock
+    /// was held (e.g. an allocation failure inside `push`) must not make
+    /// the *next* sweep panic in the recycler — pools stay reusable. The
+    /// shard is cleared on recovery; recycled buffers are pure caches
+    /// (contents are unspecified by contract), so dropping them is always
+    /// sound and re-checkouts simply allocate fresh.
+    fn lock_recovering(shard: &Mutex<Vec<StateVec>>) -> std::sync::MutexGuard<'_, Vec<StateVec>> {
+        shard.lock().unwrap_or_else(|poisoned| {
+            let mut guard = poisoned.into_inner();
+            guard.clear();
+            guard
+        })
     }
 }
 
@@ -361,6 +375,23 @@ impl SweepRunner {
     /// The configured sweep options.
     pub fn options(&self) -> &SweepOptions {
         &self.opts
+    }
+
+    /// Test hook: poisons the calling thread's recycler shard by panicking
+    /// while its lock is held. Exists to pin the poison-recovery contract
+    /// (a poisoned shard must not panic later sweeps); not part of the
+    /// public API.
+    #[doc(hidden)]
+    pub fn debug_poison_recycler(&self) {
+        let shard = self.buffers.shard();
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                let _guard = shard.lock().unwrap_or_else(|e| e.into_inner());
+                panic!("poisoning the recycler shard");
+            });
+            assert!(handle.join().is_err());
+        });
+        assert!(shard.is_poisoned(), "shard must be poisoned for the test");
     }
 
     /// Evaluates every point, extracting a value from each evolved state

@@ -30,6 +30,16 @@ pub enum QuantizeError {
         /// Largest span representable: `step · 65535`.
         representable: f64,
     },
+    /// A value is NaN or infinite — no finite grid can represent it.
+    /// Without this check a NaN slips through both the span and the
+    /// integrality comparisons (every `NaN > x` is false) and `NaN as u16`
+    /// silently lands on level 0.
+    NonFinite {
+        /// Offending vector index.
+        index: usize,
+        /// Offending value.
+        value: f64,
+    },
 }
 
 impl std::fmt::Display for QuantizeError {
@@ -46,6 +56,9 @@ impl std::fmt::Display for QuantizeError {
                     f,
                     "cost span {span} exceeds u16-representable {representable}"
                 )
+            }
+            QuantizeError::NonFinite { index, value } => {
+                write!(f, "cost[{index}] = {value} is not finite")
             }
         }
     }
@@ -84,10 +97,15 @@ impl CostVec {
     /// `step = 1`). Fails loudly rather than rounding.
     pub fn quantize_exact(costs: &[f64], step: f64) -> Result<Self, QuantizeError> {
         assert!(step > 0.0, "quantization step must be positive");
+        if let Some((index, &value)) = costs.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(QuantizeError::NonFinite { index, value });
+        }
         let min = costs.iter().copied().fold(f64::INFINITY, f64::min);
         let max = costs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let span = max - min;
         let representable = step * u16::MAX as f64;
+        // The non-finite scan above means `span` is never NaN here — at
+        // worst `+inf` from two huge finite extrema, which `>` catches.
         if span > representable + 1e-9 {
             return Err(QuantizeError::RangeTooWide {
                 span,
@@ -308,6 +326,28 @@ mod tests {
     fn exact_quantization_rejects_wide_range() {
         let err = CostVec::quantize_exact(&[0.0, 70000.0], 1.0).unwrap_err();
         assert!(matches!(err, QuantizeError::RangeTooWide { .. }));
+    }
+
+    #[test]
+    fn exact_quantization_rejects_nan_instead_of_level_zero() {
+        // Regression: a NaN cost used to slip through both checks (every
+        // `NaN > x` is false) and quantize to level 0 — i.e. the global
+        // minimum — silently corrupting that state's energy.
+        let err = CostVec::quantize_exact(&[0.0, f64::NAN, 2.0], 1.0).unwrap_err();
+        assert!(
+            matches!(err, QuantizeError::NonFinite { index: 1, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn exact_quantization_rejects_infinities() {
+        // +inf everywhere made the span NaN (`inf − inf`), which also
+        // passed the old `>` range check and landed on level 0.
+        let err = CostVec::quantize_exact(&[f64::INFINITY; 4], 1.0).unwrap_err();
+        assert!(matches!(err, QuantizeError::NonFinite { index: 0, .. }));
+        let err = CostVec::quantize_exact(&[0.0, f64::NEG_INFINITY], 1.0).unwrap_err();
+        assert!(matches!(err, QuantizeError::NonFinite { index: 1, .. }));
     }
 
     #[test]

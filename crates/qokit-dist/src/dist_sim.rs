@@ -12,6 +12,8 @@
 //! rank-internal parallelism is the GPU's job, not the host's.
 
 use crate::comm::{BspComm, CommStats};
+use crate::transport::{self, Transport, TransportError};
+use crate::wire::Request;
 use qokit_costvec::fill_direct_slice;
 use qokit_statevec::diag::{apply_phase_serial, expectation_serial};
 use qokit_statevec::su2::apply_mat2_serial;
@@ -60,6 +62,12 @@ pub struct DistResult {
     pub overlap: f64,
     /// Global minimum cost.
     pub min_cost: f64,
+    /// `true` when the §V-B `u16` diagonal was actually used. The
+    /// quantized entry points fall back to `f64` costs when the dynamic
+    /// range exceeds `u16` or the costs are off the integer grid — this
+    /// flag is the signal that the fallback fired (`false` after a
+    /// quantized call means "ran at full precision").
+    pub quantized: bool,
     /// Communication statistics of the whole run.
     pub comm: CommStats,
 }
@@ -142,6 +150,7 @@ impl DistSimulator {
         if quantize {
             self.quantize_ranks(&comm, &mut ranks);
         }
+        let quantized = ranks.first().is_some_and(|r| r.quantized.is_some());
 
         for (&gamma, &beta) in gammas.iter().zip(betas.iter()) {
             self.apply_layer(&mut comm, &mut ranks, gamma, beta);
@@ -199,8 +208,199 @@ impl DistSimulator {
             expectation,
             overlap,
             min_cost,
+            quantized,
             comm: comm.stats(),
         }
+    }
+
+    /// As [`simulate_qaoa`](Self::simulate_qaoa), but running the ranks on
+    /// a [`Transport`] — with a [`TcpTransport`](crate::TcpTransport) each
+    /// rank is a worker process and the Algorithm-4 all-to-all genuinely
+    /// moves amplitude slices over a wire (routed through the driver: the
+    /// star topology of a host-staged `MPI_Alltoall`). The transport must
+    /// have exactly [`n_ranks`](Self::n_ranks) ranks.
+    ///
+    /// Every per-rank kernel and every rank-order reduction is the same
+    /// code as the in-process path, and amplitudes cross the wire as exact
+    /// IEEE-754 bit patterns — so all outputs are **bit-identical** to
+    /// [`simulate_qaoa`](Self::simulate_qaoa). A dead worker, corrupt
+    /// frame, or expired deadline surfaces as a rank-tagged
+    /// [`TransportError`], never a hang.
+    pub fn simulate_qaoa_on(
+        &self,
+        t: &mut dyn Transport,
+        gammas: &[f64],
+        betas: &[f64],
+    ) -> Result<DistResult, TransportError> {
+        self.simulate_qaoa_on_impl(t, gammas, betas, false)
+    }
+
+    /// The §V-B `u16`-quantized variant of
+    /// [`simulate_qaoa_on`](Self::simulate_qaoa_on) (falls back to `f64`
+    /// exactly like [`simulate_qaoa_quantized`](Self::simulate_qaoa_quantized);
+    /// check [`DistResult::quantized`]).
+    pub fn simulate_qaoa_quantized_on(
+        &self,
+        t: &mut dyn Transport,
+        gammas: &[f64],
+        betas: &[f64],
+    ) -> Result<DistResult, TransportError> {
+        self.simulate_qaoa_on_impl(t, gammas, betas, true)
+    }
+
+    fn simulate_qaoa_on_impl(
+        &self,
+        t: &mut dyn Transport,
+        gammas: &[f64],
+        betas: &[f64],
+        quantize: bool,
+    ) -> Result<DistResult, TransportError> {
+        assert_eq!(gammas.len(), betas.len(), "gamma/beta length mismatch");
+        let k = t.size();
+        assert_eq!(
+            k, self.n_ranks,
+            "transport rank count must match the simulator's"
+        );
+        // Rank-order scalar reduces, identical to the in-process path.
+        let reduces = BspComm::new(k);
+        let bcast = |req: Request| -> Vec<Request> { vec![req; k] };
+
+        for (rank, resp) in t
+            .exchange(bcast(Request::SimInit {
+                poly: self.poly.clone(),
+                n_ranks: k,
+            }))?
+            .into_iter()
+            .enumerate()
+        {
+            transport::expect_ok(rank, resp)?;
+        }
+
+        let mut quantized = false;
+        if quantize {
+            // §V-B grid agreement, mirroring `quantize_ranks` reduce for
+            // reduce: global extrema, then a min-reduced integrality flag.
+            let extrema = expect_all(
+                t.exchange(bcast(Request::SimExtrema))?,
+                transport::expect_scalar2,
+            )?;
+            let (local_min, neg_max): (Vec<f64>, Vec<f64>) =
+                extrema.into_iter().map(|(lo, hi)| (lo, -hi)).unzip();
+            let gmin = reduces.allreduce_min(&local_min);
+            let gmax = -reduces.allreduce_min(&neg_max);
+            let fits = gmax - gmin <= u16::MAX as f64;
+            let flags = expect_all(
+                t.exchange(bcast(Request::SimQuantCheck { gmin, fits }))?,
+                transport::expect_scalar,
+            )?;
+            if reduces.allreduce_min(&flags) > 0.5 {
+                for (rank, resp) in t
+                    .exchange(bcast(Request::SimQuantCommit { gmin }))?
+                    .into_iter()
+                    .enumerate()
+                {
+                    transport::expect_ok(rank, resp)?;
+                }
+                quantized = true;
+            }
+        }
+
+        let mut alltoall_calls = 0u64;
+        for (&gamma, &beta) in gammas.iter().zip(betas.iter()) {
+            for (rank, resp) in t
+                .exchange(bcast(Request::SimLayerLocal { gamma, beta }))?
+                .into_iter()
+                .enumerate()
+            {
+                transport::expect_ok(rank, resp)?;
+            }
+            if self.k_bits == 0 {
+                continue;
+            }
+            self.alltoall_on(t, &mut alltoall_calls)?;
+            for (rank, resp) in t
+                .exchange(bcast(Request::SimMixHigh { beta }))?
+                .into_iter()
+                .enumerate()
+            {
+                transport::expect_ok(rank, resp)?;
+            }
+            self.alltoall_on(t, &mut alltoall_calls)?;
+        }
+
+        let exp_and_min = expect_all(
+            t.exchange(bcast(Request::SimReduce))?,
+            transport::expect_scalar2,
+        )?;
+        let (local_exp, local_min): (Vec<f64>, Vec<f64>) = exp_and_min.into_iter().unzip();
+        let expectation = reduces.allreduce_sum(&local_exp);
+        let min_cost = reduces.allreduce_min(&local_min);
+        let local_overlap = expect_all(
+            t.exchange(bcast(Request::SimOverlap { min_cost }))?,
+            transport::expect_scalar,
+        )?;
+        let overlap = reduces.allreduce_sum(&local_overlap);
+
+        let slices = expect_all(
+            t.exchange(bcast(Request::SimGather))?,
+            transport::expect_amps,
+        )?;
+        let mut full = Vec::with_capacity(1usize << self.n);
+        for slice in &slices {
+            full.extend_from_slice(slice);
+        }
+        let mut comm = t.stats();
+        comm.alltoall_calls = alltoall_calls;
+        Ok(DistResult {
+            state: StateVec::from_amplitudes(full),
+            expectation,
+            overlap,
+            min_cost,
+            quantized,
+            comm,
+        })
+    }
+
+    /// The Algorithm-4 `V_abc → V_bac` transpose routed through the
+    /// driver: gather every rank's slice, swap subchunk `(r, j) ↔ (j, r)`,
+    /// scatter the transposed slices back. Same block semantics as
+    /// [`BspComm::alltoall`].
+    fn alltoall_on(
+        &self,
+        t: &mut dyn Transport,
+        alltoall_calls: &mut u64,
+    ) -> Result<(), TransportError> {
+        let k = t.size();
+        if k == 1 {
+            return Ok(()); // single rank: the transpose is the identity
+        }
+        let old = expect_all(
+            t.exchange(vec![Request::SimTakeSlice; k])?,
+            transport::expect_amps,
+        )?;
+        let sub = old[0].len() / k;
+        let new: Vec<Vec<C64>> = (0..k)
+            .map(|r| {
+                let mut slice = Vec::with_capacity(sub * k);
+                for peer in old.iter() {
+                    slice.extend_from_slice(&peer[r * sub..(r + 1) * sub]);
+                }
+                slice
+            })
+            .collect();
+        for (rank, resp) in t
+            .exchange(
+                new.into_iter()
+                    .map(|amps| Request::SimSetSlice { amps })
+                    .collect(),
+            )?
+            .into_iter()
+            .enumerate()
+        {
+            transport::expect_ok(rank, resp)?;
+        }
+        *alltoall_calls += 1;
+        Ok(())
     }
 
     /// Superstep 0 — §III-A locality: every rank computes its cost slice
@@ -313,6 +513,19 @@ impl DistSimulator {
         self.apply_layer(&mut comm, &mut ranks, gamma, beta);
         (start_t.elapsed().as_secs_f64(), comm.stats())
     }
+}
+
+/// Converts one response per rank with `f`, failing on the first rank
+/// whose response has the wrong shape.
+fn expect_all<T>(
+    responses: Vec<crate::wire::Response>,
+    f: impl Fn(usize, crate::wire::Response) -> Result<T, TransportError>,
+) -> Result<Vec<T>, TransportError> {
+    responses
+        .into_iter()
+        .enumerate()
+        .map(|(rank, resp)| f(rank, resp))
+        .collect()
 }
 
 #[cfg(test)]
@@ -454,6 +667,36 @@ mod tests {
     }
 
     #[test]
+    fn quantized_reports_the_u16_path_was_taken() {
+        let poly = labs_terms(8);
+        let dist = DistSimulator::new(poly, 4).unwrap();
+        assert!(!dist.simulate_qaoa(&[0.3], &[0.5]).quantized);
+        assert!(dist.simulate_qaoa_quantized(&[0.3], &[0.5]).quantized);
+    }
+
+    #[test]
+    fn quantized_falls_back_when_span_exceeds_u16() {
+        // Regression for silent saturation: a cost span beyond 65535 must
+        // take the f64 fallback (and say so), not wrap through `as u16`.
+        use qokit_terms::Term;
+        let poly = SpinPolynomial::new(
+            6,
+            vec![
+                Term::new(40000.0, &[0, 1]), // span 80000 > u16::MAX
+                Term::new(1.0, &[2, 3]),
+            ],
+        );
+        let dist = DistSimulator::new(poly, 4).unwrap();
+        let plain = dist.simulate_qaoa(&[0.37], &[-0.21]);
+        let quant = dist.simulate_qaoa_quantized(&[0.37], &[-0.21]);
+        assert!(!quant.quantized, "span > 65535 must fall back to f64");
+        // The fallback runs the identical f64 path: bit-identical outputs.
+        assert_eq!(plain.state.max_abs_diff(&quant.state), 0.0);
+        assert_eq!(plain.expectation.to_bits(), quant.expectation.to_bits());
+        assert_eq!(plain.min_cost.to_bits(), quant.min_cost.to_bits());
+    }
+
+    #[test]
     fn quantized_matches_single_node_reference() {
         let poly = labs_terms(8);
         let reference = reference_sim(&poly);
@@ -461,6 +704,52 @@ mod tests {
         let dist = DistSimulator::new(poly, 8).unwrap();
         let r = dist.simulate_qaoa_quantized(&[0.25], &[-0.45]);
         assert!(r.state.max_abs_diff(ref_r.state()) < 1e-10);
+    }
+
+    #[test]
+    fn transport_run_is_bit_identical_to_in_process() {
+        use crate::transport::InProcessTransport;
+        let poly = labs_terms(8);
+        let (g, b) = ([0.21, 0.43], [0.65, 0.32]);
+        for ranks in [1usize, 2, 4] {
+            let dist = DistSimulator::new(poly.clone(), ranks).unwrap();
+            let classic = dist.simulate_qaoa(&g, &b);
+            let mut t = InProcessTransport::new(ranks);
+            let r = dist.simulate_qaoa_on(&mut t, &g, &b).unwrap();
+            assert_eq!(r.state.max_abs_diff(&classic.state), 0.0, "K = {ranks}");
+            assert_eq!(r.expectation.to_bits(), classic.expectation.to_bits());
+            assert_eq!(r.overlap.to_bits(), classic.overlap.to_bits());
+            assert_eq!(r.min_cost.to_bits(), classic.min_cost.to_bits());
+            assert_eq!(r.comm.alltoall_calls, classic.comm.alltoall_calls);
+            assert!(!r.quantized);
+        }
+    }
+
+    #[test]
+    fn transport_quantized_run_matches_and_reports_the_flag() {
+        use crate::transport::InProcessTransport;
+        // Integer LABS costs quantize; the flag must say so.
+        let poly = labs_terms(8);
+        let dist = DistSimulator::new(poly, 4).unwrap();
+        let classic = dist.simulate_qaoa_quantized(&[0.25], &[-0.45]);
+        let mut t = InProcessTransport::new(4);
+        let r = dist
+            .simulate_qaoa_quantized_on(&mut t, &[0.25], &[-0.45])
+            .unwrap();
+        assert!(r.quantized && classic.quantized);
+        assert_eq!(r.state.max_abs_diff(&classic.state), 0.0);
+        assert_eq!(r.expectation.to_bits(), classic.expectation.to_bits());
+
+        // Non-integral costs must fall back — and say so.
+        let poly = qokit_terms::maxcut::all_to_all_terms(8, 0.3);
+        let dist = DistSimulator::new(poly, 2).unwrap();
+        let mut t = InProcessTransport::new(2);
+        let r = dist
+            .simulate_qaoa_quantized_on(&mut t, &[0.4], &[-0.6])
+            .unwrap();
+        assert!(!r.quantized, "fallback must clear the flag");
+        let plain = dist.simulate_qaoa(&[0.4], &[-0.6]);
+        assert_eq!(r.expectation.to_bits(), plain.expectation.to_bits());
     }
 
     #[test]

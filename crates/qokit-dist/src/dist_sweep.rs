@@ -26,10 +26,13 @@
 //! collective is the final aggregate merge.
 
 use crate::comm::BspComm;
+use crate::transport::{self, Transport, TransportError};
+use crate::wire::{Request, SweepSimSpec};
 use qokit_core::batch::{SweepError, SweepOptions, SweepPoint, SweepRunner};
-use qokit_core::landscape::LandscapeAggregator;
+use qokit_core::landscape::{EnergySink, LandscapeAggregator};
 use qokit_core::FurSimulator;
 use qokit_statevec::exec::ExecPolicy;
+use qokit_terms::SpinPolynomial;
 use std::sync::{Arc, Mutex};
 
 /// A random-access sequence of sweep points, generated on demand — the
@@ -177,6 +180,10 @@ pub enum DistSweepError {
         /// The panic payload, stringified.
         message: String,
     },
+    /// The transport carrying a [`try_scan_on`](DistSweepRunner::try_scan_on)
+    /// scan failed (dead worker, corrupt frame, expired deadline) — the
+    /// inner error is tagged with the failing rank.
+    Transport(TransportError),
 }
 
 impl std::fmt::Display for DistSweepError {
@@ -189,11 +196,25 @@ impl std::fmt::Display for DistSweepError {
             } => {
                 write!(f, "scan point {index} (rank {rank}) panicked: {message}")
             }
+            DistSweepError::Transport(e) => write!(f, "distributed scan failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for DistSweepError {}
+impl std::error::Error for DistSweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistSweepError::Transport(e) => Some(e),
+            DistSweepError::PointPanicked { .. } => None,
+        }
+    }
+}
+
+impl From<TransportError> for DistSweepError {
+    fn from(e: TransportError) -> Self {
+        DistSweepError::Transport(e)
+    }
+}
 
 /// Outcome of a distributed landscape scan.
 #[derive(Clone, Debug)]
@@ -422,6 +443,137 @@ impl DistSweepRunner {
             supersteps,
         })
     }
+
+    /// As [`try_scan`](Self::try_scan), but sharding the batch over the
+    /// ranks of a [`Transport`] instead of the in-process lane engine —
+    /// with a [`TcpTransport`](crate::TcpTransport) the point chunks and
+    /// energies genuinely leave the process. `poly` is the problem
+    /// definition each worker rebuilds its rank-local simulator from; it
+    /// must describe the same cost function as [`simulator`](Self::simulator)
+    /// (workers cannot share the precomputed cost vector by reference).
+    ///
+    /// Semantics match `try_scan` exactly: rank `r` owns the contiguous
+    /// slice `[r·N/K, (r+1)·N/K)`, chunks stream in supersteps of
+    /// [`DistSweepOptions::chunk`] points, every energy folds into a
+    /// per-rank aggregate in index order, failures report the lowest-rank
+    /// poisoned point after its superstep drains, and the per-rank
+    /// aggregates merge in rank order. Workers evaluate each point with
+    /// serial kernels under the configured layout — the same per-point
+    /// inner policy the lane engine's points-parallel nesting uses — so
+    /// the merged aggregate is **bit-identical** to `try_scan` (and
+    /// between transports) for any rank count.
+    pub fn try_scan_on<P>(
+        &self,
+        transport: &mut dyn Transport,
+        poly: &SpinPolynomial,
+        points: &P,
+        proto: LandscapeAggregator,
+    ) -> Result<DistScan, DistSweepError>
+    where
+        P: PointSource + ?Sized,
+    {
+        let k = transport.size();
+        let total = points.len();
+        let chunk = self.opts.chunk as u64;
+        let spec = SweepSimSpec {
+            precompute: self.sim.options().precompute,
+            quantize_u16: self.sim.options().quantize_u16,
+            layout: self.opts.sweep.exec.layout,
+        };
+        let init: Vec<Request> = (0..k)
+            .map(|_| Request::SweepInit {
+                poly: poly.clone(),
+                spec,
+            })
+            .collect();
+        for (rank, resp) in transport.exchange(init)?.into_iter().enumerate() {
+            transport::expect_ok(rank, resp)?;
+        }
+
+        // Contiguous batch shards, exactly as in `try_scan`.
+        let mut cursors: Vec<u64> = (0..k as u64).map(|r| total * r / k as u64).collect();
+        let ends: Vec<u64> = (1..=k as u64).map(|r| total * r / k as u64).collect();
+        let mut aggs: Vec<LandscapeAggregator> = (0..k).map(|_| proto.clone()).collect();
+        let mut supersteps = 0u64;
+        while cursors.iter().zip(&ends).any(|(c, e)| c < e) {
+            let sent: Vec<u64> = (0..k)
+                .map(|r| chunk.min(ends[r].saturating_sub(cursors[r])))
+                .collect();
+            let requests: Vec<Request> = (0..k)
+                .map(|r| {
+                    if sent[r] == 0 {
+                        Request::Nop
+                    } else {
+                        Request::SweepChunk {
+                            points: (cursors[r]..cursors[r] + sent[r])
+                                .map(|i| points.point(i))
+                                .collect(),
+                        }
+                    }
+                })
+                .collect();
+            let responses = transport.exchange(requests)?;
+            let mut failed: Vec<Option<(u64, String)>> = vec![None; k];
+            for (rank, resp) in responses.into_iter().enumerate() {
+                if sent[rank] == 0 {
+                    transport::expect_ok(rank, resp)?;
+                    continue;
+                }
+                let energies = transport::expect_energies(rank, resp)?;
+                if energies.len() != sent[rank] as usize {
+                    return Err(TransportError {
+                        rank,
+                        kind: crate::transport::TransportErrorKind::Protocol(format!(
+                            "expected {} energies, got {}",
+                            sent[rank],
+                            energies.len()
+                        )),
+                    }
+                    .into());
+                }
+                // Same fold contract as `fold_energies_into`: every Ok
+                // point is observed; the first failure keeps its global
+                // index.
+                for (i, e) in energies.into_iter().enumerate() {
+                    match e {
+                        Ok(v) => aggs[rank].observe(cursors[rank] + i as u64, v),
+                        Err(message) => {
+                            if failed[rank].is_none() {
+                                failed[rank] = Some((cursors[rank] + i as u64, message));
+                            }
+                        }
+                    }
+                }
+                cursors[rank] += sent[rank];
+            }
+            supersteps += 1;
+            if let Some((rank, (index, message))) = failed
+                .iter()
+                .enumerate()
+                .find_map(|(r, f)| f.clone().map(|f| (r, f)))
+            {
+                return Err(DistSweepError::PointPanicked {
+                    rank,
+                    index,
+                    message,
+                });
+            }
+        }
+
+        // The rank-order aggregate merge — identical to `try_scan`'s one
+        // collective.
+        let comm = BspComm::new(k);
+        let agg = comm.allreduce_with(aggs, |mut a, b| {
+            a.merge(b);
+            a
+        });
+        Ok(DistScan {
+            agg,
+            points: total,
+            ranks: k,
+            supersteps,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -592,6 +744,7 @@ mod tests {
                 assert_eq!(index, 7);
                 assert!(message.contains("same length"), "{message}");
             }
+            other => panic!("unexpected error: {other:?}"),
         }
         // The runner (and the pool) stays reusable.
         let ok = runner.scan(&pts[..7], LandscapeAggregator::new(1));
@@ -617,5 +770,74 @@ mod tests {
     #[should_panic(expected = "at least 2 points")]
     fn axis_rejects_degenerate_steps() {
         let _ = Axis::new(0.0, 1.0, 1);
+    }
+
+    #[test]
+    fn transport_scan_matches_lane_engine_bit_for_bit() {
+        use crate::transport::InProcessTransport;
+        let poly = labs_terms(6);
+        let grid = Grid2d::new(Axis::new(-0.6, 0.6, 9), Axis::new(-0.4, 0.4, 7));
+        for ranks in [1usize, 2, 3] {
+            let runner = DistSweepRunner::with_options(
+                Arc::new(serial_sim(6)),
+                DistSweepOptions {
+                    ranks,
+                    sweep: SweepOptions {
+                        exec: ExecPolicy::rayon().with_threads(2),
+                        nested: SweepNesting::PointsParallel,
+                    },
+                    chunk: 7,
+                },
+            );
+            let classic = runner.scan(&grid, LandscapeAggregator::new(5));
+            let mut t = InProcessTransport::new(ranks);
+            let scan = runner
+                .try_scan_on(&mut t, &poly, &grid, LandscapeAggregator::new(5))
+                .unwrap();
+            assert_eq!(scan.points, classic.points);
+            assert_eq!(scan.supersteps, classic.supersteps);
+            assert_eq!(scan.agg.count(), classic.agg.count());
+            assert_eq!(scan.agg.argmin(), classic.agg.argmin());
+            assert_eq!(
+                scan.agg.min_energy().unwrap().to_bits(),
+                classic.agg.min_energy().unwrap().to_bits(),
+                "ranks = {ranks}"
+            );
+            assert_eq!(scan.agg.top_k(), classic.agg.top_k());
+        }
+    }
+
+    #[test]
+    fn transport_scan_reports_rank_and_global_index() {
+        use crate::transport::InProcessTransport;
+        let poly = labs_terms(5);
+        let mut pts: Vec<SweepPoint> = (0..12)
+            .map(|i| SweepPoint::p1(0.1 * i as f64, 0.2))
+            .collect();
+        pts[7] = SweepPoint::new(vec![0.1, 0.2], vec![0.3]); // length mismatch
+        let runner = DistSweepRunner::with_options(
+            Arc::new(serial_sim(5)),
+            DistSweepOptions {
+                ranks: 4,
+                sweep: SweepOptions::default(),
+                chunk: 2,
+            },
+        );
+        let mut t = InProcessTransport::new(4);
+        let err = runner
+            .try_scan_on(&mut t, &poly, &pts[..], LandscapeAggregator::new(1))
+            .unwrap_err();
+        match err {
+            DistSweepError::PointPanicked { rank, index, .. } => {
+                assert_eq!(rank, 2);
+                assert_eq!(index, 7);
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+        // The transport stays reusable after a contained point panic.
+        let ok = runner
+            .try_scan_on(&mut t, &poly, &pts[..7], LandscapeAggregator::new(1))
+            .unwrap();
+        assert_eq!(ok.agg.count(), 7);
     }
 }

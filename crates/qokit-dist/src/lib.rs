@@ -42,6 +42,9 @@ pub mod dist_sim;
 pub mod dist_sweep;
 pub mod lightcone;
 pub mod model;
+pub mod transport;
+pub mod wire;
+pub mod worker;
 
 pub use comm::{BspComm, CommStats};
 pub use dist_sim::{DistError, DistResult, DistSimulator};
@@ -50,3 +53,7 @@ pub use dist_sweep::{
 };
 pub use lightcone::{DistLightCone, DistLightConeError, DistLightConeRun};
 pub use model::{ClusterModel, CommBackend, ModeledLayerTime};
+pub use transport::{
+    InProcessTransport, TcpTransport, Transport, TransportError, TransportErrorKind, TransportKind,
+    WorkerSpawn,
+};

@@ -27,6 +27,8 @@
 //! ```
 
 use crate::comm::{BspComm, CommStats};
+use crate::transport::{self, Transport, TransportError};
+use crate::wire::Request;
 use qokit_core::lightcone::{
     cone_zz, ConePlan, LightConeError, LightConeEvaluator, LightConeStats,
 };
@@ -49,6 +51,10 @@ pub enum DistLightConeError {
         /// The panic payload, stringified.
         message: String,
     },
+    /// The transport carrying a
+    /// [`try_energy_on`](DistLightCone::try_energy_on) evaluation failed;
+    /// the inner error is tagged with the failing rank.
+    Transport(TransportError),
 }
 
 impl std::fmt::Display for DistLightConeError {
@@ -65,6 +71,9 @@ impl std::fmt::Display for DistLightConeError {
                     "light cone of edge {edge} (rank {rank}) panicked: {message}"
                 )
             }
+            DistLightConeError::Transport(e) => {
+                write!(f, "distributed light-cone evaluation failed: {e}")
+            }
         }
     }
 }
@@ -73,8 +82,15 @@ impl std::error::Error for DistLightConeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DistLightConeError::Plan(e) => Some(e),
+            DistLightConeError::Transport(e) => Some(e),
             DistLightConeError::ConePanicked { .. } => None,
         }
+    }
+}
+
+impl From<TransportError> for DistLightConeError {
+    fn from(e: TransportError) -> Self {
+        DistLightConeError::Transport(e)
     }
 }
 
@@ -147,6 +163,63 @@ impl DistLightCone {
             energy: self.evaluator.accumulate(&plan, &zz),
             stats: plan.stats(),
             comm: comm.stats(),
+        })
+    }
+
+    /// As [`try_energy`](Self::try_energy), but sharding the unique cones
+    /// over the ranks of a [`Transport`] — with a
+    /// [`TcpTransport`](crate::TcpTransport) the cone lists ship to worker
+    /// processes as serialized ego graphs and only scalar `⟨ZZ⟩` values
+    /// come back. The transport's rank count takes the role of `K` (the
+    /// wrapped rank count is ignored here); shard boundaries, the
+    /// rank-order concatenation, and the edge-order accumulation are the
+    /// same as the in-process path, so the energy is **bit-identical** at
+    /// any rank count and on either transport.
+    pub fn try_energy_on(
+        &self,
+        t: &mut dyn Transport,
+        gammas: &[f64],
+        betas: &[f64],
+    ) -> Result<DistLightConeRun, DistLightConeError> {
+        assert_eq!(
+            gammas.len(),
+            betas.len(),
+            "gamma and beta must have the same length p"
+        );
+        let plan = self
+            .evaluator
+            .plan(gammas.len())
+            .map_err(DistLightConeError::Plan)?;
+        let k = t.size();
+        let cones = plan.cones();
+        let n = cones.len();
+        let requests: Vec<Request> = (0..k)
+            .map(|r| Request::ConeShard {
+                cones: cones[r * n / k..(r + 1) * n / k]
+                    .iter()
+                    .map(|c| (c.edge() as u64, c.ego().clone()))
+                    .collect(),
+                gammas: gammas.to_vec(),
+                betas: betas.to_vec(),
+            })
+            .collect();
+        let mut zz = Vec::with_capacity(n);
+        for (rank, resp) in t.exchange(requests)?.into_iter().enumerate() {
+            match transport::expect_zz(rank, resp)? {
+                Ok(values) => zz.extend(values),
+                Err((edge, message)) => {
+                    return Err(DistLightConeError::ConePanicked {
+                        rank,
+                        edge,
+                        message,
+                    })
+                }
+            }
+        }
+        Ok(DistLightConeRun {
+            energy: self.evaluator.accumulate(&plan, &zz),
+            stats: plan.stats(),
+            comm: t.stats(),
         })
     }
 
@@ -241,6 +314,29 @@ mod tests {
             .unwrap();
         assert_eq!(run.energy.to_bits(), local.energy.to_bits());
         assert_eq!(run.stats.unique_cones, 1);
+    }
+
+    #[test]
+    fn transport_energy_is_bit_identical_to_in_process() {
+        use crate::transport::InProcessTransport;
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = Graph::random_regular(18, 3, &mut rng);
+        let local = LightConeEvaluator::new(g.clone())
+            .try_energy(&[0.4, -0.2], &[0.6, 0.3])
+            .unwrap();
+        for ranks in [1, 2, 4] {
+            let dist = DistLightCone::new(LightConeEvaluator::new(g.clone()), ranks);
+            let mut t = InProcessTransport::new(ranks);
+            let run = dist
+                .try_energy_on(&mut t, &[0.4, -0.2], &[0.6, 0.3])
+                .unwrap();
+            assert_eq!(
+                run.energy.to_bits(),
+                local.energy.to_bits(),
+                "ranks = {ranks}"
+            );
+            assert_eq!(run.stats, local.stats);
+        }
     }
 
     #[test]

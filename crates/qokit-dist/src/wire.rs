@@ -1,0 +1,909 @@
+//! Dependency-free binary framing and message codec for the transport
+//! layer ([`crate::transport`]).
+//!
+//! # Frame format
+//!
+//! Every message on a transport connection is one length-prefixed frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic   "QOKT" (0x514F4B54, little-endian u32)
+//! 4       4     length  payload byte count (little-endian u32)
+//! 8       8     FNV-1a 64-bit checksum of the payload (little-endian u64)
+//! 16      len   payload (one encoded Request or Response)
+//! ```
+//!
+//! The magic word catches stream desynchronization, the length prefix
+//! bounds the read, and the checksum catches payload corruption or
+//! truncation-with-padding — any mismatch surfaces as a [`WireError`]
+//! (never a misparse). Numbers are little-endian throughout; `f64` values
+//! travel as their exact IEEE-754 bit patterns, so floating-point data is
+//! reproduced bit for bit on the far side.
+
+use qokit_core::batch::SweepPoint;
+use qokit_costvec::PrecomputeMethod;
+use qokit_statevec::exec::Layout;
+use qokit_statevec::C64;
+use qokit_terms::graphs::{EgoNet, Graph};
+use qokit_terms::{SpinPolynomial, Term};
+
+/// Frame magic word (`"QOKT"` as a little-endian u32).
+pub const MAGIC: u32 = 0x514F_4B54;
+
+/// Hard ceiling on a frame payload (1 GiB) — a corrupt length prefix must
+/// not become an allocation bomb.
+pub const MAX_PAYLOAD: usize = 1 << 30;
+
+/// Decode-side failures. Transports wrap these into rank-tagged
+/// [`TransportError`](crate::transport::TransportError)s.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the announced field did.
+    Truncated,
+    /// Frame did not start with [`MAGIC`].
+    BadMagic(u32),
+    /// The length prefix exceeded [`MAX_PAYLOAD`].
+    TooLarge(usize),
+    /// Payload checksum mismatch.
+    ChecksumMismatch {
+        /// Checksum announced by the frame header.
+        expected: u64,
+        /// Checksum of the payload actually received.
+        actual: u64,
+    },
+    /// Unknown message tag byte.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame payload truncated"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            WireError::TooLarge(n) => write!(f, "frame payload of {n} bytes exceeds the cap"),
+            WireError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "frame checksum mismatch: header says {expected:#018x}, payload hashes to {actual:#018x}"
+            ),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// FNV-1a 64-bit hash — the frame checksum. Not cryptographic; it guards
+/// against truncation and bit rot, not adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Encodes `payload` into a complete frame (header + payload).
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= MAX_PAYLOAD, "frame payload too large");
+    let mut out = Vec::with_capacity(16 + payload.len());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates a frame header and returns the announced payload length.
+pub fn decode_header(header: &[u8; 16]) -> Result<(usize, u64), WireError> {
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(WireError::TooLarge(len));
+    }
+    let checksum = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    Ok((len, checksum))
+}
+
+/// Verifies a received payload against the header's checksum.
+pub fn check_payload(payload: &[u8], expected: u64) -> Result<(), WireError> {
+    let actual = fnv1a64(payload);
+    if actual != expected {
+        return Err(WireError::ChecksumMismatch { expected, actual });
+    }
+    Ok(())
+}
+
+/// A failed frame read: either transport-level I/O (connection dead,
+/// timeout) or a malformed frame (bad magic/length/checksum).
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// The underlying stream failed (EOF, reset, timeout, ...).
+    Io(std::io::Error),
+    /// The stream delivered bytes, but they are not a valid frame.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for FrameReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameReadError::Io(e) => write!(f, "frame I/O failed: {e}"),
+            FrameReadError::Wire(e) => write!(f, "malformed frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameReadError {}
+
+/// Writes one complete frame, returning the bytes put on the wire
+/// (header + payload).
+pub fn write_frame<W: std::io::Write>(w: &mut W, payload: &[u8]) -> std::io::Result<usize> {
+    let frame = encode_frame(payload);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(frame.len())
+}
+
+/// Reads one complete frame, validating magic, length, and checksum.
+/// Returns the payload and the total bytes read off the wire.
+pub fn read_frame<R: std::io::Read>(r: &mut R) -> Result<(Vec<u8>, usize), FrameReadError> {
+    let mut header = [0u8; 16];
+    r.read_exact(&mut header).map_err(FrameReadError::Io)?;
+    let (len, checksum) = decode_header(&header).map_err(FrameReadError::Wire)?;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(FrameReadError::Io)?;
+    check_payload(&payload, checksum).map_err(FrameReadError::Wire)?;
+    Ok((payload, 16 + len))
+}
+
+/// Little-endian byte sink for message encoding.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// A fresh, empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn f64s(&mut self, v: &[f64]) {
+        self.usize(v.len());
+        for &x in v {
+            self.f64(x);
+        }
+    }
+
+    fn usizes(&mut self, v: &[usize]) {
+        self.usize(v.len());
+        for &x in v {
+            self.usize(x);
+        }
+    }
+
+    fn string(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn poly(&mut self, p: &SpinPolynomial) {
+        self.usize(p.n_vars());
+        self.usize(p.num_terms());
+        for t in p.terms() {
+            self.f64(t.weight);
+            self.u64(t.mask);
+        }
+    }
+
+    fn point(&mut self, p: &SweepPoint) {
+        self.f64s(&p.gammas);
+        self.f64s(&p.betas);
+    }
+
+    fn amps(&mut self, v: &[C64]) {
+        self.usize(v.len());
+        for a in v {
+            self.f64(a.re);
+            self.f64(a.im);
+        }
+    }
+
+    fn ego(&mut self, e: &EgoNet) {
+        let g = e.graph();
+        self.usize(g.n_vertices());
+        self.usize(g.n_edges());
+        for &(u, v, w) in g.edges() {
+            self.usize(u);
+            self.usize(v);
+            self.f64(w);
+        }
+        self.usizes(e.vertices());
+        self.usizes(e.distances());
+        self.usize(e.radius());
+    }
+}
+
+/// Little-endian byte source for message decoding. Every accessor checks
+/// bounds and returns [`WireError::Truncated`] instead of panicking.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over an encoded payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// `true` when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn usize(&mut self) -> Result<usize, WireError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| WireError::Truncated)
+    }
+
+    /// A length prefix that must be coverable by the remaining bytes when
+    /// each element occupies at least `min_elem_bytes` — rejects corrupt
+    /// lengths before they become huge allocations.
+    fn len_prefix(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let n = self.usize()?;
+        if n.saturating_mul(min_elem_bytes) > self.buf.len() - self.pos {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>, WireError> {
+        let n = self.len_prefix(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    fn usizes(&mut self) -> Result<Vec<usize>, WireError> {
+        let n = self.len_prefix(8)?;
+        (0..n).map(|_| self.usize()).collect()
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let n = self.len_prefix(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Truncated)
+    }
+
+    fn poly(&mut self) -> Result<SpinPolynomial, WireError> {
+        let n_vars = self.usize()?;
+        let n_terms = self.len_prefix(16)?;
+        let mut terms = Vec::with_capacity(n_terms);
+        for _ in 0..n_terms {
+            let weight = self.f64()?;
+            let mask = self.u64()?;
+            terms.push(Term { weight, mask });
+        }
+        Ok(SpinPolynomial::new(n_vars, terms))
+    }
+
+    fn point(&mut self) -> Result<SweepPoint, WireError> {
+        let gammas = self.f64s()?;
+        let betas = self.f64s()?;
+        Ok(SweepPoint::new(gammas, betas))
+    }
+
+    fn amps(&mut self) -> Result<Vec<C64>, WireError> {
+        let n = self.len_prefix(16)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            let re = self.f64()?;
+            let im = self.f64()?;
+            v.push(C64::new(re, im));
+        }
+        Ok(v)
+    }
+
+    fn ego(&mut self) -> Result<EgoNet, WireError> {
+        let n = self.usize()?;
+        let n_edges = self.len_prefix(24)?;
+        let mut edges = Vec::with_capacity(n_edges);
+        for _ in 0..n_edges {
+            let u = self.usize()?;
+            let v = self.usize()?;
+            let w = self.f64()?;
+            edges.push((u, v, w));
+        }
+        let graph = Graph::new(n, edges);
+        let vertices = self.usizes()?;
+        let dist = self.usizes()?;
+        let radius = self.usize()?;
+        Ok(EgoNet::from_parts(graph, vertices, dist, radius))
+    }
+}
+
+/// How the worker should quantize/precompute the cost diagonal of a sweep
+/// simulator — the subset of `SimOptions` that crosses the wire. Only the
+/// X mixer and the `Auto` initial state are supported over transports
+/// (every distributed workload in this crate uses them).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SweepSimSpec {
+    /// Cost-vector precompute algorithm.
+    pub precompute: PrecomputeMethod,
+    /// §V-B `u16` cost-diagonal quantization.
+    pub quantize_u16: bool,
+    /// Amplitude layout the per-point kernels run in.
+    pub layout: Layout,
+}
+
+/// One driver→worker message. See [`crate::worker::handle`] for the
+/// dispatch semantics of each variant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// No work this superstep (the rank's shard is exhausted).
+    Nop,
+    /// Tear down and exit the worker loop.
+    Shutdown,
+    /// Build the rank-local sweep runner for `poly`.
+    SweepInit {
+        /// Cost polynomial (the cost diagonal is precomputed worker-side).
+        poly: SpinPolynomial,
+        /// Simulator construction knobs.
+        spec: SweepSimSpec,
+    },
+    /// Evaluate one chunk of sweep points, returning per-point energies.
+    SweepChunk {
+        /// The points of this superstep, in global-index order.
+        points: Vec<SweepPoint>,
+    },
+    /// Simulate a shard of light cones, returning `⟨ZZ⟩` per cone.
+    ConeShard {
+        /// `(representative edge, cone)` pairs in plan order.
+        cones: Vec<(u64, EgoNet)>,
+        /// Per-layer γ.
+        gammas: Vec<f64>,
+        /// Per-layer β.
+        betas: Vec<f64>,
+    },
+    /// Initialize this rank's Algorithm-4 state slice for `poly`.
+    SimInit {
+        /// Cost polynomial.
+        poly: SpinPolynomial,
+        /// Total rank count K (the worker knows its own rank).
+        n_ranks: usize,
+    },
+    /// Report this rank's local cost extrema `(min, max)`.
+    SimExtrema,
+    /// Check §V-B quantizability against the global grid: returns `1.0`
+    /// when the local slice is integral on `gmin + k` **and** the global
+    /// range fits, else `0.0`.
+    SimQuantCheck {
+        /// Globally agreed offset (global cost minimum).
+        gmin: f64,
+        /// Whether the global span fits the `u16` range.
+        fits: bool,
+    },
+    /// Commit to the quantized representation (all ranks voted yes).
+    SimQuantCommit {
+        /// Globally agreed offset.
+        gmin: f64,
+    },
+    /// One layer's local work: phase + mixer gates on local qubits.
+    SimLayerLocal {
+        /// Phase angle γ.
+        gamma: f64,
+        /// Mixer angle β.
+        beta: f64,
+    },
+    /// Mixer gates on the former-global qubits (post-transpose positions).
+    SimMixHigh {
+        /// Mixer angle β.
+        beta: f64,
+    },
+    /// Move the amplitude slice to the driver (for the all-to-all).
+    SimTakeSlice,
+    /// Install a transposed amplitude slice from the driver.
+    SimSetSlice {
+        /// The rank's new slice.
+        amps: Vec<C64>,
+    },
+    /// Report `(⟨ψ|Ĉ|ψ⟩ local part, local min cost)`.
+    SimReduce,
+    /// Report the local ground-state overlap against `min_cost`.
+    SimOverlap {
+        /// Global minimum cost.
+        min_cost: f64,
+    },
+    /// Return the rank's amplitude slice (final gather).
+    SimGather,
+}
+
+/// One worker→driver reply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Acknowledgement with no payload.
+    Ok,
+    /// One scalar.
+    Scalar(f64),
+    /// Two scalars.
+    Scalar2(f64, f64),
+    /// Per-point sweep energies; `Err` carries a poisoned point's panic
+    /// message (slot order matches the request's point order).
+    Energies(Vec<Result<f64, String>>),
+    /// Cone-shard `⟨ZZ⟩` values, or the first poisoned cone as
+    /// `(representative edge, panic message)`.
+    ZzValues(Result<Vec<f64>, (u64, String)>),
+    /// An amplitude slice.
+    Amps(Vec<C64>),
+    /// The worker rejected the request (protocol misuse, e.g. a chunk
+    /// before its init).
+    Error(String),
+}
+
+const REQ_NOP: u8 = 0;
+const REQ_SHUTDOWN: u8 = 1;
+const REQ_SWEEP_INIT: u8 = 2;
+const REQ_SWEEP_CHUNK: u8 = 3;
+const REQ_CONE_SHARD: u8 = 4;
+const REQ_SIM_INIT: u8 = 5;
+const REQ_SIM_EXTREMA: u8 = 6;
+const REQ_SIM_QUANT_CHECK: u8 = 7;
+const REQ_SIM_QUANT_COMMIT: u8 = 8;
+const REQ_SIM_LAYER_LOCAL: u8 = 9;
+const REQ_SIM_MIX_HIGH: u8 = 10;
+const REQ_SIM_TAKE_SLICE: u8 = 11;
+const REQ_SIM_SET_SLICE: u8 = 12;
+const REQ_SIM_REDUCE: u8 = 13;
+const REQ_SIM_OVERLAP: u8 = 14;
+const REQ_SIM_GATHER: u8 = 15;
+
+const RESP_OK: u8 = 0;
+const RESP_SCALAR: u8 = 1;
+const RESP_SCALAR2: u8 = 2;
+const RESP_ENERGIES: u8 = 3;
+const RESP_ZZ: u8 = 4;
+const RESP_AMPS: u8 = 5;
+const RESP_ERROR: u8 = 6;
+
+fn spec_byte(spec: &SweepSimSpec) -> u8 {
+    let mut b = 0u8;
+    if matches!(spec.precompute, PrecomputeMethod::Fwht) {
+        b |= 1;
+    }
+    if spec.quantize_u16 {
+        b |= 2;
+    }
+    if matches!(spec.layout, Layout::Split) {
+        b |= 4;
+    }
+    b
+}
+
+fn spec_from_byte(b: u8) -> SweepSimSpec {
+    SweepSimSpec {
+        precompute: if b & 1 != 0 {
+            PrecomputeMethod::Fwht
+        } else {
+            PrecomputeMethod::Direct
+        },
+        quantize_u16: b & 2 != 0,
+        layout: if b & 4 != 0 {
+            Layout::Split
+        } else {
+            Layout::Interleaved
+        },
+    }
+}
+
+/// Encodes a [`Request`] payload (frame it with [`encode_frame`]).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match req {
+        Request::Nop => w.u8(REQ_NOP),
+        Request::Shutdown => w.u8(REQ_SHUTDOWN),
+        Request::SweepInit { poly, spec } => {
+            w.u8(REQ_SWEEP_INIT);
+            w.u8(spec_byte(spec));
+            w.poly(poly);
+        }
+        Request::SweepChunk { points } => {
+            w.u8(REQ_SWEEP_CHUNK);
+            w.usize(points.len());
+            for p in points {
+                w.point(p);
+            }
+        }
+        Request::ConeShard {
+            cones,
+            gammas,
+            betas,
+        } => {
+            w.u8(REQ_CONE_SHARD);
+            w.usize(cones.len());
+            for (edge, ego) in cones {
+                w.u64(*edge);
+                w.ego(ego);
+            }
+            w.f64s(gammas);
+            w.f64s(betas);
+        }
+        Request::SimInit { poly, n_ranks } => {
+            w.u8(REQ_SIM_INIT);
+            w.usize(*n_ranks);
+            w.poly(poly);
+        }
+        Request::SimExtrema => w.u8(REQ_SIM_EXTREMA),
+        Request::SimQuantCheck { gmin, fits } => {
+            w.u8(REQ_SIM_QUANT_CHECK);
+            w.f64(*gmin);
+            w.u8(*fits as u8);
+        }
+        Request::SimQuantCommit { gmin } => {
+            w.u8(REQ_SIM_QUANT_COMMIT);
+            w.f64(*gmin);
+        }
+        Request::SimLayerLocal { gamma, beta } => {
+            w.u8(REQ_SIM_LAYER_LOCAL);
+            w.f64(*gamma);
+            w.f64(*beta);
+        }
+        Request::SimMixHigh { beta } => {
+            w.u8(REQ_SIM_MIX_HIGH);
+            w.f64(*beta);
+        }
+        Request::SimTakeSlice => w.u8(REQ_SIM_TAKE_SLICE),
+        Request::SimSetSlice { amps } => {
+            w.u8(REQ_SIM_SET_SLICE);
+            w.amps(amps);
+        }
+        Request::SimReduce => w.u8(REQ_SIM_REDUCE),
+        Request::SimOverlap { min_cost } => {
+            w.u8(REQ_SIM_OVERLAP);
+            w.f64(*min_cost);
+        }
+        Request::SimGather => w.u8(REQ_SIM_GATHER),
+    }
+    w.into_vec()
+}
+
+/// Decodes a [`Request`] payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut r = ByteReader::new(payload);
+    let req = match r.u8()? {
+        REQ_NOP => Request::Nop,
+        REQ_SHUTDOWN => Request::Shutdown,
+        REQ_SWEEP_INIT => {
+            let spec = spec_from_byte(r.u8()?);
+            let poly = r.poly()?;
+            Request::SweepInit { poly, spec }
+        }
+        REQ_SWEEP_CHUNK => {
+            let n = r.len_prefix(16)?;
+            let points = (0..n).map(|_| r.point()).collect::<Result<_, _>>()?;
+            Request::SweepChunk { points }
+        }
+        REQ_CONE_SHARD => {
+            let n = r.len_prefix(8)?;
+            let mut cones = Vec::with_capacity(n);
+            for _ in 0..n {
+                let edge = r.u64()?;
+                let ego = r.ego()?;
+                cones.push((edge, ego));
+            }
+            let gammas = r.f64s()?;
+            let betas = r.f64s()?;
+            Request::ConeShard {
+                cones,
+                gammas,
+                betas,
+            }
+        }
+        REQ_SIM_INIT => {
+            let n_ranks = r.usize()?;
+            let poly = r.poly()?;
+            Request::SimInit { poly, n_ranks }
+        }
+        REQ_SIM_EXTREMA => Request::SimExtrema,
+        REQ_SIM_QUANT_CHECK => {
+            let gmin = r.f64()?;
+            let fits = r.u8()? != 0;
+            Request::SimQuantCheck { gmin, fits }
+        }
+        REQ_SIM_QUANT_COMMIT => Request::SimQuantCommit { gmin: r.f64()? },
+        REQ_SIM_LAYER_LOCAL => {
+            let gamma = r.f64()?;
+            let beta = r.f64()?;
+            Request::SimLayerLocal { gamma, beta }
+        }
+        REQ_SIM_MIX_HIGH => Request::SimMixHigh { beta: r.f64()? },
+        REQ_SIM_TAKE_SLICE => Request::SimTakeSlice,
+        REQ_SIM_SET_SLICE => Request::SimSetSlice { amps: r.amps()? },
+        REQ_SIM_REDUCE => Request::SimReduce,
+        REQ_SIM_OVERLAP => Request::SimOverlap { min_cost: r.f64()? },
+        REQ_SIM_GATHER => Request::SimGather,
+        t => return Err(WireError::BadTag(t)),
+    };
+    if !r.is_exhausted() {
+        return Err(WireError::Truncated);
+    }
+    Ok(req)
+}
+
+/// Encodes a [`Response`] payload (frame it with [`encode_frame`]).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match resp {
+        Response::Ok => w.u8(RESP_OK),
+        Response::Scalar(x) => {
+            w.u8(RESP_SCALAR);
+            w.f64(*x);
+        }
+        Response::Scalar2(a, b) => {
+            w.u8(RESP_SCALAR2);
+            w.f64(*a);
+            w.f64(*b);
+        }
+        Response::Energies(slots) => {
+            w.u8(RESP_ENERGIES);
+            w.usize(slots.len());
+            for slot in slots {
+                match slot {
+                    Ok(e) => {
+                        w.u8(0);
+                        w.f64(*e);
+                    }
+                    Err(msg) => {
+                        w.u8(1);
+                        w.string(msg);
+                    }
+                }
+            }
+        }
+        Response::ZzValues(result) => {
+            w.u8(RESP_ZZ);
+            match result {
+                Ok(values) => {
+                    w.u8(0);
+                    w.f64s(values);
+                }
+                Err((edge, msg)) => {
+                    w.u8(1);
+                    w.u64(*edge);
+                    w.string(msg);
+                }
+            }
+        }
+        Response::Amps(amps) => {
+            w.u8(RESP_AMPS);
+            w.amps(amps);
+        }
+        Response::Error(msg) => {
+            w.u8(RESP_ERROR);
+            w.string(msg);
+        }
+    }
+    w.into_vec()
+}
+
+/// Decodes a [`Response`] payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut r = ByteReader::new(payload);
+    let resp = match r.u8()? {
+        RESP_OK => Response::Ok,
+        RESP_SCALAR => Response::Scalar(r.f64()?),
+        RESP_SCALAR2 => {
+            let a = r.f64()?;
+            let b = r.f64()?;
+            Response::Scalar2(a, b)
+        }
+        RESP_ENERGIES => {
+            let n = r.len_prefix(9)?;
+            let mut slots = Vec::with_capacity(n);
+            for _ in 0..n {
+                slots.push(match r.u8()? {
+                    0 => Ok(r.f64()?),
+                    _ => Err(r.string()?),
+                });
+            }
+            Response::Energies(slots)
+        }
+        RESP_ZZ => Response::ZzValues(match r.u8()? {
+            0 => Ok(r.f64s()?),
+            _ => {
+                let edge = r.u64()?;
+                let msg = r.string()?;
+                Err((edge, msg))
+            }
+        }),
+        RESP_AMPS => Response::Amps(r.amps()?),
+        RESP_ERROR => Response::Error(r.string()?),
+        t => return Err(WireError::BadTag(t)),
+    };
+    if !r.is_exhausted() {
+        return Err(WireError::Truncated);
+    }
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qokit_terms::labs::labs_terms;
+    use qokit_terms::maxcut;
+
+    fn roundtrip_req(req: Request) {
+        let payload = encode_request(&req);
+        assert_eq!(decode_request(&payload).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let payload = encode_response(&resp);
+        assert_eq!(decode_response(&payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Nop);
+        roundtrip_req(Request::Shutdown);
+        roundtrip_req(Request::SweepInit {
+            poly: labs_terms(6),
+            spec: SweepSimSpec {
+                precompute: PrecomputeMethod::Fwht,
+                quantize_u16: true,
+                layout: Layout::Split,
+            },
+        });
+        roundtrip_req(Request::SweepChunk {
+            points: vec![
+                SweepPoint::p1(0.25, -0.5),
+                SweepPoint::new(vec![0.1, 0.2], vec![0.3, -0.4]),
+            ],
+        });
+        let g = Graph::ring(8, 1.0);
+        let adj = g.adjacency();
+        let ego = adj.edge_ego(0, 1, 2);
+        roundtrip_req(Request::ConeShard {
+            cones: vec![(0, ego.clone()), (3, ego)],
+            gammas: vec![0.3, 0.1],
+            betas: vec![0.5, -0.2],
+        });
+        roundtrip_req(Request::SimInit {
+            poly: maxcut::maxcut_polynomial(&Graph::ring(6, 1.0)),
+            n_ranks: 4,
+        });
+        roundtrip_req(Request::SimQuantCheck {
+            gmin: -12.5,
+            fits: true,
+        });
+        roundtrip_req(Request::SimLayerLocal {
+            gamma: 0.7,
+            beta: -0.3,
+        });
+        roundtrip_req(Request::SimSetSlice {
+            amps: vec![C64::new(0.1, -0.2), C64::new(f64::MIN_POSITIVE, 1e300)],
+        });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Ok);
+        roundtrip_resp(Response::Scalar(std::f64::consts::PI));
+        roundtrip_resp(Response::Scalar2(-1.0, f64::INFINITY));
+        roundtrip_resp(Response::Energies(vec![
+            Ok(1.25),
+            Err("point panicked".into()),
+            Ok(-3.5),
+        ]));
+        roundtrip_resp(Response::ZzValues(Ok(vec![0.5, -0.5])));
+        roundtrip_resp(Response::ZzValues(Err((7, "cone panicked".into()))));
+        roundtrip_resp(Response::Amps(vec![C64::new(0.0, -0.0)]));
+        roundtrip_resp(Response::Error("no runner".into()));
+    }
+
+    #[test]
+    fn f64_crosses_bit_exactly() {
+        for v in [0.1 + 0.2, -0.0, f64::MAX, f64::MIN_POSITIVE, 1.0 / 3.0] {
+            let payload = encode_response(&Response::Scalar(v));
+            match decode_response(&payload).unwrap() {
+                Response::Scalar(got) => assert_eq!(got.to_bits(), v.to_bits()),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn frame_header_checks() {
+        let frame = encode_frame(b"hello");
+        let header: [u8; 16] = frame[..16].try_into().unwrap();
+        let (len, checksum) = decode_header(&header).unwrap();
+        assert_eq!(len, 5);
+        check_payload(&frame[16..], checksum).unwrap();
+
+        // Flip a payload bit: checksum must catch it.
+        let mut bad = frame.clone();
+        bad[16] ^= 0x40;
+        assert!(matches!(
+            check_payload(&bad[16..], checksum),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+
+        // Bad magic.
+        let mut bad = frame;
+        bad[0] = 0;
+        let header: [u8; 16] = bad[..16].try_into().unwrap();
+        assert!(matches!(
+            decode_header(&header),
+            Err(WireError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error_not_a_panic() {
+        let payload = encode_request(&Request::SweepChunk {
+            points: vec![SweepPoint::p1(0.1, 0.2)],
+        });
+        for cut in 0..payload.len() {
+            // Every prefix must decode to a clean error.
+            assert!(decode_request(&payload[..cut]).is_err(), "cut = {cut}");
+        }
+        // Trailing garbage is rejected too.
+        let mut padded = payload;
+        padded.push(0);
+        assert!(decode_request(&padded).is_err());
+    }
+
+    #[test]
+    fn corrupt_length_prefixes_do_not_allocate() {
+        // A u64::MAX length prefix for the point list must be rejected by
+        // the remaining-bytes bound, not attempted as an allocation.
+        let mut w = ByteWriter::new();
+        w.u8(super::REQ_SWEEP_CHUNK);
+        w.u64(u64::MAX);
+        assert_eq!(decode_request(&w.into_vec()), Err(WireError::Truncated));
+    }
+}

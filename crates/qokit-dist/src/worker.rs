@@ -1,0 +1,378 @@
+//! Worker-side dispatch shared by every transport.
+//!
+//! Both [`InProcessTransport`](crate::transport::InProcessTransport) and
+//! [`TcpTransport`](crate::transport::TcpTransport) route requests through
+//! the same [`handle`] function over the same [`WorkerState`] — the
+//! per-rank compute is literally the same code whether the "rank" is a
+//! pool task in this process or a spawned worker process on the far end
+//! of a loopback socket. That is what makes the transports bit-identical
+//! by construction: only the bytes' path differs, never the arithmetic.
+//!
+//! # Spawn-self worker entry
+//!
+//! A TCP worker process is the current executable re-spawned with
+//! [`WORKER_ADDR_ENV`] and [`WORKER_RANK_ENV`] set. Binaries that want to
+//! serve as workers call [`maybe_run_from_env`] early: it is a no-op
+//! (returns `false`) without the env vars, and otherwise connects back to
+//! the driver, serves requests until `Shutdown` or disconnect, and exits
+//! the process. Test binaries expose the guard as a `#[test]` function and
+//! the driver spawns them with `--exact <that test name>` filter args, so
+//! the child runs only the worker loop, never the rest of the suite.
+
+use crate::wire::{self, read_frame, write_frame, Request, Response, SweepSimSpec, WireError};
+use qokit_core::batch::{SweepError, SweepNesting, SweepOptions, SweepRunner};
+use qokit_core::lightcone::cone_zz;
+use qokit_core::simulator::{FurSimulator, InitialState, SimOptions};
+use qokit_core::Mixer;
+use qokit_costvec::fill_direct_slice;
+use qokit_statevec::diag::{apply_phase_serial, expectation_serial};
+use qokit_statevec::exec::ExecPolicy;
+use qokit_statevec::su2::apply_mat2_serial;
+use qokit_statevec::{Backend, Mat2, C64};
+use qokit_terms::SpinPolynomial;
+use std::panic::{self, AssertUnwindSafe};
+use std::time::Duration;
+
+/// Driver address a spawned worker connects back to.
+pub const WORKER_ADDR_ENV: &str = "QOKIT_WORKER_ADDR";
+/// Rank id of a spawned worker.
+pub const WORKER_RANK_ENV: &str = "QOKIT_WORKER_RANK";
+/// Test hook: milliseconds a worker sleeps before answering each request
+/// (drives the deadline-expiry fault-injection tests).
+pub const WORKER_STALL_ENV: &str = "QOKIT_WORKER_STALL_MS";
+
+/// Per-rank state between supersteps: lazily initialized per workload by
+/// the corresponding `*Init` request.
+#[derive(Default)]
+pub struct WorkerState {
+    rank: usize,
+    sweep: Option<SweepRunner>,
+    sim: Option<SimRank>,
+}
+
+impl WorkerState {
+    /// Fresh state for rank `rank`.
+    pub fn new(rank: usize) -> Self {
+        WorkerState {
+            rank,
+            ..Default::default()
+        }
+    }
+
+    /// This worker's rank id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+}
+
+/// Algorithm-4 rank state: the amplitude slice plus the local cost slice —
+/// the transport-side mirror of `dist_sim`'s in-process rank state, with
+/// identical per-step arithmetic.
+struct SimRank {
+    n: usize,
+    k_bits: usize,
+    amps: Vec<C64>,
+    costs: Vec<f64>,
+    quantized: Option<(Vec<u16>, f64)>,
+}
+
+impl SimRank {
+    fn init(poly: &SpinPolynomial, rank: usize, n_ranks: usize) -> SimRank {
+        let n = poly.n_vars();
+        let k_bits = n_ranks.trailing_zeros() as usize;
+        let local_n = n - k_bits;
+        let slice_len = 1usize << local_n;
+        let amp0 = (1.0 / (1u64 << n) as f64).sqrt();
+        let start = (rank << local_n) as u64;
+        let mut costs = vec![0.0f64; slice_len];
+        fill_direct_slice(poly, start, &mut costs);
+        SimRank {
+            n,
+            k_bits,
+            amps: vec![C64::from_re(amp0); slice_len],
+            costs,
+            quantized: None,
+        }
+    }
+
+    fn extrema(&self) -> (f64, f64) {
+        self.costs
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &c| {
+                (lo.min(c), hi.max(c))
+            })
+    }
+
+    fn quant_check(&self, gmin: f64, fits: bool) -> f64 {
+        let integral = self
+            .costs
+            .iter()
+            .all(|&c| (c - gmin - (c - gmin).round()).abs() < 1e-6);
+        if integral && fits {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn quant_commit(&mut self, gmin: f64) {
+        let q = self
+            .costs
+            .iter()
+            .map(|&c| (c - gmin).round() as u16)
+            .collect();
+        self.costs = Vec::new();
+        self.quantized = Some((q, gmin));
+    }
+
+    fn layer_local(&mut self, gamma: f64, beta: f64) {
+        let local_n = self.n - self.k_bits;
+        let u = Mat2::rx(beta);
+        match &self.quantized {
+            Some((q, offset)) => {
+                qokit_statevec::diag::apply_phase_u16_serial(&mut self.amps, q, *offset, 1.0, gamma)
+            }
+            None => apply_phase_serial(&mut self.amps, &self.costs, gamma),
+        }
+        for qb in 0..local_n {
+            apply_mat2_serial(&mut self.amps, qb, &u);
+        }
+    }
+
+    fn mix_high(&mut self, beta: f64) {
+        let local_n = self.n - self.k_bits;
+        let u = Mat2::rx(beta);
+        for qb in local_n - self.k_bits..local_n {
+            apply_mat2_serial(&mut self.amps, qb, &u);
+        }
+    }
+
+    fn reduce(&self) -> (f64, f64) {
+        match &self.quantized {
+            Some((q, offset)) => (
+                qokit_statevec::diag::expectation_u16(&self.amps, q, *offset, 1.0, Backend::Serial),
+                q.iter().copied().min().unwrap_or(0) as f64 + offset,
+            ),
+            None => (
+                expectation_serial(&self.amps, &self.costs),
+                self.costs.iter().copied().fold(f64::INFINITY, f64::min),
+            ),
+        }
+    }
+
+    fn overlap(&self, min_cost: f64) -> f64 {
+        match &self.quantized {
+            Some((q, offset)) => self
+                .amps
+                .iter()
+                .zip(q.iter())
+                .filter(|(_, &qq)| qq as f64 + offset <= min_cost + 1e-9)
+                .map(|(a, _)| a.norm_sqr())
+                .sum(),
+            None => self
+                .amps
+                .iter()
+                .zip(self.costs.iter())
+                .filter(|(_, &c)| c <= min_cost + 1e-9)
+                .map(|(a, _)| a.norm_sqr())
+                .sum::<f64>(),
+        }
+    }
+}
+
+fn sweep_runner_for(poly: &SpinPolynomial, spec: SweepSimSpec) -> SweepRunner {
+    // Serial kernels with the driver's layout: exactly the per-point inner
+    // policy the in-process lane engine uses, so energies are bit-identical
+    // to a points-parallel sweep regardless of which transport ran them.
+    let exec = ExecPolicy::serial().with_layout(spec.layout);
+    let sim = FurSimulator::with_options(
+        poly,
+        SimOptions {
+            mixer: Mixer::X,
+            exec,
+            precompute: spec.precompute,
+            quantize_u16: spec.quantize_u16,
+            initial: InitialState::Auto,
+        },
+    );
+    SweepRunner::with_options(
+        sim,
+        SweepOptions {
+            exec,
+            nested: SweepNesting::PointsParallel,
+        },
+    )
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Executes one request against a rank's state — the single dispatch both
+/// transports share. Protocol misuse (a chunk before its init, a sim step
+/// on the wrong workload) returns [`Response::Error`]; per-point and
+/// per-cone panics are contained and reported in-band.
+pub fn handle(state: &mut WorkerState, req: Request) -> Response {
+    match req {
+        Request::Nop | Request::Shutdown => Response::Ok,
+        Request::SweepInit { poly, spec } => {
+            state.sweep = Some(sweep_runner_for(&poly, spec));
+            Response::Ok
+        }
+        Request::SweepChunk { points } => match &state.sweep {
+            None => Response::Error("SweepChunk before SweepInit".into()),
+            Some(runner) => Response::Energies(
+                runner
+                    .energies_checked(&points)
+                    .into_iter()
+                    .map(|r| r.map_err(|SweepError::PointPanicked { message, .. }| message))
+                    .collect(),
+            ),
+        },
+        Request::ConeShard {
+            cones,
+            gammas,
+            betas,
+        } => {
+            let mut values = Vec::with_capacity(cones.len());
+            for (edge, ego) in &cones {
+                let outcome =
+                    panic::catch_unwind(AssertUnwindSafe(|| cone_zz(ego, &gammas, &betas)));
+                match outcome {
+                    Ok(zz) => values.push(zz),
+                    Err(payload) => {
+                        return Response::ZzValues(Err((*edge, panic_message(payload))))
+                    }
+                }
+            }
+            Response::ZzValues(Ok(values))
+        }
+        Request::SimInit { poly, n_ranks } => {
+            state.sim = Some(SimRank::init(&poly, state.rank, n_ranks));
+            Response::Ok
+        }
+        Request::SimExtrema => match &state.sim {
+            None => Response::Error("SimExtrema before SimInit".into()),
+            Some(sim) => {
+                let (lo, hi) = sim.extrema();
+                Response::Scalar2(lo, hi)
+            }
+        },
+        Request::SimQuantCheck { gmin, fits } => match &state.sim {
+            None => Response::Error("SimQuantCheck before SimInit".into()),
+            Some(sim) => Response::Scalar(sim.quant_check(gmin, fits)),
+        },
+        Request::SimQuantCommit { gmin } => match &mut state.sim {
+            None => Response::Error("SimQuantCommit before SimInit".into()),
+            Some(sim) => {
+                sim.quant_commit(gmin);
+                Response::Ok
+            }
+        },
+        Request::SimLayerLocal { gamma, beta } => match &mut state.sim {
+            None => Response::Error("SimLayerLocal before SimInit".into()),
+            Some(sim) => {
+                sim.layer_local(gamma, beta);
+                Response::Ok
+            }
+        },
+        Request::SimMixHigh { beta } => match &mut state.sim {
+            None => Response::Error("SimMixHigh before SimInit".into()),
+            Some(sim) => {
+                sim.mix_high(beta);
+                Response::Ok
+            }
+        },
+        Request::SimTakeSlice => match &mut state.sim {
+            None => Response::Error("SimTakeSlice before SimInit".into()),
+            Some(sim) => Response::Amps(std::mem::take(&mut sim.amps)),
+        },
+        Request::SimSetSlice { amps } => match &mut state.sim {
+            None => Response::Error("SimSetSlice before SimInit".into()),
+            Some(sim) => {
+                sim.amps = amps;
+                Response::Ok
+            }
+        },
+        Request::SimReduce => match &state.sim {
+            None => Response::Error("SimReduce before SimInit".into()),
+            Some(sim) => {
+                let (exp, lmin) = sim.reduce();
+                Response::Scalar2(exp, lmin)
+            }
+        },
+        Request::SimOverlap { min_cost } => match &state.sim {
+            None => Response::Error("SimOverlap before SimInit".into()),
+            Some(sim) => Response::Scalar(sim.overlap(min_cost)),
+        },
+        Request::SimGather => match &state.sim {
+            None => Response::Error("SimGather before SimInit".into()),
+            Some(sim) => Response::Amps(sim.amps.clone()),
+        },
+    }
+}
+
+/// The spawn-self worker entry. Returns `false` immediately when
+/// [`WORKER_ADDR_ENV`] is unset (the process is not a worker); otherwise
+/// connects back to the driver, serves requests until `Shutdown` or
+/// disconnect, and **exits the process** (never returns).
+pub fn maybe_run_from_env() -> bool {
+    let Ok(addr) = std::env::var(WORKER_ADDR_ENV) else {
+        return false;
+    };
+    let rank: usize = std::env::var(WORKER_RANK_ENV)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let stall = std::env::var(WORKER_STALL_ENV)
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(Duration::from_millis);
+    let code = match run_worker(&addr, rank, stall) {
+        Ok(()) => 0,
+        Err(_) => 1,
+    };
+    std::process::exit(code);
+}
+
+fn run_worker(addr: &str, rank: usize, stall: Option<Duration>) -> std::io::Result<()> {
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    // Handshake: announce the rank so the driver can map accepted
+    // connections back to rank order regardless of connect timing.
+    write_frame(&mut stream, &(rank as u64).to_le_bytes())?;
+    let mut state = WorkerState::new(rank);
+    loop {
+        let (payload, _) = read_frame(&mut stream).map_err(io_error)?;
+        if let Some(d) = stall {
+            std::thread::sleep(d);
+        }
+        let req = decode_or_bail(&payload)?;
+        let shutdown = matches!(req, Request::Shutdown);
+        let resp = handle(&mut state, req);
+        write_frame(&mut stream, &wire::encode_response(&resp))?;
+        if shutdown {
+            return Ok(());
+        }
+    }
+}
+
+fn decode_or_bail(payload: &[u8]) -> std::io::Result<Request> {
+    wire::decode_request(payload)
+        .map_err(|e: WireError| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+fn io_error(e: wire::FrameReadError) -> std::io::Error {
+    match e {
+        wire::FrameReadError::Io(e) => e,
+        wire::FrameReadError::Wire(w) => {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, w.to_string())
+        }
+    }
+}

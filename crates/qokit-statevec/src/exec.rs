@@ -24,6 +24,19 @@
 //!    with default options picks up the vectorizable layout without
 //!    call-site changes.
 //!
+//! # Environment caching (read-once semantics)
+//!
+//! `QOKIT_LAYOUT` (via [`Layout::auto`]) and `QOKIT_SIMD` (via the gate in
+//! `crate::simd`) are each read **once per process**, on first use, and
+//! cached in a `OnceLock` — the hot kernels must not pay a `getenv` (and
+//! its libc lock) per dispatch. The corollary: mutating these variables
+//! after the first default-policy simulator or split kernel has run is
+//! silently ignored. Set them before the process does any statevector
+//! work. Tests and long-lived processes that must observe a live value
+//! use the uncached readers ([`Layout::from_env_uncached`],
+//! `simd_env_enabled_uncached`), which re-read the environment on every
+//! call and bypass the cache.
+//!
 //! # Thread-count resolution
 //!
 //! The `QOKIT_THREADS` environment variable governs the default worker
@@ -104,16 +117,29 @@ impl Layout {
     /// Resolves the default layout from the `QOKIT_LAYOUT` environment
     /// variable: `split` (case-insensitive, also `soa`) selects
     /// [`Layout::Split`]; anything else — including unset — selects
-    /// [`Layout::Interleaved`]. The value is read once per process and
-    /// cached.
+    /// [`Layout::Interleaved`].
+    ///
+    /// **Read-once semantics** (see the [module docs](self)): the variable
+    /// is read on the *first* call and cached in a `OnceLock` for the life
+    /// of the process — flipping `QOKIT_LAYOUT` after any default-layout
+    /// simulator has been built is silently ignored. Code that needs to
+    /// observe a live value (tests, long-lived daemons re-reading config)
+    /// must call [`Layout::from_env_uncached`] instead.
     pub fn auto() -> Layout {
         static LAYOUT: OnceLock<Layout> = OnceLock::new();
-        *LAYOUT.get_or_init(|| match std::env::var("QOKIT_LAYOUT") {
+        *LAYOUT.get_or_init(Layout::from_env_uncached)
+    }
+
+    /// Resolves the layout from `QOKIT_LAYOUT` on **every call**, bypassing
+    /// the [`Layout::auto`] cache. Same parsing rules; use this when the
+    /// environment may legitimately change under a running process.
+    pub fn from_env_uncached() -> Layout {
+        match std::env::var("QOKIT_LAYOUT") {
             Ok(v) if v.eq_ignore_ascii_case("split") || v.eq_ignore_ascii_case("soa") => {
                 Layout::Split
             }
             _ => Layout::Interleaved,
-        })
+        }
     }
 }
 
@@ -375,6 +401,26 @@ mod tests {
         // auto() resolves from the environment; it must agree with
         // Layout::auto() (both read the cached QOKIT_LAYOUT value).
         assert_eq!(ExecPolicy::auto().layout, Layout::auto());
+    }
+
+    #[test]
+    fn uncached_layout_reader_tracks_live_env_while_auto_stays_frozen() {
+        // Latch the cache BEFORE touching the env so concurrent tests (and
+        // this one) keep seeing the process-start value through auto().
+        let frozen = Layout::auto();
+        let saved = std::env::var("QOKIT_LAYOUT").ok();
+        std::env::set_var("QOKIT_LAYOUT", "split");
+        assert_eq!(Layout::from_env_uncached(), Layout::Split);
+        assert_eq!(Layout::auto(), frozen);
+        std::env::set_var("QOKIT_LAYOUT", "SoA");
+        assert_eq!(Layout::from_env_uncached(), Layout::Split);
+        std::env::set_var("QOKIT_LAYOUT", "interleaved");
+        assert_eq!(Layout::from_env_uncached(), Layout::Interleaved);
+        match saved {
+            Some(v) => std::env::set_var("QOKIT_LAYOUT", v),
+            None => std::env::remove_var("QOKIT_LAYOUT"),
+        }
+        assert_eq!(Layout::auto(), frozen);
     }
 
     #[test]

@@ -29,26 +29,39 @@
 use std::sync::OnceLock;
 
 /// `true` when the explicit SIMD paths should run: the CPU supports them
-/// and `QOKIT_SIMD` is not `0`. Resolved once per process.
+/// and `QOKIT_SIMD` is not `0`.
+///
+/// **Read-once semantics** (see `crate::exec`'s module docs): the gate is
+/// resolved on first call and cached for the life of the process —
+/// flipping `QOKIT_SIMD` afterwards is silently ignored. Use
+/// [`simd_env_enabled_uncached`] where a live read of the variable is
+/// required.
 pub fn simd_active() -> bool {
     static ACTIVE: OnceLock<bool> = OnceLock::new();
-    *ACTIVE.get_or_init(|| {
-        if matches!(std::env::var("QOKIT_SIMD"), Ok(v) if v == "0") {
-            return false;
-        }
-        #[cfg(target_arch = "x86_64")]
-        {
-            std::arch::is_x86_feature_detected!("avx2")
-        }
-        #[cfg(target_arch = "aarch64")]
-        {
-            true // NEON is baseline on aarch64.
-        }
-        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
-        {
-            false
-        }
-    })
+    *ACTIVE.get_or_init(|| simd_env_enabled_uncached() && cpu_supported())
+}
+
+/// Reads `QOKIT_SIMD` on **every call**, bypassing the [`simd_active`]
+/// cache: `true` unless the variable is exactly `"0"`. Note this is only
+/// the environment half of the gate — combine with CPU support to predict
+/// what a fresh process would do.
+pub fn simd_env_enabled_uncached() -> bool {
+    !matches!(std::env::var("QOKIT_SIMD"), Ok(v) if v == "0")
+}
+
+fn cpu_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        true // NEON is baseline on aarch64.
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        false
+    }
 }
 
 /// FWHT butterfly `(lo, hi) ← (lo + hi, lo − hi)` over equal-length runs.

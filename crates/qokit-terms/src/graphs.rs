@@ -333,6 +333,39 @@ pub struct EgoNet {
 }
 
 impl EgoNet {
+    /// Reassembles a cone from its accessor parts — the inverse of
+    /// `graph()`/`vertices()`/`distances()`/`radius()`, used to rebuild
+    /// cones that crossed a process boundary (qokit-dist's transport layer
+    /// ships cone shards to worker processes). The parts must come from a
+    /// real extraction: `vertices` and `dist` are per-compact-vertex maps,
+    /// and the seed endpoints sit at compact indices `0` and `1`.
+    ///
+    /// # Panics
+    /// If `vertices`/`dist` lengths disagree with the graph's vertex count
+    /// or the graph has fewer than two vertices (no seed edge).
+    pub fn from_parts(graph: Graph, vertices: Vec<usize>, dist: Vec<usize>, radius: usize) -> Self {
+        assert!(
+            graph.n_vertices() >= 2,
+            "an ego net needs its two seed vertices"
+        );
+        assert_eq!(
+            vertices.len(),
+            graph.n_vertices(),
+            "vertex map length must match the compact graph"
+        );
+        assert_eq!(
+            dist.len(),
+            graph.n_vertices(),
+            "distance map length must match the compact graph"
+        );
+        EgoNet {
+            graph,
+            vertices,
+            dist,
+            radius,
+        }
+    }
+
     /// The compact subgraph (seed endpoints at vertices `0` and `1`).
     pub fn graph(&self) -> &Graph {
         &self.graph

@@ -118,7 +118,10 @@ pub mod prelude {
         QaoaSimulator, SimOptions, SimResult, SweepNesting, SweepOptions, SweepPoint, SweepRunner,
     };
     pub use qokit_costvec::{CostVec, PrecomputeMethod};
-    pub use qokit_dist::{Axis, DistSweepOptions, DistSweepRunner, Grid2d, PointSource};
+    pub use qokit_dist::{
+        Axis, DistSweepOptions, DistSweepRunner, Grid2d, InProcessTransport, PointSource,
+        TcpTransport, Transport, TransportError, TransportErrorKind, TransportKind, WorkerSpawn,
+    };
     pub use qokit_statevec::{Backend, ExecPolicy, Layout, SplitStateVec, StateVec, C64};
     pub use qokit_terms::{Graph, SpinPolynomial, Term};
 }

@@ -217,6 +217,86 @@ proptest! {
     }
 }
 
+/// Spawn-self worker entry: when the TCP transport launches this test
+/// binary with `QOKIT_WORKER_ADDR` set, this "test" becomes the worker
+/// loop and exits the process when the driver shuts it down. In a normal
+/// test run the env var is absent and this is an instant no-op.
+#[test]
+fn tcp_worker_entry() {
+    qokit::dist::worker::maybe_run_from_env();
+}
+
+/// The same aggregate bits come out of the lane engine, the in-process
+/// transport, and real worker processes over loopback TCP, at 2 and 4
+/// ranks — the scan payloads genuinely leave the process and come back
+/// bit-identical.
+#[test]
+fn tcp_scan_matches_in_process_scan_bit_for_bit() {
+    use qokit::dist::{InProcessTransport, TcpTransport, Transport, WorkerSpawn};
+
+    let poly = labs_terms(6);
+    let grid = Grid2d::new(Axis::new(-0.7, 0.7, 9), Axis::new(-0.5, 0.5, 7));
+    let proto = || {
+        LandscapeAggregator::new(5).with_histogram(HistogramSpec {
+            rows: 9,
+            cols: 7,
+            bin_rows: 3,
+            bin_cols: 3,
+        })
+    };
+    let runner = |ranks| {
+        DistSweepRunner::with_options(
+            Arc::new(serial_sim(&poly)),
+            DistSweepOptions {
+                ranks,
+                sweep: SweepOptions {
+                    exec: ExecPolicy::rayon().with_min_len(1).with_min_chunk(4),
+                    nested: SweepNesting::PointsParallel,
+                },
+                chunk: 5,
+            },
+        )
+    };
+    // Ground truth: the classic lane-engine scan (rank count is irrelevant
+    // to its bits, pinned by the proptest above).
+    let reference = runner(1).scan(&grid, proto());
+
+    let spawn = WorkerSpawn::test_entry("tcp_worker_entry").expect("current_exe");
+    for ranks in [2usize, 4] {
+        let r = runner(ranks);
+        let mut inproc = InProcessTransport::new(ranks);
+        let ip = r.try_scan_on(&mut inproc, &poly, &grid, proto()).unwrap();
+        let mut tcp = TcpTransport::spawn(ranks, &spawn).expect("spawn workers");
+        let over_tcp = r.try_scan_on(&mut tcp, &poly, &grid, proto()).unwrap();
+
+        for (label, scan) in [("in-process", &ip), ("tcp", &over_tcp)] {
+            assert_eq!(scan.points, reference.points, "{label} K={ranks}");
+            assert_eq!(scan.agg.count(), reference.agg.count(), "{label} K={ranks}");
+            assert_eq!(
+                scan.agg.argmin(),
+                reference.agg.argmin(),
+                "{label} K={ranks}"
+            );
+            assert_eq!(
+                scan.agg.min_energy().unwrap().to_bits(),
+                reference.agg.min_energy().unwrap().to_bits(),
+                "{label} K={ranks}"
+            );
+            assert_eq!(scan.agg.top_k(), reference.agg.top_k(), "{label} K={ranks}");
+            assert_eq!(
+                scan.agg.histogram(),
+                reference.agg.histogram(),
+                "{label} K={ranks}"
+            );
+        }
+        assert_eq!(over_tcp.supersteps, ip.supersteps);
+        // The in-process transport moves no wire bytes; TCP reports the
+        // real framed traffic.
+        assert_eq!(inproc.stats().total_bytes(), 0);
+        assert!(tcp.stats().total_bytes() > 0, "K={ranks}");
+    }
+}
+
 /// A scan bigger than any rank's chunk budget: 2^16 lazily generated
 /// points streamed through 4 ranks in 2^10-point chunks — the (debug-
 /// scaled) shape of the ≥2^20-point production scan `abl_landscape`

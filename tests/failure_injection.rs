@@ -67,6 +67,49 @@ fn quantization_off_grid_points_to_the_culprit() {
 }
 
 #[test]
+fn quantization_rejects_nan_costs() {
+    // Regression: NaN passed both the span and integrality checks (every
+    // `NaN > x` comparison is false) and `NaN as u16` silently produced
+    // level 0 — the global minimum.
+    match CostVec::quantize_exact(&[1.0, f64::NAN], 1.0) {
+        Err(QuantizeError::NonFinite { index, value }) => {
+            assert_eq!(index, 1);
+            assert!(value.is_nan());
+        }
+        other => panic!("expected NonFinite, got {other:?}"),
+    }
+}
+
+#[test]
+fn poisoned_recycler_shard_does_not_kill_the_next_sweep() {
+    // Regression: the buffer recycler used `lock().unwrap()`, so a panic
+    // while a shard lock was held poisoned the mutex and the *next* sweep
+    // panicked inside `checkout` — contradicting the "pools stay
+    // reusable" guarantee the rest of this suite pins.
+    use qokit::core::batch::{SweepOptions, SweepPoint, SweepRunner};
+    use qokit::statevec::ExecPolicy;
+    let runner = SweepRunner::with_options(
+        FurSimulator::new(&labs_terms(5)),
+        SweepOptions {
+            exec: ExecPolicy::serial(),
+            ..SweepOptions::default()
+        },
+    );
+    let points: Vec<SweepPoint> = (0..4)
+        .map(|i| SweepPoint::p1(0.1 * i as f64, 0.2))
+        .collect();
+    let clean = runner.energies(&points);
+    runner.debug_poison_recycler();
+    // The serial backend evaluates on this thread, so every checkout hits
+    // the poisoned shard; it must recover (dropping the cached buffers),
+    // not panic — and the energies must be unaffected.
+    let after = runner.energies(&points);
+    for (a, b) in clean.iter().zip(&after) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+#[test]
 fn tensornet_width_cap_reports_rank_and_cap() {
     let poly = labs_terms(9);
     let err = qokit::tensornet::qaoa_amplitude(&poly, &[0.1; 3], &[0.2; 3], 0, 4).unwrap_err();
@@ -298,6 +341,7 @@ fn poisoned_point_in_a_dist_scan_names_rank_and_global_index() {
             assert_eq!(*index, 9);
             assert!(message.contains("same length"), "{message}");
         }
+        other => panic!("unexpected error: {other:?}"),
     }
     assert!(err.to_string().contains("point 9"), "{err}");
     assert!(err.to_string().contains("rank 2"), "{err}");
