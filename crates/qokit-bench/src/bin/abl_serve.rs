@@ -1,0 +1,216 @@
+//! Serving ablation — what the precompute cache and the job queue buy.
+//!
+//! An in-process `qokit-serve` server on loopback TCP answers small
+//! sweep jobs (a 2×2 grid: four evolutions) at `n` qubits. Two numbers
+//! matter:
+//!
+//! * **cold vs warm latency** — a cold job pays the `2^n` cost-diagonal
+//!   precompute before its four evolutions; a warm job starts from the
+//!   problem-keyed cache. The gap is the cache's whole value
+//!   proposition, and it widens with `n` and `|T|`.
+//! * **jobs/sec at queue depth D** — D concurrent clients submitting
+//!   back-to-back warm jobs; measures queue + framing overhead and lane
+//!   scaling, not kernel throughput.
+//!
+//! Results go to `BENCH_serve.json` (path override: `QOKIT_BENCH_JSON`);
+//! the schema is validated by the `schema_check` binary in CI.
+//!
+//! With `QOKIT_ABL_ASSERT=1` the binary exits non-zero unless every
+//! latency and rate is finite and positive and the warm path is at least
+//! as fast as the cold path (`warm_speedup >= 1.0`).
+
+use qokit_bench::{bench_n, fast_mode, fmt_time, print_table, time_once};
+use qokit_dist::wire::SweepSimSpec;
+use qokit_dist::{Axis, Grid2d};
+use qokit_serve::{ProgressAction, ServeClient, Server, ServerConfig, SweepJob};
+use qokit_statevec::Layout;
+use qokit_terms::labs::labs_terms;
+use qokit_terms::{SpinPolynomial, Term};
+use std::io::Write;
+
+fn main() {
+    let n = bench_n(16);
+    let reps = if fast_mode() { 3 } else { 5 };
+    let depths: &[usize] = &[1, 4, 16];
+    let jobs_per_depth = if fast_mode() { 24 } else { 96 };
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let width = rayon::current_num_threads().max(1);
+    let lanes = 2usize;
+    let queue_capacity = 64usize;
+
+    let handle = Server::bind(ServerConfig {
+        queue_capacity,
+        lanes,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback listener")
+    .spawn_thread()
+    .expect("spawn serve thread");
+    let addr = handle.addr();
+
+    let spec = SweepSimSpec {
+        precompute: qokit_costvec::PrecomputeMethod::Direct,
+        quantize_u16: false,
+        layout: Layout::Interleaved,
+    };
+    let job_for = |poly: SpinPolynomial| SweepJob {
+        poly,
+        spec,
+        grid: Grid2d::new(Axis::new(-0.5, 0.5, 2), Axis::new(-0.5, 0.5, 2)),
+        top_k: 4,
+        chunk: 4,
+        deadline_ms: 0,
+        progress_every: 0,
+    };
+    // Distinct problems for the cold runs: a tagged extra term changes
+    // the cache key without changing the workload shape.
+    let cold_poly = |rep: usize| {
+        let base = labs_terms(n);
+        let mut terms = base.terms().to_vec();
+        terms.push(Term {
+            weight: 1.0 + rep as f64,
+            mask: 0b11,
+        });
+        SpinPolynomial::new(n, terms)
+    };
+
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client.ping().expect("ping");
+
+    // --- Cold latency: every rep a never-seen problem ------------------
+    let mut cold_times = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let job = job_for(cold_poly(rep));
+        let mut hit = true;
+        cold_times.push(time_once(|| {
+            hit = client
+                .submit_sweep(&job, |_| ProgressAction::Continue)
+                .expect("cold sweep rpc")
+                .done()
+                .expect("cold sweep ran")
+                .cache_hit;
+        }));
+        assert!(!hit, "cold rep {rep} unexpectedly hit the cache");
+    }
+    cold_times.sort_by(f64::total_cmp);
+    let cold = cold_times[cold_times.len() / 2];
+
+    // --- Warm latency: the same problem, now cached --------------------
+    let warm_job = job_for(cold_poly(0));
+    let mut warm_times = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let mut hit = false;
+        warm_times.push(time_once(|| {
+            hit = client
+                .submit_sweep(&warm_job, |_| ProgressAction::Continue)
+                .expect("warm sweep rpc")
+                .done()
+                .expect("warm sweep ran")
+                .cache_hit;
+        }));
+        assert!(hit, "warm rep {rep} missed the cache");
+    }
+    warm_times.sort_by(f64::total_cmp);
+    let warm = warm_times[warm_times.len() / 2];
+    let warm_speedup = cold / warm;
+
+    // --- Throughput at queue depth D -----------------------------------
+    let mut rows = vec![
+        vec![
+            "cold (build + sweep)".to_string(),
+            fmt_time(cold),
+            String::new(),
+        ],
+        vec![
+            format!("warm (cache hit, {warm_speedup:.2}x)"),
+            fmt_time(warm),
+            String::new(),
+        ],
+    ];
+    let mut depth_records = Vec::new();
+    let mut rates_ok = true;
+    for &depth in depths {
+        let jobs = jobs_per_depth - (jobs_per_depth % depth);
+        let per_client = jobs / depth;
+        let warm_job = &warm_job;
+        let seconds = time_once(|| {
+            std::thread::scope(|scope| {
+                for _ in 0..depth {
+                    scope.spawn(move || {
+                        let mut c = ServeClient::connect(addr).expect("connect depth client");
+                        for _ in 0..per_client {
+                            c.submit_sweep(warm_job, |_| ProgressAction::Continue)
+                                .expect("depth sweep rpc")
+                                .done()
+                                .expect("depth sweep ran");
+                        }
+                    });
+                }
+            });
+        });
+        let rate = jobs as f64 / seconds;
+        if !(seconds.is_finite() && seconds > 0.0 && rate.is_finite() && rate > 0.0) {
+            eprintln!("WARNING: depth {depth} produced a non-finite rate");
+            rates_ok = false;
+        }
+        rows.push(vec![
+            format!("depth {depth} ({jobs} jobs)"),
+            fmt_time(seconds),
+            format!("{rate:.1} jobs/s"),
+        ]);
+        depth_records.push(format!(
+            "    {{\"depth\": {depth}, \"jobs\": {jobs}, \"seconds\": {seconds:.6e}, \
+             \"jobs_per_sec\": {rate:.4}}}"
+        ));
+    }
+
+    let stats = client.cache_stats().expect("cache stats");
+    client.shutdown_server().expect("shutdown");
+    handle.join();
+
+    print_table(
+        &format!(
+            "Serve ablation, LABS n = {n}, 2x2-grid sweep jobs \
+             ({lanes} lanes over a {width}-worker pool, {hw} hw threads, \
+             cache: {} entries / {} hits / {} misses)",
+            stats.entries, stats.hits, stats.misses
+        ),
+        &["workload", "latency", "rate"],
+        &rows,
+    );
+    println!(
+        "\n(a cold job builds the 2^{n} cost diagonal before its four evolutions; a warm\n job starts from the problem-keyed precompute cache. Depth-D rows are D\n concurrent loopback clients submitting back-to-back warm jobs.)"
+    );
+
+    let json_path =
+        std::env::var("QOKIT_BENCH_JSON").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"abl_serve\",\n  \"n_qubits\": {n},\n  \"hw_threads\": {hw},\n  \"pool_width\": {width},\n  \"lanes\": {lanes},\n  \"queue_capacity\": {queue_capacity},\n  \"reps\": {reps},\n  \"cold_seconds\": {cold:.6e},\n  \"warm_seconds\": {warm:.6e},\n  \"warm_speedup\": {warm_speedup:.4},\n  \"queue_depths\": [\n{}\n  ]\n}}\n",
+        depth_records.join(",\n")
+    );
+    match std::fs::File::create(&json_path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(e) => eprintln!("\ncould not write {json_path}: {e}"),
+    }
+
+    if std::env::var("QOKIT_ABL_ASSERT").is_ok_and(|v| v == "1") {
+        if !(cold.is_finite() && cold > 0.0 && warm.is_finite() && warm > 0.0) {
+            eprintln!("ASSERT FAILED: non-finite cold/warm latency");
+            std::process::exit(1);
+        }
+        if warm_speedup < 1.0 {
+            eprintln!(
+                "ASSERT FAILED: warm path slower than cold ({warm_speedup:.3}x) — \
+                 the precompute cache is not paying for itself"
+            );
+            std::process::exit(1);
+        }
+        if !rates_ok {
+            eprintln!("ASSERT FAILED: a queue-depth rate was non-finite");
+            std::process::exit(1);
+        }
+        println!("assert ok: finite latencies, warm >= cold, finite throughput at every depth");
+    }
+}

@@ -481,6 +481,42 @@ pub fn validate_bench_json(text: &str) -> Result<String, String> {
                 }
             }
         }
+        "abl_serve" => {
+            for key in [
+                "n_qubits",
+                "hw_threads",
+                "pool_width",
+                "lanes",
+                "queue_capacity",
+                "reps",
+                "cold_seconds",
+                "warm_seconds",
+            ] {
+                finite_positive(&root, key)?;
+            }
+            // warm >= cold would be a cache that costs more than it saves;
+            // the run records the ratio so regressions are visible in CI.
+            let speedup = finite_positive(&root, "warm_speedup")?;
+            if speedup < 1.0 {
+                return Err(format!(
+                    "\"warm_speedup\" is {speedup}: a cache hit must not be slower than a \
+                     cold build"
+                ));
+            }
+            let rows = match root.get("queue_depths") {
+                Some(Json::Arr(rows)) if !rows.is_empty() => rows,
+                other => {
+                    return Err(format!(
+                        "\"queue_depths\" must be a non-empty array, got {other:?}"
+                    ))
+                }
+            };
+            for (i, row) in rows.iter().enumerate() {
+                for key in ["depth", "jobs", "seconds", "jobs_per_sec"] {
+                    finite_positive(row, key).map_err(|e| format!("queue_depths[{i}]: {e}"))?;
+                }
+            }
+        }
         other => return Err(format!("unknown bench kind \"{other}\"")),
     }
     Ok(bench)
@@ -716,6 +752,45 @@ mod tests {
         let bad_row = GOOD_SIMD_ROW.replace("\"speedup\": 1.31", "\"speedup\": 0.0");
         let err = validate_bench_json(&simd_fixture(&bad_row)).unwrap_err();
         assert!(err.contains("speedup"), "{err}");
+    }
+
+    fn serve_fixture(depths: &str) -> String {
+        format!(
+            r#"{{"bench": "abl_serve", "n_qubits": 16, "hw_threads": 4,
+                "pool_width": 4, "lanes": 2, "queue_capacity": 64, "reps": 5,
+                "cold_seconds": 4.1e-2, "warm_seconds": 1.7e-2,
+                "warm_speedup": 2.41, "queue_depths": [{depths}]}}"#
+        )
+    }
+
+    const GOOD_SERVE_DEPTHS: &str = r#"
+        {"depth": 1, "jobs": 96, "seconds": 1.7, "jobs_per_sec": 56.4},
+        {"depth": 4, "jobs": 96, "seconds": 0.9, "jobs_per_sec": 106.6},
+        {"depth": 16, "jobs": 96, "seconds": 0.8, "jobs_per_sec": 120.0}"#;
+
+    #[test]
+    fn accepts_a_valid_serve_record() {
+        assert_eq!(
+            validate_bench_json(&serve_fixture(GOOD_SERVE_DEPTHS)).unwrap(),
+            "abl_serve"
+        );
+    }
+
+    #[test]
+    fn rejects_a_cache_slower_than_cold() {
+        let bad = serve_fixture(GOOD_SERVE_DEPTHS)
+            .replace("\"warm_speedup\": 2.41", "\"warm_speedup\": 0.8");
+        let err = validate_bench_json(&bad).unwrap_err();
+        assert!(err.contains("warm_speedup"), "{err}");
+    }
+
+    #[test]
+    fn rejects_serve_records_missing_depths_or_rates() {
+        let err = validate_bench_json(&serve_fixture("")).unwrap_err();
+        assert!(err.contains("queue_depths"), "{err}");
+        let bad_row = GOOD_SERVE_DEPTHS.replace("\"jobs_per_sec\": 56.4", "\"jobs_per_sec\": 0.0");
+        let err = validate_bench_json(&serve_fixture(&bad_row)).unwrap_err();
+        assert!(err.contains("jobs_per_sec"), "{err}");
     }
 
     #[test]

@@ -45,6 +45,7 @@ use qokit_statevec::exec::{Backend, ExecPolicy};
 use qokit_statevec::StateVec;
 use rayon::prelude::*;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// One evaluation point of a sweep: the `p`-layer angle schedules.
@@ -216,8 +217,10 @@ impl Default for SweepOptions {
 }
 
 /// Error from a batched evaluation: the failing point's index and the
-/// panic message it produced. A panic poisons only its own point — the
-/// rest of the batch completes and the pool stays reusable.
+/// panic message it produced, or a cooperative cancellation. A panic
+/// poisons only its own point — the rest of the batch completes and the
+/// pool stays reusable; a cancellation stops cleanly at the next chunk
+/// boundary with the pool equally reusable.
 #[derive(Clone, Debug, PartialEq)]
 pub enum SweepError {
     /// One point's evaluation panicked.
@@ -227,6 +230,14 @@ pub enum SweepError {
         /// The panic payload, stringified.
         message: String,
     },
+    /// The scan's cancel flag was observed set at a chunk boundary
+    /// ([`SweepRunner::scan_into_cancellable`]). Points `0..evaluated`
+    /// were fully evaluated and observed by the sink; later points were
+    /// never started.
+    Cancelled {
+        /// Number of points evaluated before the scan stopped.
+        evaluated: u64,
+    },
 }
 
 impl std::fmt::Display for SweepError {
@@ -234,6 +245,9 @@ impl std::fmt::Display for SweepError {
         match self {
             SweepError::PointPanicked { index, message } => {
                 write!(f, "sweep point {index} panicked: {message}")
+            }
+            SweepError::Cancelled { evaluated } => {
+                write!(f, "sweep cancelled after {evaluated} points")
             }
         }
     }
@@ -490,6 +504,13 @@ impl SweepRunner {
                         });
                     }
                 }
+                // Per-point evaluation never reports a cancellation (that
+                // is a scan-loop concern); keep any such error as-is.
+                Err(other) => {
+                    if first_err.is_none() {
+                        first_err = Some(other);
+                    }
+                }
             }
         }
         match first_err {
@@ -529,11 +550,61 @@ impl SweepRunner {
         I: IntoIterator<Item = SweepPoint>,
         S: EnergySink,
     {
+        static NEVER: AtomicBool = AtomicBool::new(false);
+        self.scan_into_cancellable(points, chunk, sink, &NEVER)
+    }
+
+    /// [`scan_into`](Self::scan_into) with a cooperative cancellation
+    /// checkpoint at every chunk boundary: before dispatching a chunk the
+    /// scan loads `cancel` (`Relaxed`; any store made before the load is
+    /// honored) and, when set, stops with [`SweepError::Cancelled`]
+    /// carrying the number of points already evaluated — which is always a
+    /// multiple of `chunk` boundaries, so every observed point was folded
+    /// completely and in order. The runner, its buffers, and the pool stay
+    /// fully reusable afterwards; a scan that was never cancelled is
+    /// bit-identical to [`scan_into`](Self::scan_into).
+    ///
+    /// Deadlines compose on top: a watchdog (or the sink itself) sets the
+    /// flag and the scan stops within one chunk of work.
+    ///
+    /// ```
+    /// use qokit_core::batch::{SweepError, SweepPoint, SweepRunner};
+    /// use qokit_core::landscape::LandscapeAggregator;
+    /// use qokit_core::FurSimulator;
+    /// use qokit_terms::labs::labs_terms;
+    /// use std::sync::atomic::AtomicBool;
+    ///
+    /// let runner = SweepRunner::new(FurSimulator::new(&labs_terms(6)));
+    /// let mut agg = LandscapeAggregator::new(4);
+    /// let cancel = AtomicBool::new(true); // already cancelled
+    /// let r = runner.scan_into_cancellable(
+    ///     (0..100).map(|i| SweepPoint::p1(0.01 * i as f64, 0.4)),
+    ///     16,
+    ///     &mut agg,
+    ///     &cancel,
+    /// );
+    /// assert_eq!(r, Err(SweepError::Cancelled { evaluated: 0 }));
+    /// assert_eq!(agg.count(), 0);
+    /// ```
+    pub fn scan_into_cancellable<I, S>(
+        &self,
+        points: I,
+        chunk: usize,
+        sink: &mut S,
+        cancel: &AtomicBool,
+    ) -> Result<u64, SweepError>
+    where
+        I: IntoIterator<Item = SweepPoint>,
+        S: EnergySink,
+    {
         assert!(chunk > 0, "chunk size must be at least 1");
         let mut iter = points.into_iter();
         let mut buf: Vec<SweepPoint> = Vec::with_capacity(chunk);
         let mut base = 0u64;
         loop {
+            if cancel.load(Ordering::Relaxed) {
+                return Err(SweepError::Cancelled { evaluated: base });
+            }
             buf.clear();
             buf.extend(iter.by_ref().take(chunk));
             if buf.is_empty() {
@@ -688,6 +759,7 @@ impl SweepRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::landscape::LandscapeAggregator;
     use crate::simulator::{QaoaSimulator, SimOptions};
     use crate::Mixer;
     use qokit_terms::labs::labs_terms;
@@ -989,5 +1061,75 @@ mod tests {
         let a = runner.energies_p1(&pairs);
         let b = runner.energies(&[SweepPoint::p1(0.1, 0.5), SweepPoint::p1(0.2, 0.3)]);
         assert_eq!(a, b);
+    }
+
+    /// Sink that sets a shared cancel flag once it has observed `limit`
+    /// energies — the shape a deadline watchdog or a progress callback
+    /// takes in the serve layer.
+    struct CancellingSink<'a> {
+        agg: LandscapeAggregator,
+        limit: u64,
+        cancel: &'a AtomicBool,
+    }
+
+    impl EnergySink for CancellingSink<'_> {
+        fn observe(&mut self, index: u64, energy: f64) {
+            self.agg.observe(index, energy);
+            if self.agg.count() >= self.limit {
+                self.cancel.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_scan_stops_at_the_next_chunk_boundary() {
+        let runner = SweepRunner::new(serial_sim(5));
+        let cancel = AtomicBool::new(false);
+        let mut sink = CancellingSink {
+            agg: LandscapeAggregator::new(2),
+            limit: 10, // fires inside the second 8-point chunk
+            cancel: &cancel,
+        };
+        let r = runner.scan_into_cancellable(
+            (0..100).map(|i| SweepPoint::p1(0.01 * i as f64, 0.3)),
+            8,
+            &mut sink,
+            &cancel,
+        );
+        // The flag fired mid-chunk; the running chunk completes (16 points
+        // observed) and the third chunk is never started.
+        assert_eq!(r, Err(SweepError::Cancelled { evaluated: 16 }));
+        assert_eq!(sink.agg.count(), 16);
+
+        // Runner and flag are reusable: clearing the flag resumes cleanly.
+        cancel.store(false, Ordering::Relaxed);
+        let mut agg = LandscapeAggregator::new(2);
+        let n = runner
+            .scan_into_cancellable(
+                (0..20).map(|i| SweepPoint::p1(0.01 * i as f64, 0.3)),
+                8,
+                &mut agg,
+                &cancel,
+            )
+            .unwrap();
+        assert_eq!(n, 20);
+        assert_eq!(agg.count(), 20);
+    }
+
+    #[test]
+    fn uncancelled_scan_is_bit_identical_to_scan_into() {
+        let runner = SweepRunner::new(serial_sim(6));
+        let cancel = AtomicBool::new(false);
+        let points = || (0..40).map(|i| SweepPoint::p1(0.02 * i as f64, -0.4));
+        let mut a = LandscapeAggregator::new(4);
+        let mut b = LandscapeAggregator::new(4);
+        runner.scan_into(points(), 7, &mut a).unwrap();
+        runner
+            .scan_into_cancellable(points(), 7, &mut b, &cancel)
+            .unwrap();
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.sum().to_bits(), b.sum().to_bits());
+        assert_eq!(a.argmin(), b.argmin());
+        assert_eq!(a.top_k(), b.top_k());
     }
 }

@@ -40,6 +40,7 @@
 pub mod comm;
 pub mod dist_sim;
 pub mod dist_sweep;
+pub mod frame;
 pub mod lightcone;
 pub mod model;
 pub mod transport;

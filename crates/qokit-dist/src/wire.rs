@@ -1,24 +1,11 @@
-//! Dependency-free binary framing and message codec for the transport
-//! layer ([`crate::transport`]).
-//!
-//! # Frame format
-//!
-//! Every message on a transport connection is one length-prefixed frame:
-//!
-//! ```text
-//! offset  size  field
-//! 0       4     magic   "QOKT" (0x514F4B54, little-endian u32)
-//! 4       4     length  payload byte count (little-endian u32)
-//! 8       8     FNV-1a 64-bit checksum of the payload (little-endian u64)
-//! 16      len   payload (one encoded Request or Response)
-//! ```
-//!
-//! The magic word catches stream desynchronization, the length prefix
-//! bounds the read, and the checksum catches payload corruption or
-//! truncation-with-padding — any mismatch surfaces as a [`WireError`]
-//! (never a misparse). Numbers are little-endian throughout; `f64` values
-//! travel as their exact IEEE-754 bit patterns, so floating-point data is
-//! reproduced bit for bit on the far side.
+//! Message codec for the rank-transport layer ([`crate::transport`]),
+//! built on the shared frame codec in [`crate::frame`] (magic + u32
+//! length + FNV-1a-64 checksum; see that module for the byte layout).
+//! This module owns only the *messages*: the [`Request`]/[`Response`]
+//! enums and the domain value codecs (polynomials, sweep points,
+//! amplitude slices, ego nets) they are built from. The serve layer
+//! (`qokit-serve`) reuses the same frames and domain codecs for its own
+//! message set.
 
 use qokit_core::batch::SweepPoint;
 use qokit_costvec::PrecomputeMethod;
@@ -27,344 +14,95 @@ use qokit_statevec::C64;
 use qokit_terms::graphs::{EgoNet, Graph};
 use qokit_terms::{SpinPolynomial, Term};
 
-/// Frame magic word (`"QOKT"` as a little-endian u32).
-pub const MAGIC: u32 = 0x514F_4B54;
+pub use crate::frame::{
+    check_payload, decode_header, encode_frame, fnv1a64, read_frame, write_frame, ByteReader,
+    ByteWriter, FrameReadError, WireError, MAGIC, MAX_PAYLOAD,
+};
 
-/// Hard ceiling on a frame payload (1 GiB) — a corrupt length prefix must
-/// not become an allocation bomb.
-pub const MAX_PAYLOAD: usize = 1 << 30;
-
-/// Decode-side failures. Transports wrap these into rank-tagged
-/// [`TransportError`](crate::transport::TransportError)s.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum WireError {
-    /// The buffer ended before the announced field did.
-    Truncated,
-    /// Frame did not start with [`MAGIC`].
-    BadMagic(u32),
-    /// The length prefix exceeded [`MAX_PAYLOAD`].
-    TooLarge(usize),
-    /// Payload checksum mismatch.
-    ChecksumMismatch {
-        /// Checksum announced by the frame header.
-        expected: u64,
-        /// Checksum of the payload actually received.
-        actual: u64,
-    },
-    /// Unknown message tag byte.
-    BadTag(u8),
-}
-
-impl std::fmt::Display for WireError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            WireError::Truncated => write!(f, "frame payload truncated"),
-            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
-            WireError::TooLarge(n) => write!(f, "frame payload of {n} bytes exceeds the cap"),
-            WireError::ChecksumMismatch { expected, actual } => write!(
-                f,
-                "frame checksum mismatch: header says {expected:#018x}, payload hashes to {actual:#018x}"
-            ),
-            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
-        }
+/// Encodes a [`SpinPolynomial`] (vars, then `(weight, mask)` terms).
+pub fn put_poly(w: &mut ByteWriter, p: &SpinPolynomial) {
+    w.usize(p.n_vars());
+    w.usize(p.num_terms());
+    for t in p.terms() {
+        w.f64(t.weight);
+        w.u64(t.mask);
     }
 }
 
-impl std::error::Error for WireError {}
-
-/// FNV-1a 64-bit hash — the frame checksum. Not cryptographic; it guards
-/// against truncation and bit rot, not adversaries.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+/// Decodes a [`SpinPolynomial`] written by [`put_poly`].
+pub fn get_poly(r: &mut ByteReader<'_>) -> Result<SpinPolynomial, WireError> {
+    let n_vars = r.usize()?;
+    let n_terms = r.len_prefix(16)?;
+    let mut terms = Vec::with_capacity(n_terms);
+    for _ in 0..n_terms {
+        let weight = r.f64()?;
+        let mask = r.u64()?;
+        terms.push(Term { weight, mask });
     }
-    h
+    Ok(SpinPolynomial::new(n_vars, terms))
 }
 
-/// Encodes `payload` into a complete frame (header + payload).
-pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
-    assert!(payload.len() <= MAX_PAYLOAD, "frame payload too large");
-    let mut out = Vec::with_capacity(16 + payload.len());
-    out.extend_from_slice(&MAGIC.to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
-    out.extend_from_slice(payload);
-    out
+/// Encodes a [`SweepPoint`] (per-layer γ then β).
+pub fn put_point(w: &mut ByteWriter, p: &SweepPoint) {
+    w.f64s(&p.gammas);
+    w.f64s(&p.betas);
 }
 
-/// Validates a frame header and returns the announced payload length.
-pub fn decode_header(header: &[u8; 16]) -> Result<(usize, u64), WireError> {
-    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
-    if magic != MAGIC {
-        return Err(WireError::BadMagic(magic));
-    }
-    let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
-    if len > MAX_PAYLOAD {
-        return Err(WireError::TooLarge(len));
-    }
-    let checksum = u64::from_le_bytes(header[8..16].try_into().unwrap());
-    Ok((len, checksum))
+/// Decodes a [`SweepPoint`] written by [`put_point`].
+pub fn get_point(r: &mut ByteReader<'_>) -> Result<SweepPoint, WireError> {
+    let gammas = r.f64s()?;
+    let betas = r.f64s()?;
+    Ok(SweepPoint::new(gammas, betas))
 }
 
-/// Verifies a received payload against the header's checksum.
-pub fn check_payload(payload: &[u8], expected: u64) -> Result<(), WireError> {
-    let actual = fnv1a64(payload);
-    if actual != expected {
-        return Err(WireError::ChecksumMismatch { expected, actual });
-    }
-    Ok(())
-}
-
-/// A failed frame read: either transport-level I/O (connection dead,
-/// timeout) or a malformed frame (bad magic/length/checksum).
-#[derive(Debug)]
-pub enum FrameReadError {
-    /// The underlying stream failed (EOF, reset, timeout, ...).
-    Io(std::io::Error),
-    /// The stream delivered bytes, but they are not a valid frame.
-    Wire(WireError),
-}
-
-impl std::fmt::Display for FrameReadError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            FrameReadError::Io(e) => write!(f, "frame I/O failed: {e}"),
-            FrameReadError::Wire(e) => write!(f, "malformed frame: {e}"),
-        }
+fn put_amps(w: &mut ByteWriter, v: &[C64]) {
+    w.usize(v.len());
+    for a in v {
+        w.f64(a.re);
+        w.f64(a.im);
     }
 }
 
-impl std::error::Error for FrameReadError {}
-
-/// Writes one complete frame, returning the bytes put on the wire
-/// (header + payload).
-pub fn write_frame<W: std::io::Write>(w: &mut W, payload: &[u8]) -> std::io::Result<usize> {
-    let frame = encode_frame(payload);
-    w.write_all(&frame)?;
-    w.flush()?;
-    Ok(frame.len())
+fn get_amps(r: &mut ByteReader<'_>) -> Result<Vec<C64>, WireError> {
+    let n = r.len_prefix(16)?;
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        let re = r.f64()?;
+        let im = r.f64()?;
+        v.push(C64::new(re, im));
+    }
+    Ok(v)
 }
 
-/// Reads one complete frame, validating magic, length, and checksum.
-/// Returns the payload and the total bytes read off the wire.
-pub fn read_frame<R: std::io::Read>(r: &mut R) -> Result<(Vec<u8>, usize), FrameReadError> {
-    let mut header = [0u8; 16];
-    r.read_exact(&mut header).map_err(FrameReadError::Io)?;
-    let (len, checksum) = decode_header(&header).map_err(FrameReadError::Wire)?;
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload).map_err(FrameReadError::Io)?;
-    check_payload(&payload, checksum).map_err(FrameReadError::Wire)?;
-    Ok((payload, 16 + len))
+fn put_ego(w: &mut ByteWriter, e: &EgoNet) {
+    let g = e.graph();
+    w.usize(g.n_vertices());
+    w.usize(g.n_edges());
+    for &(u, v, weight) in g.edges() {
+        w.usize(u);
+        w.usize(v);
+        w.f64(weight);
+    }
+    w.usizes(e.vertices());
+    w.usizes(e.distances());
+    w.usize(e.radius());
 }
 
-/// Little-endian byte sink for message encoding.
-#[derive(Default)]
-pub struct ByteWriter {
-    buf: Vec<u8>,
-}
-
-impl ByteWriter {
-    /// A fresh, empty writer.
-    pub fn new() -> Self {
-        Self::default()
+fn get_ego(r: &mut ByteReader<'_>) -> Result<EgoNet, WireError> {
+    let n = r.usize()?;
+    let n_edges = r.len_prefix(24)?;
+    let mut edges = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        let u = r.usize()?;
+        let v = r.usize()?;
+        let w = r.f64()?;
+        edges.push((u, v, w));
     }
-
-    /// The encoded bytes.
-    pub fn into_vec(self) -> Vec<u8> {
-        self.buf
-    }
-
-    fn u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-
-    fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
-    }
-
-    fn usize(&mut self, v: usize) {
-        self.u64(v as u64);
-    }
-
-    fn f64s(&mut self, v: &[f64]) {
-        self.usize(v.len());
-        for &x in v {
-            self.f64(x);
-        }
-    }
-
-    fn usizes(&mut self, v: &[usize]) {
-        self.usize(v.len());
-        for &x in v {
-            self.usize(x);
-        }
-    }
-
-    fn string(&mut self, s: &str) {
-        self.usize(s.len());
-        self.buf.extend_from_slice(s.as_bytes());
-    }
-
-    fn poly(&mut self, p: &SpinPolynomial) {
-        self.usize(p.n_vars());
-        self.usize(p.num_terms());
-        for t in p.terms() {
-            self.f64(t.weight);
-            self.u64(t.mask);
-        }
-    }
-
-    fn point(&mut self, p: &SweepPoint) {
-        self.f64s(&p.gammas);
-        self.f64s(&p.betas);
-    }
-
-    fn amps(&mut self, v: &[C64]) {
-        self.usize(v.len());
-        for a in v {
-            self.f64(a.re);
-            self.f64(a.im);
-        }
-    }
-
-    fn ego(&mut self, e: &EgoNet) {
-        let g = e.graph();
-        self.usize(g.n_vertices());
-        self.usize(g.n_edges());
-        for &(u, v, w) in g.edges() {
-            self.usize(u);
-            self.usize(v);
-            self.f64(w);
-        }
-        self.usizes(e.vertices());
-        self.usizes(e.distances());
-        self.usize(e.radius());
-    }
-}
-
-/// Little-endian byte source for message decoding. Every accessor checks
-/// bounds and returns [`WireError::Truncated`] instead of panicking.
-pub struct ByteReader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> ByteReader<'a> {
-    /// A reader over an encoded payload.
-    pub fn new(buf: &'a [u8]) -> Self {
-        ByteReader { buf, pos: 0 }
-    }
-
-    /// `true` when every byte has been consumed.
-    pub fn is_exhausted(&self) -> bool {
-        self.pos == self.buf.len()
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
-        if end > self.buf.len() {
-            return Err(WireError::Truncated);
-        }
-        let s = &self.buf[self.pos..end];
-        self.pos = end;
-        Ok(s)
-    }
-
-    fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    fn f64(&mut self) -> Result<f64, WireError> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-
-    fn usize(&mut self) -> Result<usize, WireError> {
-        let v = self.u64()?;
-        usize::try_from(v).map_err(|_| WireError::Truncated)
-    }
-
-    /// A length prefix that must be coverable by the remaining bytes when
-    /// each element occupies at least `min_elem_bytes` — rejects corrupt
-    /// lengths before they become huge allocations.
-    fn len_prefix(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
-        let n = self.usize()?;
-        if n.saturating_mul(min_elem_bytes) > self.buf.len() - self.pos {
-            return Err(WireError::Truncated);
-        }
-        Ok(n)
-    }
-
-    fn f64s(&mut self) -> Result<Vec<f64>, WireError> {
-        let n = self.len_prefix(8)?;
-        (0..n).map(|_| self.f64()).collect()
-    }
-
-    fn usizes(&mut self) -> Result<Vec<usize>, WireError> {
-        let n = self.len_prefix(8)?;
-        (0..n).map(|_| self.usize()).collect()
-    }
-
-    fn string(&mut self) -> Result<String, WireError> {
-        let n = self.len_prefix(1)?;
-        let bytes = self.take(n)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Truncated)
-    }
-
-    fn poly(&mut self) -> Result<SpinPolynomial, WireError> {
-        let n_vars = self.usize()?;
-        let n_terms = self.len_prefix(16)?;
-        let mut terms = Vec::with_capacity(n_terms);
-        for _ in 0..n_terms {
-            let weight = self.f64()?;
-            let mask = self.u64()?;
-            terms.push(Term { weight, mask });
-        }
-        Ok(SpinPolynomial::new(n_vars, terms))
-    }
-
-    fn point(&mut self) -> Result<SweepPoint, WireError> {
-        let gammas = self.f64s()?;
-        let betas = self.f64s()?;
-        Ok(SweepPoint::new(gammas, betas))
-    }
-
-    fn amps(&mut self) -> Result<Vec<C64>, WireError> {
-        let n = self.len_prefix(16)?;
-        let mut v = Vec::with_capacity(n);
-        for _ in 0..n {
-            let re = self.f64()?;
-            let im = self.f64()?;
-            v.push(C64::new(re, im));
-        }
-        Ok(v)
-    }
-
-    fn ego(&mut self) -> Result<EgoNet, WireError> {
-        let n = self.usize()?;
-        let n_edges = self.len_prefix(24)?;
-        let mut edges = Vec::with_capacity(n_edges);
-        for _ in 0..n_edges {
-            let u = self.usize()?;
-            let v = self.usize()?;
-            let w = self.f64()?;
-            edges.push((u, v, w));
-        }
-        let graph = Graph::new(n, edges);
-        let vertices = self.usizes()?;
-        let dist = self.usizes()?;
-        let radius = self.usize()?;
-        Ok(EgoNet::from_parts(graph, vertices, dist, radius))
-    }
+    let graph = Graph::new(n, edges);
+    let vertices = r.usizes()?;
+    let dist = r.usizes()?;
+    let radius = r.usize()?;
+    Ok(EgoNet::from_parts(graph, vertices, dist, radius))
 }
 
 /// How the worker should quantize/precompute the cost diagonal of a sweep
@@ -510,7 +248,9 @@ const RESP_ZZ: u8 = 4;
 const RESP_AMPS: u8 = 5;
 const RESP_ERROR: u8 = 6;
 
-fn spec_byte(spec: &SweepSimSpec) -> u8 {
+/// Packs a [`SweepSimSpec`] into its one wire byte (precompute ∥ quantize
+/// ∥ layout) — also the spec component of `qokit-serve` cache keys.
+pub fn spec_byte(spec: &SweepSimSpec) -> u8 {
     let mut b = 0u8;
     if matches!(spec.precompute, PrecomputeMethod::Fwht) {
         b |= 1;
@@ -524,7 +264,8 @@ fn spec_byte(spec: &SweepSimSpec) -> u8 {
     b
 }
 
-fn spec_from_byte(b: u8) -> SweepSimSpec {
+/// Inverse of [`spec_byte`].
+pub fn spec_from_byte(b: u8) -> SweepSimSpec {
     SweepSimSpec {
         precompute: if b & 1 != 0 {
             PrecomputeMethod::Fwht
@@ -549,13 +290,13 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::SweepInit { poly, spec } => {
             w.u8(REQ_SWEEP_INIT);
             w.u8(spec_byte(spec));
-            w.poly(poly);
+            put_poly(&mut w, poly);
         }
         Request::SweepChunk { points } => {
             w.u8(REQ_SWEEP_CHUNK);
             w.usize(points.len());
             for p in points {
-                w.point(p);
+                put_point(&mut w, p);
             }
         }
         Request::ConeShard {
@@ -567,7 +308,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.usize(cones.len());
             for (edge, ego) in cones {
                 w.u64(*edge);
-                w.ego(ego);
+                put_ego(&mut w, ego);
             }
             w.f64s(gammas);
             w.f64s(betas);
@@ -575,7 +316,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::SimInit { poly, n_ranks } => {
             w.u8(REQ_SIM_INIT);
             w.usize(*n_ranks);
-            w.poly(poly);
+            put_poly(&mut w, poly);
         }
         Request::SimExtrema => w.u8(REQ_SIM_EXTREMA),
         Request::SimQuantCheck { gmin, fits } => {
@@ -599,7 +340,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::SimTakeSlice => w.u8(REQ_SIM_TAKE_SLICE),
         Request::SimSetSlice { amps } => {
             w.u8(REQ_SIM_SET_SLICE);
-            w.amps(amps);
+            put_amps(&mut w, amps);
         }
         Request::SimReduce => w.u8(REQ_SIM_REDUCE),
         Request::SimOverlap { min_cost } => {
@@ -619,12 +360,14 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         REQ_SHUTDOWN => Request::Shutdown,
         REQ_SWEEP_INIT => {
             let spec = spec_from_byte(r.u8()?);
-            let poly = r.poly()?;
+            let poly = get_poly(&mut r)?;
             Request::SweepInit { poly, spec }
         }
         REQ_SWEEP_CHUNK => {
             let n = r.len_prefix(16)?;
-            let points = (0..n).map(|_| r.point()).collect::<Result<_, _>>()?;
+            let points = (0..n)
+                .map(|_| get_point(&mut r))
+                .collect::<Result<_, _>>()?;
             Request::SweepChunk { points }
         }
         REQ_CONE_SHARD => {
@@ -632,7 +375,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             let mut cones = Vec::with_capacity(n);
             for _ in 0..n {
                 let edge = r.u64()?;
-                let ego = r.ego()?;
+                let ego = get_ego(&mut r)?;
                 cones.push((edge, ego));
             }
             let gammas = r.f64s()?;
@@ -645,7 +388,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         }
         REQ_SIM_INIT => {
             let n_ranks = r.usize()?;
-            let poly = r.poly()?;
+            let poly = get_poly(&mut r)?;
             Request::SimInit { poly, n_ranks }
         }
         REQ_SIM_EXTREMA => Request::SimExtrema,
@@ -662,7 +405,9 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         }
         REQ_SIM_MIX_HIGH => Request::SimMixHigh { beta: r.f64()? },
         REQ_SIM_TAKE_SLICE => Request::SimTakeSlice,
-        REQ_SIM_SET_SLICE => Request::SimSetSlice { amps: r.amps()? },
+        REQ_SIM_SET_SLICE => Request::SimSetSlice {
+            amps: get_amps(&mut r)?,
+        },
         REQ_SIM_REDUCE => Request::SimReduce,
         REQ_SIM_OVERLAP => Request::SimOverlap { min_cost: r.f64()? },
         REQ_SIM_GATHER => Request::SimGather,
@@ -720,7 +465,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         }
         Response::Amps(amps) => {
             w.u8(RESP_AMPS);
-            w.amps(amps);
+            put_amps(&mut w, amps);
         }
         Response::Error(msg) => {
             w.u8(RESP_ERROR);
@@ -760,7 +505,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
                 Err((edge, msg))
             }
         }),
-        RESP_AMPS => Response::Amps(r.amps()?),
+        RESP_AMPS => Response::Amps(get_amps(&mut r)?),
         RESP_ERROR => Response::Error(r.string()?),
         t => return Err(WireError::BadTag(t)),
     };
@@ -854,32 +599,6 @@ mod tests {
                 other => panic!("unexpected {other:?}"),
             }
         }
-    }
-
-    #[test]
-    fn frame_header_checks() {
-        let frame = encode_frame(b"hello");
-        let header: [u8; 16] = frame[..16].try_into().unwrap();
-        let (len, checksum) = decode_header(&header).unwrap();
-        assert_eq!(len, 5);
-        check_payload(&frame[16..], checksum).unwrap();
-
-        // Flip a payload bit: checksum must catch it.
-        let mut bad = frame.clone();
-        bad[16] ^= 0x40;
-        assert!(matches!(
-            check_payload(&bad[16..], checksum),
-            Err(WireError::ChecksumMismatch { .. })
-        ));
-
-        // Bad magic.
-        let mut bad = frame;
-        bad[0] = 0;
-        let header: [u8; 16] = bad[..16].try_into().unwrap();
-        assert!(matches!(
-            decode_header(&header),
-            Err(WireError::BadMagic(_))
-        ));
     }
 
     #[test]

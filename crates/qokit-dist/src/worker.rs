@@ -231,7 +231,12 @@ pub fn handle(state: &mut WorkerState, req: Request) -> Response {
                 runner
                     .energies_checked(&points)
                     .into_iter()
-                    .map(|r| r.map_err(|SweepError::PointPanicked { message, .. }| message))
+                    .map(|r| {
+                        r.map_err(|e| match e {
+                            SweepError::PointPanicked { message, .. } => message,
+                            other => other.to_string(),
+                        })
+                    })
                     .collect(),
             ),
         },

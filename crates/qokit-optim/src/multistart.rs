@@ -88,7 +88,8 @@ impl MultiStartRun {
 }
 
 /// Error from [`MultiStart::try_minimize`]: one restart's objective
-/// panicked. Only that restart is poisoned; the pool stays reusable.
+/// panicked, or the driver was cooperatively cancelled. Only a panicking
+/// restart is poisoned; in both cases the pool stays reusable.
 #[derive(Clone, Debug, PartialEq)]
 pub enum MultiStartError {
     /// A restart's optimizer or objective panicked.
@@ -98,6 +99,13 @@ pub enum MultiStartError {
         /// The panic payload, stringified.
         message: String,
     },
+    /// The cancel flag was observed set before every restart had run
+    /// ([`MultiStart::try_minimize_cancellable`]).
+    Cancelled {
+        /// Number of restarts that ran to completion (or panicked) before
+        /// the flag was honored.
+        completed: usize,
+    },
 }
 
 impl std::fmt::Display for MultiStartError {
@@ -105,6 +113,9 @@ impl std::fmt::Display for MultiStartError {
         match self {
             MultiStartError::RestartPanicked { restart, message } => {
                 write!(f, "restart {restart} panicked: {message}")
+            }
+            MultiStartError::Cancelled { completed } => {
+                write!(f, "multi-start cancelled after {completed} restarts")
             }
         }
     }
@@ -172,6 +183,49 @@ impl MultiStart {
             })
             .collect();
         Self::collect_run(slots)
+    }
+
+    /// [`try_minimize`](Self::try_minimize) with a cooperative cancellation
+    /// checkpoint before each restart: a restart whose task starts after
+    /// `cancel` is set (`Relaxed` load) is skipped, and the driver returns
+    /// [`MultiStartError::Cancelled`] counting the restarts that did run.
+    /// Restarts already executing finish normally — cancellation
+    /// granularity is one restart — and the pool stays reusable. With the
+    /// flag never set the result is bit-identical to
+    /// [`try_minimize`](Self::try_minimize) (same trajectories, same
+    /// winner).
+    pub fn try_minimize_cancellable<F>(
+        &self,
+        f: &F,
+        cancel: &std::sync::atomic::AtomicBool,
+    ) -> Result<MultiStartRun, MultiStartError>
+    where
+        F: Fn(&[f64]) -> f64 + Sync,
+    {
+        use std::sync::atomic::Ordering;
+        assert!(self.restarts > 0, "need at least one restart");
+        let starts = self.starting_points();
+        // `None` marks a restart skipped by the flag; completed slots stay
+        // keyed by restart index exactly as in the plain driver.
+        let slots: Vec<Option<Result<OptimizeResult, String>>> = starts
+            .par_iter()
+            .with_min_len(1)
+            .enumerate()
+            .map(|(i, x0)| {
+                if cancel.load(Ordering::Relaxed) {
+                    return None;
+                }
+                Some(
+                    panic::catch_unwind(AssertUnwindSafe(|| self.run_one(i, x0, f)))
+                        .map_err(panic_message),
+                )
+            })
+            .collect();
+        if slots.iter().any(|s| s.is_none()) {
+            let completed = slots.iter().filter(|s| s.is_some()).count();
+            return Err(MultiStartError::Cancelled { completed });
+        }
+        Self::collect_run(slots.into_iter().flatten().collect())
     }
 
     /// As [`minimize`](Self::minimize), but each restart drives a *batch*
@@ -456,6 +510,34 @@ mod tests {
         ));
         // Lanes and the pool stay reusable.
         assert!(d.minimize_batched(&batch_of(two_basin)).best().best_f < 1e-3);
+    }
+
+    #[test]
+    fn pre_cancelled_driver_runs_no_restarts() {
+        use std::sync::atomic::AtomicBool;
+        let cancel = AtomicBool::new(true);
+        let err = driver(6)
+            .try_minimize_cancellable(&two_basin, &cancel)
+            .unwrap_err();
+        assert_eq!(err, MultiStartError::Cancelled { completed: 0 });
+        // The pool stays reusable after a cancellation.
+        assert!(driver(6).minimize(&two_basin).best().best_f < 1e-3);
+    }
+
+    #[test]
+    fn uncancelled_driver_is_bit_identical_to_plain() {
+        use std::sync::atomic::AtomicBool;
+        let cancel = AtomicBool::new(false);
+        let plain = driver(5).try_minimize(&two_basin).unwrap();
+        let cancellable = driver(5)
+            .try_minimize_cancellable(&two_basin, &cancel)
+            .unwrap();
+        assert_eq!(plain.best_restart, cancellable.best_restart);
+        for (a, b) in plain.restarts.iter().zip(&cancellable.restarts) {
+            assert_eq!(a.best_f.to_bits(), b.best_f.to_bits());
+            assert_eq!(a.best_x, b.best_x);
+            assert_eq!(a.n_evals, b.n_evals);
+        }
     }
 
     #[test]

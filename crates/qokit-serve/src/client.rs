@@ -1,0 +1,254 @@
+//! Blocking client for the serve protocol.
+//!
+//! [`ServeClient`] wraps one TCP connection. Control requests
+//! ([`ServeClient::ping`], [`ServeClient::cache_stats`],
+//! [`ServeClient::shutdown_server`]) are simple request/response pairs;
+//! job submissions block until the terminal frame, invoking a progress
+//! callback for every streamed [`Progress`](ServeResponse::Progress)
+//! snapshot. The callback can return [`ProgressAction::Cancel`] to send
+//! a `Cancel` frame on the same socket — the server honors it at the
+//! job's next cancellation checkpoint.
+
+use crate::proto::{
+    decode_response, encode_request, LightConeJob, LightConeSummary, MultiStartJob,
+    MultiStartSummary, ServeRequest, ServeResponse, SweepJob, SweepSummary,
+};
+use qokit_dist::frame::{read_frame, write_frame};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Errors surfaced by [`ServeClient`] calls.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, or write).
+    Io(std::io::Error),
+    /// A frame arrived but did not decode, or its type made no sense in
+    /// the current exchange.
+    Protocol(String),
+    /// The server answered [`ServeResponse::Error`].
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "serve client i/o error: {e}"),
+            ClientError::Protocol(m) => write!(f, "serve protocol error: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// What a progress callback wants done after observing a snapshot.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ProgressAction {
+    /// Keep running.
+    Continue,
+    /// Send a `Cancel` frame; the job ends with
+    /// [`JobOutcome::Cancelled`] once the server reaches a checkpoint.
+    Cancel,
+}
+
+/// A streamed partial-result snapshot (mirrors
+/// [`ServeResponse::Progress`] with the wire sentinels decoded away).
+#[derive(Copy, Clone, Debug)]
+pub struct ProgressSnapshot {
+    /// Points folded into the aggregate so far.
+    pub evaluated: u64,
+    /// Running energy sum.
+    pub sum: f64,
+    /// Best (lowest) energy so far, if any point has been seen.
+    pub min_energy: Option<f64>,
+    /// Flat index of the best point, if any.
+    pub argmin: Option<u64>,
+}
+
+/// Terminal state of a submitted job, generic over the per-kind summary.
+#[derive(Clone, Debug)]
+pub enum JobOutcome<T> {
+    /// The job ran to completion.
+    Done(T),
+    /// Admission control refused the job — the queue already held
+    /// `outstanding` of `capacity` jobs. Nothing ran.
+    Rejected {
+        /// Outstanding jobs at submission time.
+        outstanding: u64,
+        /// The server's admission budget.
+        capacity: u64,
+    },
+    /// The job was cancelled (explicit `Cancel`, deadline expiry, or a
+    /// dropped sibling connection) after `evaluated` units of work.
+    Cancelled {
+        /// Points (sweep), restarts (multi-start), or 0 (light cone)
+        /// completed before the cancellation checkpoint fired.
+        evaluated: u64,
+    },
+}
+
+impl<T> JobOutcome<T> {
+    /// The summary if the job completed, else `None`.
+    pub fn done(self) -> Option<T> {
+        match self {
+            JobOutcome::Done(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// One blocking connection to a qokit-serve server.
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a server (e.g. the address printed by the binary).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<ServeClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(ServeClient { stream })
+    }
+
+    fn send(&mut self, req: &ServeRequest) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<ServeResponse, ClientError> {
+        let (payload, _) = read_frame(&mut self.stream)
+            .map_err(|e| ClientError::Protocol(format!("reading response frame: {e}")))?;
+        decode_response(&payload)
+            .map_err(|e| ClientError::Protocol(format!("decoding response: {e}")))
+    }
+
+    /// Round-trips a `Ping`.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send(&ServeRequest::Ping)?;
+        match self.recv()? {
+            ServeResponse::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Fetches the precompute-cache counters.
+    pub fn cache_stats(&mut self) -> Result<crate::proto::CacheStatsView, ClientError> {
+        self.send(&ServeRequest::CacheStats)?;
+        match self.recv()? {
+            ServeResponse::CacheStats(view) => Ok(view),
+            ServeResponse::Error(m) => Err(ClientError::Server(m)),
+            other => Err(unexpected("CacheStats", &other)),
+        }
+    }
+
+    /// Asks the server to exit its accept loop (queued jobs still drain).
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.send(&ServeRequest::Shutdown)?;
+        match self.recv()? {
+            ServeResponse::Ok => Ok(()),
+            other => Err(unexpected("Ok", &other)),
+        }
+    }
+
+    /// Submits a landscape sweep and blocks until its terminal frame,
+    /// calling `on_progress` for each streamed snapshot.
+    pub fn submit_sweep<F>(
+        &mut self,
+        job: &SweepJob,
+        mut on_progress: F,
+    ) -> Result<JobOutcome<SweepSummary>, ClientError>
+    where
+        F: FnMut(ProgressSnapshot) -> ProgressAction,
+    {
+        self.send(&ServeRequest::Sweep(job.clone()))?;
+        self.drive(&mut on_progress, |resp| match resp {
+            ServeResponse::SweepDone(summary) => Some(Ok(summary)),
+            other => Some(Err(unexpected("SweepDone", &other))),
+        })
+    }
+
+    /// Submits a multi-start optimization and blocks until done.
+    pub fn submit_multistart(
+        &mut self,
+        job: &MultiStartJob,
+    ) -> Result<JobOutcome<MultiStartSummary>, ClientError> {
+        self.send(&ServeRequest::MultiStart(job.clone()))?;
+        self.drive(&mut |_| ProgressAction::Continue, |resp| match resp {
+            ServeResponse::MultiStartDone(summary) => Some(Ok(summary)),
+            other => Some(Err(unexpected("MultiStartDone", &other))),
+        })
+    }
+
+    /// Submits a light-cone evaluation and blocks until done.
+    pub fn submit_lightcone(
+        &mut self,
+        job: &LightConeJob,
+    ) -> Result<JobOutcome<LightConeSummary>, ClientError> {
+        self.send(&ServeRequest::LightCone(job.clone()))?;
+        self.drive(&mut |_| ProgressAction::Continue, |resp| match resp {
+            ServeResponse::LightConeDone(summary) => Some(Ok(summary)),
+            other => Some(Err(unexpected("LightConeDone", &other))),
+        })
+    }
+
+    /// Reads frames until a terminal one: `Progress` goes to the
+    /// callback (which may trigger a `Cancel` send), `Rejected` /
+    /// `Cancelled` / `Error` terminate uniformly, and anything else is
+    /// handed to `terminal` to classify.
+    fn drive<T, F>(
+        &mut self,
+        on_progress: &mut F,
+        terminal: impl Fn(ServeResponse) -> Option<Result<T, ClientError>>,
+    ) -> Result<JobOutcome<T>, ClientError>
+    where
+        F: FnMut(ProgressSnapshot) -> ProgressAction,
+    {
+        loop {
+            match self.recv()? {
+                ServeResponse::Progress {
+                    evaluated,
+                    sum,
+                    min_energy,
+                    argmin,
+                } => {
+                    let snapshot = ProgressSnapshot {
+                        evaluated,
+                        sum,
+                        min_energy: (!min_energy.is_nan()).then_some(min_energy),
+                        argmin: (argmin != u64::MAX).then_some(argmin),
+                    };
+                    if on_progress(snapshot) == ProgressAction::Cancel {
+                        self.send(&ServeRequest::Cancel)?;
+                    }
+                }
+                ServeResponse::Rejected {
+                    outstanding,
+                    capacity,
+                } => {
+                    return Ok(JobOutcome::Rejected {
+                        outstanding,
+                        capacity,
+                    })
+                }
+                ServeResponse::Cancelled { evaluated } => {
+                    return Ok(JobOutcome::Cancelled { evaluated })
+                }
+                ServeResponse::Error(m) => return Err(ClientError::Server(m)),
+                other => match terminal(other) {
+                    Some(Ok(t)) => return Ok(JobOutcome::Done(t)),
+                    Some(Err(e)) => return Err(e),
+                    None => unreachable!("terminal classifier must decide"),
+                },
+            }
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &ServeResponse) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
+}

@@ -1,0 +1,27 @@
+//! The `qokit-serve` binary: bind, announce the address, serve forever
+//! (until a client sends `Shutdown`).
+//!
+//! Prints exactly one `SERVE_ADDR=<host:port>` line to stdout once the
+//! listen socket is bound — the handshake spawning harnesses (CI, the
+//! `serve_quickstart` example) parse to find the ephemeral port.
+//! Configuration comes from `QOKIT_SERVE_ADDR`, `QOKIT_SERVE_QUEUE`,
+//! and `QOKIT_SERVE_CACHE_BYTES`.
+
+use qokit_serve::{Server, ServerConfig};
+use std::io::Write;
+
+fn main() {
+    let config = ServerConfig::from_env();
+    let server = match Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("qokit-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.local_addr().expect("bound listener has an address");
+    // Flush eagerly: the parent blocks on this line before connecting.
+    println!("SERVE_ADDR={addr}");
+    std::io::stdout().flush().ok();
+    server.run();
+}

@@ -23,6 +23,7 @@
 //! | [`tensornet`] | tensor-network baseline |
 //! | [`dist`] | BSP distributed simulation (ranks as pool supersteps) + batch-sharded landscape scans + cluster model |
 //! | [`optim`] | Nelder–Mead/SPSA/grid optimizers and schedules |
+//! | [`serve`] | long-lived loopback-TCP job server: precompute cache, bounded queue, deadlines/cancellation |
 //!
 //! ## Execution backends and `QOKIT_THREADS`
 //!
@@ -106,6 +107,7 @@ pub use qokit_costvec as costvec;
 pub use qokit_dist as dist;
 pub use qokit_gates as gates;
 pub use qokit_optim as optim;
+pub use qokit_serve as serve;
 pub use qokit_statevec as statevec;
 pub use qokit_tensornet as tensornet;
 pub use qokit_terms as terms;
@@ -121,6 +123,9 @@ pub mod prelude {
     pub use qokit_dist::{
         Axis, DistSweepOptions, DistSweepRunner, Grid2d, InProcessTransport, PointSource,
         TcpTransport, Transport, TransportError, TransportErrorKind, TransportKind, WorkerSpawn,
+    };
+    pub use qokit_serve::{
+        JobOutcome, LightConeJob, MultiStartJob, ServeClient, Server, ServerConfig, SweepJob,
     };
     pub use qokit_statevec::{Backend, ExecPolicy, Layout, SplitStateVec, StateVec, C64};
     pub use qokit_terms::{Graph, SpinPolynomial, Term};

@@ -275,6 +275,7 @@ fn panicking_restart_poisons_only_itself_and_pool_survives() {
             assert_eq!(restart, 1);
             assert!(message.contains("injected failure"), "{message}");
         }
+        other => panic!("expected RestartPanicked, got {other:?}"),
     }
     // Pool reusable: the same driver immediately runs clean.
     let run = driver.minimize(&|x: &[f64]| x[0] * x[0] + x[1] * x[1]);
@@ -382,6 +383,7 @@ fn panicking_batched_restart_poisons_only_itself() {
             assert_eq!(restart, 3);
             assert!(message.contains("injected failure"), "{message}");
         }
+        other => panic!("expected RestartPanicked, got {other:?}"),
     }
     let run = driver.minimize_batched(&|xs: &[Vec<f64>]| {
         xs.iter().map(|x| x[0] * x[0] + x[1] * x[1]).collect()
@@ -478,4 +480,91 @@ fn non_integral_quantized_simulator_degrades_gracefully() {
     let e = sim.get_expectation(&r);
     let (lo, hi) = sim.cost_diagonal().extrema();
     assert!(e >= lo && e <= hi);
+}
+
+/// A client that vanishes mid-job must not wedge the server: the
+/// connection handler detects the disconnect, cancels the job, the lane
+/// reaps it (freeing the admission slot), and the server keeps serving.
+#[test]
+fn client_disconnect_mid_job_is_reaped_and_server_stays_serviceable() {
+    use qokit::dist::frame::{read_frame, write_frame};
+    use qokit::dist::wire::SweepSimSpec;
+    use qokit::serve::proto::{decode_response, encode_request, ServeRequest, ServeResponse};
+    use qokit::serve::{JobOutcome, ProgressAction, ServeClient, Server, ServerConfig, SweepJob};
+    use rand::SeedableRng;
+    use std::time::{Duration, Instant};
+
+    // Capacity 1, so the dead job's admission slot is observable: a new
+    // submission is Rejected until the reap frees it.
+    let handle = Server::bind(ServerConfig {
+        queue_capacity: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind")
+    .spawn_thread()
+    .expect("spawn");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let poly = qokit::terms::maxcut::maxcut_polynomial(&Graph::random_regular(10, 3, &mut rng));
+    let job = SweepJob {
+        poly: poly.clone(),
+        spec: SweepSimSpec {
+            precompute: PrecomputeMethod::Direct,
+            quantize_u16: false,
+            layout: Layout::Interleaved,
+        },
+        grid: Grid2d::new(Axis::new(-0.5, 0.5, 64), Axis::new(-0.4, 0.4, 64)),
+        top_k: 2,
+        chunk: 1,
+        deadline_ms: 0,
+        progress_every: 1,
+    };
+
+    // Submit over a raw socket, wait for the first Progress frame (the
+    // job is demonstrably running), then vanish without a goodbye.
+    {
+        let mut raw = std::net::TcpStream::connect(handle.addr()).expect("connect raw");
+        write_frame(&mut raw, &encode_request(&ServeRequest::Sweep(job.clone()))).expect("submit");
+        let (payload, _) = read_frame(&mut raw).expect("first frame");
+        assert!(matches!(
+            decode_response(&payload).expect("decode"),
+            ServeResponse::Progress { .. }
+        ));
+        // drop(raw): TCP FIN mid-job.
+    }
+
+    // The reap is asynchronous (disconnect poll + chunk-boundary cancel);
+    // a fresh submission must be accepted within the grace window, and
+    // the server must still produce correct results afterwards.
+    let mut client = ServeClient::connect(handle.addr()).expect("connect");
+    let small = SweepJob {
+        grid: Grid2d::new(Axis::new(-0.5, 0.5, 4), Axis::new(-0.4, 0.4, 4)),
+        progress_every: 0,
+        ..job
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let summary = loop {
+        match client
+            .submit_sweep(&small, |_| ProgressAction::Continue)
+            .expect("rpc")
+        {
+            JobOutcome::Done(s) => break s,
+            JobOutcome::Rejected { .. } => {
+                assert!(
+                    Instant::now() < deadline,
+                    "abandoned job was never reaped: admission slot still held"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("expected Done or Rejected, got {other:?}"),
+        }
+    };
+    assert_eq!(summary.evaluated, 16);
+    assert!(
+        summary.cache_hit,
+        "the dead job's precompute must be reusable"
+    );
+
+    client.shutdown_server().expect("shutdown");
+    handle.join();
 }
