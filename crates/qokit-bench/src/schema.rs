@@ -481,6 +481,67 @@ pub fn validate_bench_json(text: &str) -> Result<String, String> {
                 }
             }
         }
+        "abl_tn" => {
+            for key in [
+                "n_qubits",
+                "p",
+                "amplitudes",
+                "hw_threads",
+                "pool_width",
+                "reps",
+                "greedy_seconds",
+                "planned_seconds",
+                "plan_width",
+                "greedy_width",
+            ] {
+                finite_positive(&root, key)?;
+            }
+            // planned ordering slower than greedy means the plan-once/
+            // execute-many amortization regressed; the gate fails loudly.
+            let speedup = finite_positive(&root, "planned_speedup")?;
+            if speedup < 1.0 {
+                return Err(format!(
+                    "\"planned_speedup\" is {speedup}: planned ordering must not be slower \
+                     than greedy per-call contraction"
+                ));
+            }
+            match root.get("slices_bit_identical") {
+                Some(Json::Bool(true)) => {}
+                Some(Json::Bool(false)) => {
+                    return Err(
+                        "\"slices_bit_identical\" is false: the slice pool moved the bits".into(),
+                    )
+                }
+                other => {
+                    return Err(format!(
+                        "\"slices_bit_identical\" must be a boolean, got {other:?}"
+                    ))
+                }
+            }
+            let rows = match root.get("slices") {
+                Some(Json::Arr(rows)) if !rows.is_empty() => rows,
+                other => {
+                    return Err(format!(
+                        "\"slices\" must be a non-empty array, got {other:?}"
+                    ))
+                }
+            };
+            for (i, row) in rows.iter().enumerate() {
+                for key in ["workers", "seconds", "amps_per_sec", "n_slices"] {
+                    finite_positive(row, key).map_err(|e| format!("slices[{i}]: {e}"))?;
+                }
+                // slicing overhead < 1 would mean slicing did less work
+                // than the unsliced plan — a bookkeeping bug.
+                let overhead =
+                    finite_positive(row, "overhead").map_err(|e| format!("slices[{i}]: {e}"))?;
+                if overhead < 1.0 {
+                    return Err(format!(
+                        "slices[{i}]: \"overhead\" is {overhead}, but sliced work can never \
+                         be less than unsliced work"
+                    ));
+                }
+            }
+        }
         "abl_serve" => {
             for key in [
                 "n_qubits",
@@ -752,6 +813,63 @@ mod tests {
         let bad_row = GOOD_SIMD_ROW.replace("\"speedup\": 1.31", "\"speedup\": 0.0");
         let err = validate_bench_json(&simd_fixture(&bad_row)).unwrap_err();
         assert!(err.contains("speedup"), "{err}");
+    }
+
+    fn tn_fixture(slices: &str) -> String {
+        format!(
+            r#"{{"bench": "abl_tn", "n_qubits": 20, "p": 2, "amplitudes": 64,
+                "hw_threads": 4, "pool_width": 4, "reps": 5,
+                "greedy_seconds": 3.2e-1, "planned_seconds": 1.1e-1,
+                "planned_speedup": 2.9, "plan_width": 6, "greedy_width": 7,
+                "slices_bit_identical": true, "slices": [{slices}]}}"#
+        )
+    }
+
+    const GOOD_TN_SLICES: &str = r#"
+        {"workers": 1, "seconds": 1.4e-1, "amps_per_sec": 457.1,
+         "n_slices": 2, "overhead": 1.12},
+        {"workers": 2, "seconds": 0.9e-1, "amps_per_sec": 711.1,
+         "n_slices": 2, "overhead": 1.12},
+        {"workers": 4, "seconds": 0.8e-1, "amps_per_sec": 800.0,
+         "n_slices": 2, "overhead": 1.12}"#;
+
+    #[test]
+    fn accepts_a_valid_tn_record() {
+        assert_eq!(
+            validate_bench_json(&tn_fixture(GOOD_TN_SLICES)).unwrap(),
+            "abl_tn"
+        );
+    }
+
+    #[test]
+    fn tn_rejects_a_plan_slower_than_greedy() {
+        let bad = tn_fixture(GOOD_TN_SLICES)
+            .replace("\"planned_speedup\": 2.9", "\"planned_speedup\": 0.7");
+        let err = validate_bench_json(&bad).unwrap_err();
+        assert!(err.contains("planned_speedup"), "{err}");
+    }
+
+    #[test]
+    fn tn_rejects_diverged_slices_and_impossible_overhead() {
+        let diverged = tn_fixture(GOOD_TN_SLICES).replace(
+            "\"slices_bit_identical\": true",
+            "\"slices_bit_identical\": false",
+        );
+        let err = validate_bench_json(&diverged).unwrap_err();
+        assert!(err.contains("moved the bits"), "{err}");
+        let free_lunch =
+            tn_fixture(&GOOD_TN_SLICES.replacen("\"overhead\": 1.12", "\"overhead\": 0.5", 1));
+        let err = validate_bench_json(&free_lunch).unwrap_err();
+        assert!(err.contains("unsliced work"), "{err}");
+    }
+
+    #[test]
+    fn tn_rejects_missing_slice_rows_and_widths() {
+        let err = validate_bench_json(&tn_fixture("")).unwrap_err();
+        assert!(err.contains("slices"), "{err}");
+        let no_width = tn_fixture(GOOD_TN_SLICES).replace("\"plan_width\": 6, ", "");
+        let err = validate_bench_json(&no_width).unwrap_err();
+        assert!(err.contains("plan_width"), "{err}");
     }
 
     fn serve_fixture(depths: &str) -> String {

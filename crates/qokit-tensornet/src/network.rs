@@ -76,6 +76,25 @@ impl TensorNetwork {
         self.tensors.is_empty()
     }
 
+    /// The network's *structure*: each tensor's leg list, in insertion
+    /// order. This is everything a [`crate::plan::ContractionPlan`] needs —
+    /// tensor values play no part in planning.
+    pub fn structure(&self) -> Vec<Vec<usize>> {
+        self.tensors.iter().map(|t| t.legs.clone()).collect()
+    }
+
+    /// A view of the tensors, in insertion order.
+    pub fn tensors(&self) -> &[Tensor] {
+        &self.tensors
+    }
+
+    /// Consumes the network, yielding the tensors in insertion order —
+    /// aligned with [`TensorNetwork::structure`] so they can be fed to a
+    /// plan built from it.
+    pub fn into_tensors(self) -> Vec<Tensor> {
+        self.tensors
+    }
+
     /// Greedily contracts the whole network to a scalar: repeatedly picks
     /// the connected tensor pair whose contraction yields the smallest
     /// intermediate rank. `width_cap` bounds the intermediate rank;
@@ -234,6 +253,26 @@ impl QaoaNetwork {
     }
 }
 
+/// Builds the closed amplitude network for `⟨x|QAOA(γ,β)|+⟩` without
+/// contracting it. The leg structure of the result is a pure function of
+/// `(poly, p)` — neither the angles nor `x` influence leg ids — which is
+/// what lets one [`crate::plan::ContractionPlan`] serve every amplitude of
+/// a problem.
+pub fn build_qaoa_network(
+    poly: &SpinPolynomial,
+    gammas: &[f64],
+    betas: &[f64],
+    x: u64,
+) -> TensorNetwork {
+    assert_eq!(gammas.len(), betas.len(), "gamma/beta length mismatch");
+    let mut b = QaoaNetwork::plus_state(poly.n_vars());
+    for (&g, &bt) in gammas.iter().zip(betas.iter()) {
+        b.phase_layer(poly, g);
+        b.mixer_layer(bt);
+    }
+    b.close_with_basis_state(x)
+}
+
 /// Computes the amplitude `⟨x|QAOA(γ,β)|+⟩` by building and greedily
 /// contracting the network. Returns the amplitude and the contraction
 /// width reached.
@@ -244,13 +283,7 @@ pub fn qaoa_amplitude(
     x: u64,
     width_cap: usize,
 ) -> Result<(C64, usize), TnError> {
-    assert_eq!(gammas.len(), betas.len(), "gamma/beta length mismatch");
-    let mut b = QaoaNetwork::plus_state(poly.n_vars());
-    for (&g, &bt) in gammas.iter().zip(betas.iter()) {
-        b.phase_layer(poly, g);
-        b.mixer_layer(bt);
-    }
-    b.close_with_basis_state(x).contract_greedy(width_cap)
+    build_qaoa_network(poly, gammas, betas, x).contract_greedy(width_cap)
 }
 
 #[cfg(test)]

@@ -1,0 +1,527 @@
+//! Reusable contraction plans from a line-graph / min-fill ordering.
+//!
+//! The greedy pair contraction in [`crate::network::TensorNetwork`] decides
+//! the order *while* contracting, so every amplitude pays the full planning
+//! cost and the order is only locally informed. This module separates the
+//! two concerns the way QTensor (and the paper's Ref. \[23\]) do:
+//!
+//! 1. **Plan** once from the network *structure* — the leg lists alone.
+//!    A QAOA amplitude network's structure depends only on the polynomial
+//!    and the depth `p`, **not** on `(γ, β)` or on the closing basis state
+//!    `x` (those change tensor *values*, never leg ids), so one
+//!    [`ContractionPlan`] serves every amplitude of a problem — the
+//!    tensor-network mirror of the paper's precompute-amortization
+//!    argument.
+//! 2. **Execute** many times: replay the recorded pairwise merges on fresh
+//!    tensor values.
+//!
+//! The ordering heuristic works on the **line graph** of the network: legs
+//! are vertices, adjacent when they co-occur in a tensor (hyperedge cost
+//! tensors make this genuinely a hypergraph projection). Legs are
+//! eliminated in min-fill order — the classic treewidth heuristic: pick the
+//! leg whose elimination adds the fewest new edges among its neighbors,
+//! clique-ify, repeat — and each elimination is decomposed into pairwise
+//! [`Tensor::contract`] merges, smallest resulting rank first. Every choice
+//! breaks ties deterministically (smaller leg id / lower slot index), so
+//! the plan — and therefore the floating-point result — is a pure function
+//! of the structure.
+//!
+//! Legs may be declared **open**: the plan then never sums them and the
+//! result tensor keeps them as axes. That is the hook slicing
+//! ([`crate::slice`]) builds on.
+
+use crate::tensor::Tensor;
+use qokit_statevec::C64;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One recorded pairwise merge: contract arena slots `lhs` and `rhs`
+/// (summing `sum_legs`) and append the result as a fresh slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanStep {
+    /// First operand's arena slot (becomes `self` in [`Tensor::contract`]).
+    pub lhs: usize,
+    /// Second operand's arena slot.
+    pub rhs: usize,
+    /// Legs summed at this merge (shared, last two holders).
+    pub sum_legs: Vec<usize>,
+}
+
+/// A contraction order planned once from leg structure and replayable on
+/// any tensor values with that structure.
+#[derive(Clone, Debug)]
+pub struct ContractionPlan {
+    n_inputs: usize,
+    steps: Vec<PlanStep>,
+    /// Leg list of each step's result, aligned with `steps`.
+    step_legs: Vec<Vec<usize>>,
+    /// Legs declared open (never summed), sorted.
+    open_legs: Vec<usize>,
+    /// Leg order of the final result tensor (a subset/permutation of
+    /// `open_legs`; empty for a closed network).
+    result_legs: Vec<usize>,
+    width: usize,
+    sliced_width: usize,
+    cost: f64,
+    sliced_cost: f64,
+}
+
+impl ContractionPlan {
+    /// Plans a full contraction to a scalar (no open legs).
+    pub fn build(inputs: &[Vec<usize>]) -> ContractionPlan {
+        ContractionPlan::build_with_open(inputs, &[])
+    }
+
+    /// Plans a contraction that keeps `open` legs unsummed; the executed
+    /// result is a tensor over those legs (in [`ContractionPlan::result_legs`]
+    /// order). Used by slicing, which projects the open legs away per slice.
+    pub fn build_with_open(inputs: &[Vec<usize>], open: &[usize]) -> ContractionPlan {
+        let planner = Planner::new(inputs, open);
+        let order = planner.min_fill_order();
+        planner.run(order)
+    }
+
+    /// Plans with a caller-chosen leg elimination order instead of the
+    /// min-fill heuristic. Entries that are not summable legs of the
+    /// network are ignored; summable legs missing from `order` are
+    /// eliminated afterwards in ascending id. Any valid order contracts to
+    /// the same scalar (the invariance proptest pins this ≤ 1e-12) — only
+    /// the width and cost differ, which is the whole point of planning.
+    pub fn build_with_elimination_order(inputs: &[Vec<usize>], order: &[usize]) -> ContractionPlan {
+        let planner = Planner::new(inputs, &[]);
+        let mut full: Vec<usize> = Vec::new();
+        for &l in order {
+            if planner.summable(l) && !full.contains(&l) {
+                full.push(l);
+            }
+        }
+        let rest: Vec<usize> = planner
+            .holders
+            .keys()
+            .copied()
+            .filter(|&l| planner.summable(l) && !full.contains(&l))
+            .collect();
+        full.extend(rest);
+        planner.run(full)
+    }
+
+    /// Number of input tensors the plan expects.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// The recorded merge steps.
+    pub fn steps(&self) -> &[PlanStep] {
+        &self.steps
+    }
+
+    /// Maximum intermediate rank when executing with open legs kept.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Maximum intermediate rank once the open legs are projected away —
+    /// the width each *slice* actually pays.
+    pub fn sliced_width(&self) -> usize {
+        self.sliced_width
+    }
+
+    /// The declared open legs (sorted).
+    pub fn open_legs(&self) -> &[usize] {
+        &self.open_legs
+    }
+
+    /// Leg order of the final result tensor.
+    pub fn result_legs(&self) -> &[usize] {
+        &self.result_legs
+    }
+
+    /// Estimated multiply-add count of one full execution (open legs kept):
+    /// `Σ 2^(result rank + summed legs)` over the steps.
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Estimated multiply-add count of one *slice* execution (open legs
+    /// projected away).
+    pub fn sliced_cost(&self) -> f64 {
+        self.sliced_cost
+    }
+
+    /// Legs that appear in an intermediate of maximal sliced rank and are
+    /// still contractible — the slice-leg candidates.
+    pub fn widest_legs(&self) -> Vec<usize> {
+        let open: BTreeSet<usize> = self.open_legs.iter().copied().collect();
+        let mut out = BTreeSet::new();
+        for legs in &self.step_legs {
+            let sliced_rank = legs.iter().filter(|l| !open.contains(l)).count();
+            if sliced_rank == self.sliced_width {
+                out.extend(legs.iter().copied().filter(|l| !open.contains(l)));
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Replays the plan on `tensors` (whose leg lists must match the
+    /// structure the plan was built from, up to projection of the open
+    /// legs). Returns the final tensor — rank 0 for a closed network, one
+    /// axis per surviving open leg otherwise.
+    ///
+    /// # Panics
+    /// If `tensors.len()` differs from the planned input count, or the leg
+    /// structure is incompatible with the recorded merges.
+    pub fn execute(&self, tensors: Vec<Tensor>) -> Tensor {
+        assert_eq!(
+            tensors.len(),
+            self.n_inputs,
+            "plan built for {} tensors, given {}",
+            self.n_inputs,
+            tensors.len()
+        );
+        let mut arena: Vec<Option<Tensor>> = tensors.into_iter().map(Some).collect();
+        for step in &self.steps {
+            let a = arena[step.lhs].take().expect("slot consumed twice");
+            let b = arena[step.rhs].take().expect("slot consumed twice");
+            arena.push(Some(a.contract(&b, &step.sum_legs)));
+        }
+        match arena.pop() {
+            Some(Some(t)) => t,
+            Some(None) => unreachable!("final arena slot already consumed"),
+            None => Tensor::scalar(C64::ONE),
+        }
+    }
+}
+
+/// Internal planning state: simulates the contraction on leg sets only.
+struct Planner {
+    /// Live leg list per arena slot (`None` once consumed).
+    slots: Vec<Option<Vec<usize>>>,
+    /// Remaining holder count per leg.
+    holders: BTreeMap<usize, usize>,
+    open: BTreeSet<usize>,
+    steps: Vec<PlanStep>,
+    step_legs: Vec<Vec<usize>>,
+    width: usize,
+    sliced_width: usize,
+    cost: f64,
+    sliced_cost: f64,
+}
+
+impl Planner {
+    fn new(inputs: &[Vec<usize>], open: &[usize]) -> Planner {
+        let mut holders = BTreeMap::new();
+        for legs in inputs {
+            for &l in legs {
+                *holders.entry(l).or_insert(0usize) += 1;
+            }
+        }
+        Planner {
+            slots: inputs.iter().map(|l| Some(l.clone())).collect(),
+            holders,
+            open: open.iter().copied().collect(),
+            steps: Vec::new(),
+            step_legs: Vec::new(),
+            width: 0,
+            sliced_width: 0,
+            cost: 0.0,
+            sliced_cost: 0.0,
+        }
+    }
+
+    fn summable(&self, leg: usize) -> bool {
+        !self.open.contains(&leg) && self.holders.get(&leg).copied().unwrap_or(0) >= 2
+    }
+
+    /// Min-fill elimination order over the line graph of summable legs.
+    fn min_fill_order(&self) -> Vec<usize> {
+        let mut adj: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        let summable: BTreeSet<usize> = self
+            .holders
+            .keys()
+            .copied()
+            .filter(|&l| self.summable(l))
+            .collect();
+        for l in &summable {
+            adj.insert(*l, BTreeSet::new());
+        }
+        for legs in self.slots.iter().flatten() {
+            let here: Vec<usize> = legs
+                .iter()
+                .copied()
+                .filter(|l| summable.contains(l))
+                .collect();
+            for (i, &a) in here.iter().enumerate() {
+                for &b in &here[i + 1..] {
+                    adj.get_mut(&a).unwrap().insert(b);
+                    adj.get_mut(&b).unwrap().insert(a);
+                }
+            }
+        }
+        let mut order = Vec::with_capacity(adj.len());
+        let mut remaining: BTreeSet<usize> = adj.keys().copied().collect();
+        while !remaining.is_empty() {
+            // Pick min (fill, degree, id): fill = neighbor pairs not yet
+            // adjacent, i.e. edges elimination would add.
+            let mut best: Option<(usize, usize, usize)> = None; // (fill, deg, leg)
+            for &l in &remaining {
+                let nbrs: Vec<usize> = adj[&l].iter().copied().collect();
+                let mut fill = 0usize;
+                for (i, &u) in nbrs.iter().enumerate() {
+                    for &v in &nbrs[i + 1..] {
+                        if !adj[&u].contains(&v) {
+                            fill += 1;
+                        }
+                    }
+                }
+                let key = (fill, nbrs.len(), l);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+            let (_, _, leg) = best.unwrap();
+            order.push(leg);
+            let nbrs: Vec<usize> = adj[&leg].iter().copied().collect();
+            for (i, &u) in nbrs.iter().enumerate() {
+                for &v in &nbrs[i + 1..] {
+                    adj.get_mut(&u).unwrap().insert(v);
+                    adj.get_mut(&v).unwrap().insert(u);
+                }
+            }
+            for &u in &nbrs {
+                adj.get_mut(&u).unwrap().remove(&leg);
+            }
+            adj.remove(&leg);
+            remaining.remove(&leg);
+        }
+        order
+    }
+
+    /// Simulates contracting slots `i` and `j`, recording the step.
+    fn merge(&mut self, i: usize, j: usize) {
+        let a = self.slots[i].take().expect("merge of consumed slot");
+        let b = self.slots[j].take().expect("merge of consumed slot");
+        let sum: Vec<usize> = a
+            .iter()
+            .copied()
+            .filter(|&l| b.contains(&l) && self.summable(l) && self.holders[&l] == 2)
+            .collect();
+        // Same output-leg rule as Tensor::contract: self's legs first, then
+        // other's new ones, skipping summed legs.
+        let mut out: Vec<usize> = Vec::new();
+        for &l in a.iter().chain(b.iter()) {
+            if !sum.contains(&l) && !out.contains(&l) {
+                out.push(l);
+            }
+        }
+        for &l in &sum {
+            self.holders.remove(&l);
+        }
+        // A kept leg shared by both operands loses one holder.
+        for &l in &out {
+            if a.contains(&l) && b.contains(&l) {
+                *self.holders.get_mut(&l).unwrap() -= 1;
+            }
+        }
+        let rank = out.len();
+        let open_in = out.iter().filter(|l| self.open.contains(l)).count();
+        self.width = self.width.max(rank);
+        self.sliced_width = self.sliced_width.max(rank - open_in);
+        self.cost += (1u128 << (rank + sum.len()).min(120)) as f64;
+        self.sliced_cost += (1u128 << (rank - open_in + sum.len()).min(120)) as f64;
+        self.steps.push(PlanStep {
+            lhs: i,
+            rhs: j,
+            sum_legs: sum,
+        });
+        self.step_legs.push(out.clone());
+        self.slots.push(Some(out));
+    }
+
+    /// Rank the merge of slots `i`, `j` would produce (open legs counted).
+    fn merge_rank(&self, i: usize, j: usize) -> (usize, usize) {
+        let a = self.slots[i].as_ref().unwrap();
+        let b = self.slots[j].as_ref().unwrap();
+        let mut rank = 0usize;
+        let mut open_in = 0usize;
+        let mut count = |l: usize| {
+            rank += 1;
+            if self.open.contains(&l) {
+                open_in += 1;
+            }
+        };
+        for &l in a {
+            let summed = b.contains(&l) && self.summable(l) && self.holders[&l] == 2;
+            if !summed {
+                count(l);
+            }
+        }
+        for &l in b {
+            if !a.contains(&l) {
+                count(l);
+            }
+        }
+        (rank - open_in, rank) // sliced rank primary, kept rank secondary
+    }
+
+    fn run(mut self, order: Vec<usize>) -> ContractionPlan {
+        for leg in order {
+            // Opportunistic sums during earlier merges may have retired it.
+            while self.holders.get(&leg).copied().unwrap_or(0) >= 2 {
+                let held: Vec<usize> = (0..self.slots.len())
+                    .filter(|&s| {
+                        self.slots[s]
+                            .as_ref()
+                            .is_some_and(|legs| legs.contains(&leg))
+                    })
+                    .collect();
+                if held.len() < 2 {
+                    break;
+                }
+                // Merge the cheapest pair among the holders.
+                let mut best: Option<((usize, usize), (usize, usize))> = None;
+                for (x, &i) in held.iter().enumerate() {
+                    for &j in &held[x + 1..] {
+                        let key = self.merge_rank(i, j);
+                        if best.is_none_or(|(k, _)| key < k) {
+                            best = Some((key, (i, j)));
+                        }
+                    }
+                }
+                let (_, (i, j)) = best.unwrap();
+                self.merge(i, j);
+            }
+        }
+        // Disconnected remainders (scalars, components joined only by open
+        // legs): fold left in slot order.
+        loop {
+            let live: Vec<usize> = (0..self.slots.len())
+                .filter(|&s| self.slots[s].is_some())
+                .collect();
+            if live.len() <= 1 {
+                break;
+            }
+            self.merge(live[0], live[1]);
+        }
+        let result_legs = self
+            .slots
+            .iter()
+            .flatten()
+            .next_back()
+            .cloned()
+            .unwrap_or_default();
+        ContractionPlan {
+            n_inputs: self.slots.len() - self.steps.len(),
+            steps: self.steps,
+            step_legs: self.step_legs,
+            open_legs: self.open.iter().copied().collect(),
+            result_legs,
+            width: self.width,
+            sliced_width: self.sliced_width,
+            cost: self.cost,
+            sliced_cost: self.sliced_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::build_qaoa_network;
+    use qokit_terms::maxcut::maxcut_polynomial;
+    use qokit_terms::Graph;
+
+    fn c(v: f64) -> C64 {
+        C64::from_re(v)
+    }
+
+    #[test]
+    fn plans_a_dot_product() {
+        let plan = ContractionPlan::build(&[vec![0], vec![0]]);
+        assert_eq!(plan.n_inputs(), 2);
+        assert_eq!(plan.width(), 0);
+        let a = Tensor::new(vec![0], vec![c(1.0), c(2.0)]);
+        let b = Tensor::new(vec![0], vec![c(3.0), c(4.0)]);
+        assert_eq!(plan.execute(vec![a, b]).into_scalar(), c(11.0));
+    }
+
+    #[test]
+    fn plans_a_matrix_chain() {
+        // v0 — M01 — M12 — v2: a path graph; min-fill contracts the chain
+        // without ever exceeding rank 1.
+        let plan = ContractionPlan::build(&[vec![0], vec![0, 1], vec![1, 2], vec![2]]);
+        assert!(plan.width() <= 2, "width = {}", plan.width());
+        let v0 = Tensor::new(vec![0], vec![c(1.0), c(2.0)]);
+        let m01 = Tensor::new(vec![0, 1], vec![c(1.0), c(0.0), c(0.0), c(1.0)]);
+        let m12 = Tensor::new(vec![1, 2], vec![c(2.0), c(0.0), c(0.0), c(2.0)]);
+        let v2 = Tensor::new(vec![2], vec![c(3.0), c(5.0)]);
+        let got = plan.execute(vec![v0, m01, m12, v2]).into_scalar();
+        assert!(got.approx_eq(c(1.0 * 2.0 * 3.0 + 2.0 * 2.0 * 5.0), 1e-12));
+    }
+
+    #[test]
+    fn hyperedge_leg_sums_only_at_last_holder() {
+        // Three tensors share leg 0 (hyperedge): Σ_s a[s]·b[s]·d[s].
+        let plan = ContractionPlan::build(&[vec![0], vec![0], vec![0]]);
+        let a = Tensor::new(vec![0], vec![c(1.0), c(2.0)]);
+        let b = Tensor::new(vec![0], vec![c(3.0), c(4.0)]);
+        let d = Tensor::new(vec![0], vec![c(5.0), c(6.0)]);
+        let got = plan.execute(vec![a, b, d]).into_scalar();
+        assert!(got.approx_eq(c(15.0 + 48.0), 1e-12));
+    }
+
+    #[test]
+    fn disconnected_scalars_multiply() {
+        let plan = ContractionPlan::build(&[vec![], vec![], vec![0], vec![0]]);
+        let s1 = Tensor::scalar(c(2.0));
+        let s2 = Tensor::scalar(c(3.0));
+        let a = Tensor::new(vec![0], vec![c(1.0), c(1.0)]);
+        let b = Tensor::new(vec![0], vec![c(4.0), c(5.0)]);
+        let got = plan.execute(vec![s1, s2, a, b]).into_scalar();
+        assert!(got.approx_eq(c(2.0 * 3.0 * 9.0), 1e-12));
+    }
+
+    #[test]
+    fn empty_plan_is_one() {
+        let plan = ContractionPlan::build(&[]);
+        assert_eq!(plan.execute(vec![]).into_scalar(), C64::ONE);
+    }
+
+    #[test]
+    fn open_legs_survive_to_the_result() {
+        let plan = ContractionPlan::build_with_open(&[vec![0, 1], vec![1]], &[0]);
+        assert_eq!(plan.result_legs(), &[0]);
+        assert!(plan.sliced_width() <= plan.width());
+        let m = Tensor::new(vec![0, 1], vec![c(1.0), c(2.0), c(3.0), c(4.0)]);
+        let v = Tensor::new(vec![1], vec![c(5.0), c(6.0)]);
+        let out = plan.execute(vec![m, v]);
+        assert_eq!(out.legs, vec![0]);
+        assert_eq!(out.data, vec![c(17.0), c(39.0)]);
+    }
+
+    #[test]
+    fn plan_matches_greedy_on_qaoa_network() {
+        let poly = maxcut_polynomial(&Graph::ring(6, 1.0));
+        let net = build_qaoa_network(&poly, &[0.4, 0.1], &[0.7, 0.3], 5);
+        let plan = ContractionPlan::build(&net.structure());
+        let (greedy, w_greedy) = net.clone().contract_greedy(40).unwrap();
+        let planned = plan.execute(net.into_tensors()).into_scalar();
+        assert!(
+            planned.approx_eq(greedy, 1e-12),
+            "planned {planned} vs greedy {greedy}"
+        );
+        assert!(
+            plan.width() <= w_greedy + 2,
+            "min-fill width {} far above greedy {w_greedy}",
+            plan.width()
+        );
+    }
+
+    #[test]
+    fn plan_width_on_ring_stays_small() {
+        // A p=1 ring has bounded treewidth; the planner must not blow up
+        // to n.
+        let poly = maxcut_polynomial(&Graph::ring(12, 1.0));
+        let net = build_qaoa_network(&poly, &[0.3], &[0.2], 0);
+        let plan = ContractionPlan::build(&net.structure());
+        assert!(plan.width() <= 6, "ring width {}", plan.width());
+    }
+}

@@ -116,6 +116,36 @@ impl Tensor {
         }
     }
 
+    /// Fixes `leg` to `bit` (0 or 1), removing that axis: the slicing
+    /// projection. The surviving entries are copied without any arithmetic,
+    /// so a contraction of projected tensors performs *bitwise identical*
+    /// floating-point operations to the corresponding sub-problem of the
+    /// unprojected contraction — the property the sliced-vs-unsliced
+    /// bit-equality tests pin down.
+    ///
+    /// # Panics
+    /// If `leg` is not held by this tensor or `bit > 1`.
+    pub fn project(&self, leg: usize, bit: usize) -> Tensor {
+        assert!(bit <= 1, "projection bit must be 0 or 1");
+        let axis = self
+            .legs
+            .iter()
+            .position(|&l| l == leg)
+            .expect("projected leg must be held by the tensor");
+        let rank = self.rank();
+        let shift = rank - 1 - axis; // row-major, legs[0] slowest
+        let low_mask = (1usize << shift) - 1;
+        let legs: Vec<usize> = self.legs.iter().copied().filter(|&l| l != leg).collect();
+        let data: Vec<C64> = (0..1usize << (rank - 1))
+            .map(|o| {
+                let hi = o >> shift;
+                let lo = o & low_mask;
+                self.data[(hi << (shift + 1)) | (bit << shift) | lo]
+            })
+            .collect();
+        Tensor { legs, data }
+    }
+
     /// Memory footprint in bytes.
     pub fn bytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<C64>()
@@ -209,5 +239,44 @@ mod tests {
     #[should_panic(expected = "repeated leg")]
     fn rejects_repeated_legs() {
         let _ = Tensor::new(vec![0, 0], vec![c(0.0); 4]);
+    }
+
+    #[test]
+    fn project_selects_the_right_slab() {
+        // M on legs (0, 1): rows indexed by leg 0 (slowest).
+        let m = Tensor::new(vec![0, 1], vec![c(1.0), c(2.0), c(3.0), c(4.0)]);
+        let row0 = m.project(0, 0);
+        assert_eq!(row0.legs, vec![1]);
+        assert_eq!(row0.data, vec![c(1.0), c(2.0)]);
+        let row1 = m.project(0, 1);
+        assert_eq!(row1.data, vec![c(3.0), c(4.0)]);
+        let col1 = m.project(1, 1);
+        assert_eq!(col1.legs, vec![0]);
+        assert_eq!(col1.data, vec![c(2.0), c(4.0)]);
+    }
+
+    #[test]
+    fn projection_commutes_with_contraction() {
+        // Contracting then indexing an open leg must equal projecting first.
+        let a = Tensor::new(vec![0, 1], vec![c(1.5), c(-2.0), c(0.5), c(3.0)]);
+        let b = Tensor::new(vec![1, 2], vec![c(2.0), c(1.0), c(-1.0), c(4.0)]);
+        let full = a.contract(&b, &[1]); // legs [0, 2]
+        for bit in 0..2usize {
+            let sliced = a.project(0, bit).contract(&b, &[1]); // legs [2]
+            let reference = full.project(0, bit);
+            assert_eq!(sliced.legs, reference.legs);
+            // Bitwise equality, not approx: the op sequences are identical.
+            for (x, y) in sliced.data.iter().zip(reference.data.iter()) {
+                assert_eq!(x.re.to_bits(), y.re.to_bits());
+                assert_eq!(x.im.to_bits(), y.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be held")]
+    fn project_rejects_absent_leg() {
+        let a = Tensor::new(vec![0], vec![c(1.0), c(2.0)]);
+        let _ = a.project(3, 0);
     }
 }
